@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding series (the rows the paper plots), so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section in one go.  Each experiment is
+executed exactly once per benchmark (``rounds=1``) because the payloads are
+full experiment sweeps, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer and return its result."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

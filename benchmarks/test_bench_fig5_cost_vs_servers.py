@@ -1,0 +1,35 @@
+"""Benchmark / reproduction of Figure 5: cost as a function of the number of servers.
+
+Regenerates the three cost curves (lambda = 7.0, 8.0, 8.5) over N = 9..17 with
+the exact spectral-expansion solution, cost coefficients c1 = 4 and c2 = 1,
+and checks the optima the paper reports: N* = 11, 12 and 13 respectively.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import parameters, run_figure5
+
+
+def test_figure5_cost_curves_and_optima(run_once):
+    result = run_once(run_figure5)
+
+    print()
+    print(result.to_text())
+
+    # Every curve has an interior minimum (the trade-off the figure illustrates).
+    for rate, curve in result.curves.items():
+        costs = [point.cost for point in curve.points]
+        optimum_index = costs.index(min(costs))
+        assert 0 < optimum_index < len(costs) - 1, f"no interior optimum for lambda={rate}"
+
+    # The heavier the load, the larger the optimal number of servers.
+    optima = [result.optima[rate] for rate in sorted(result.optima)]
+    assert optima == sorted(optima)
+
+    # The measured optima match the paper's values (11, 12, 13), allowing at
+    # most one server of slack for the flat region around the optimum.
+    for rate, paper_optimum in parameters.FIGURE5_PAPER_OPTIMA.items():
+        assert abs(result.optima[rate] - paper_optimum) <= 1, (
+            f"optimum for lambda={rate}: measured {result.optima[rate]}, "
+            f"paper {paper_optimum}"
+        )

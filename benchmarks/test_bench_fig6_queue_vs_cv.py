@@ -1,0 +1,40 @@
+"""Benchmark / reproduction of Figure 6: queue length vs operative-period variability.
+
+Regenerates the two curves (lambda = 8.5 and 8.6) of the mean queue length
+against the squared coefficient of variation of the operative periods, with
+N = 10, mean operative period 34.62, mean repair time 5.  The C^2 = 0 point
+is obtained by simulation exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_queue_length_vs_variability(run_once):
+    result = run_once(
+        run_figure6,
+        scv_values=(0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 18.0),
+        simulation_horizon=60_000.0,
+    )
+
+    print()
+    print(result.to_text())
+
+    for rate, points in result.curves.items():
+        lengths = [point.mean_queue_length for point in points]
+        # The queue grows with the coefficient of variation (the figure's message).
+        analytical = lengths[1:]  # exclude the simulated C^2 = 0 point from strict ordering
+        assert analytical == sorted(analytical), f"L not increasing in C^2 for lambda={rate}"
+        # The simulated deterministic point lies below the exponential point.
+        assert lengths[0] < lengths[1]
+        # At C^2 = 18 the exponential assumption underestimates L severely
+        # (the paper's warning about heavy-load sensitivity).
+        assert lengths[-1] > 1.5 * lengths[1]
+
+    # The heavier-loaded curve lies above the lighter one everywhere.
+    rates = sorted(result.curves)
+    if len(rates) == 2:
+        lighter, heavier = rates
+        for light_point, heavy_point in zip(result.curves[lighter], result.curves[heavier]):
+            assert heavy_point.mean_queue_length > light_point.mean_queue_length

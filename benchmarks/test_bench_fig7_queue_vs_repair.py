@@ -1,0 +1,36 @@
+"""Benchmark / reproduction of Figure 7: queue length vs average repair time.
+
+Regenerates both curves (exponential vs hyperexponential operative periods of
+equal mean) for N = 10, lambda = 8, mean repair time 1..5, and checks the
+paper's message: the exponential assumption becomes increasingly
+over-optimistic as repairs slow down.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_queue_length_vs_repair_time(run_once):
+    result = run_once(run_figure7)
+
+    print()
+    print(result.to_text())
+
+    exponential = [point.queue_length_exponential for point in result.points]
+    hyper = [point.queue_length_hyperexponential for point in result.points]
+    ratios = [point.underestimation_factor for point in result.points]
+
+    # Both curves increase as availability degrades.
+    assert exponential == sorted(exponential)
+    assert hyper == sorted(hyper)
+
+    # The hyperexponential queue is never shorter, and the gap widens with the
+    # repair time (the "over-optimistic prediction" message of the figure).
+    assert all(h >= e for h, e in zip(hyper, exponential))
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.1
+
+    # Magnitudes in the paper's range: L grows from ~10 to the mid-20s.
+    assert 8.0 < exponential[0] < 13.0
+    assert 18.0 < hyper[-1] < 32.0

@@ -1,0 +1,35 @@
+"""Benchmark / reproduction of Figure 8: exact vs approximate solutions under load.
+
+Regenerates the exact (spectral) and approximate (geometric) mean queue
+lengths for N = 10 and effective loads 0.89..0.99, and checks the paper's
+claim that the approximation becomes accurate as the load increases.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure8
+
+
+def test_figure8_exact_vs_approximate_under_load(run_once):
+    result = run_once(run_figure8)
+
+    print()
+    print(result.to_text())
+
+    exact = [point.exact_queue_length for point in result.points]
+    approximate = [point.approximate_queue_length for point in result.points]
+    errors = [point.relative_error for point in result.points]
+
+    # The queue length explodes as the load approaches saturation.
+    assert exact == sorted(exact)
+    assert approximate == sorted(approximate)
+    assert exact[-1] > 5 * exact[0]
+
+    # The approximation error shrinks with load (asymptotic exactness), and is
+    # small at the heaviest load shown in the figure.
+    assert result.errors_are_decreasing_overall()
+    assert errors[-1] < 0.08
+    assert errors[-1] < errors[0] / 3.0
+
+    # At load ~0.99 both solutions are near 100 jobs, as in the figure.
+    assert 60.0 < exact[-1] < 160.0

@@ -1,0 +1,34 @@
+"""Benchmark / reproduction of Figure 9: response time vs number of servers.
+
+Regenerates the exact and approximate mean response times for lambda = 7.5 and
+N = 8..13, and answers the sizing question the paper poses: to keep the mean
+response time at or below 1.5 at least 9 servers are needed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import parameters, run_figure9
+
+
+def test_figure9_response_time_vs_servers(run_once):
+    result = run_once(run_figure9)
+
+    print()
+    print(result.to_text())
+
+    exact = [point.exact_response_time for point in result.points]
+    approximate = [point.approximate_response_time for point in result.points]
+
+    # Response time decreases monotonically with the number of servers.
+    assert exact == sorted(exact, reverse=True)
+    assert approximate == sorted(approximate, reverse=True)
+
+    # On this configuration the approximation underestimates W (paper text).
+    assert all(a <= e for a, e in zip(approximate, exact))
+
+    # The sizing answer matches the paper: at least 9 servers for W <= 1.5.
+    assert result.required_servers == parameters.FIGURE9_PAPER_MINIMUM_SERVERS
+
+    # Magnitudes in the paper's range: W(N=8) ~ 2.5-3, W(N=13) ~ 1.
+    assert 2.0 < exact[0] < 3.5
+    assert 1.0 < exact[-1] < 1.3

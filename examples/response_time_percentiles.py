@@ -1,0 +1,71 @@
+"""Response-time percentiles — tackling the paper's open problem.
+
+The paper's conclusions point out that the spectral-expansion solution yields
+the distribution of the queue *size* and hence the mean response time, but not
+the distribution (e.g. the 90th percentile) of the response time itself.  This
+example shows the two answers the library provides: an empirical distribution
+from the discrete-event simulator, and a closed-form heavy-traffic estimate.
+
+Run with:
+
+    python examples/response_time_percentiles.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.extensions import (
+    fcfs_exponential_capacity_bound,
+    simulated_response_time_distribution,
+)
+from repro.queueing import sun_fitted_model
+
+NUM_SERVERS = 10
+ARRIVAL_RATES = (7.0, 8.5, 9.5)
+HORIZON = 60_000.0
+
+
+def main() -> None:
+    rows = []
+    for arrival_rate in ARRIVAL_RATES:
+        model = sun_fitted_model(num_servers=NUM_SERVERS, arrival_rate=arrival_rate)
+        exact_mean = model.solve_spectral().mean_response_time
+        simulated = simulated_response_time_distribution(model, horizon=HORIZON, seed=17)
+        heavy_traffic_p90 = fcfs_exponential_capacity_bound(model, 0.9)
+        rows.append(
+            (
+                arrival_rate,
+                exact_mean,
+                simulated.mean,
+                simulated.quantile(0.5),
+                simulated.percentile_90,
+                simulated.quantile(0.99),
+                heavy_traffic_p90,
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "lambda",
+                "W mean (exact)",
+                "W mean (sim)",
+                "W p50 (sim)",
+                "W p90 (sim)",
+                "W p99 (sim)",
+                "W p90 (heavy-traffic est.)",
+            ),
+            rows,
+            title=f"Response-time percentiles with {NUM_SERVERS} unreliable servers",
+        )
+    )
+    print()
+    print(
+        "The simulated mean confirms the exact (Little's law) value; the "
+        "percentiles answer the paper's open question empirically, and the "
+        "closed-form heavy-traffic estimate becomes usable as the load grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""repro — reproduction of Palmer & Mitrani, "Empirical and Analytical
+Evaluation of Systems with Multiple Unreliable Servers" (DSN 2006).
+
+The library models clusters of parallel servers that alternate between
+operative and inoperative periods, evaluates their performance exactly by
+spectral expansion of the underlying Markov-modulated queue, approximates it
+with the heavy-load geometric law, validates both against a truncated-CTMC
+solver and a discrete-event simulator, and reproduces the paper's empirical
+trace analysis and every numerical experiment (Figures 3–9).
+
+Quickstart
+----------
+
+>>> from repro import UnreliableQueueModel
+>>> from repro.distributions import SUN_OPERATIVE_FIT, Exponential
+>>> model = UnreliableQueueModel(
+...     num_servers=10,
+...     arrival_rate=7.0,
+...     service_rate=1.0,
+...     operative=SUN_OPERATIVE_FIT,
+...     inoperative=Exponential(rate=25.0),
+... )
+>>> solution = model.solve_spectral()
+>>> round(solution.mean_response_time, 3)  # doctest: +SKIP
+1.31
+
+Subpackages
+-----------
+
+:mod:`repro.distributions`
+    Exponential, hyperexponential and supporting distributions.
+:mod:`repro.stats`
+    Empirical densities, moments and the Kolmogorov–Smirnov test.
+:mod:`repro.fitting`
+    Moment-matching, brute-force, iterative and EM distribution fitting.
+:mod:`repro.data`
+    Breakdown-trace model, synthetic Sun-like trace generation, CSV I/O.
+:mod:`repro.markov`
+    Operational-mode enumeration, the Markovian environment, CTMC solvers.
+:mod:`repro.spectral`
+    The spectral-expansion solver and the geometric approximation.
+:mod:`repro.queueing`
+    The model front end, the truncated-CTMC reference solver and M/M/c
+    baselines.
+:mod:`repro.simulation`
+    Discrete-event simulation with batch-means output analysis.
+:mod:`repro.optimization`
+    Cost optimisation and capacity planning.
+:mod:`repro.experiments`
+    One driver per table/figure of the paper.
+"""
+
+from .distributions import (
+    SUN_INOPERATIVE_FIT,
+    SUN_OPERATIVE_FIT,
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    PhaseType,
+)
+from .exceptions import (
+    DataError,
+    FittingError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnstableQueueError,
+)
+from .queueing import (
+    PerformanceSummary,
+    QueueSolution,
+    UnreliableQueueModel,
+    sun_fitted_model,
+)
+from .spectral import (
+    GeometricSolution,
+    SpectralSolution,
+    solve_geometric,
+    solve_spectral,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distributions
+    "Distribution",
+    "Exponential",
+    "HyperExponential",
+    "Erlang",
+    "Deterministic",
+    "PhaseType",
+    "SUN_OPERATIVE_FIT",
+    "SUN_INOPERATIVE_FIT",
+    # model and solutions
+    "UnreliableQueueModel",
+    "sun_fitted_model",
+    "QueueSolution",
+    "PerformanceSummary",
+    "SpectralSolution",
+    "solve_spectral",
+    "GeometricSolution",
+    "solve_geometric",
+    # exceptions
+    "ReproError",
+    "ParameterError",
+    "UnstableQueueError",
+    "SolverError",
+    "FittingError",
+    "DataError",
+    "SimulationError",
+]

@@ -1,0 +1,10 @@
+"""Allow running the command-line interface as ``python -m repro``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

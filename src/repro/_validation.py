@@ -1,0 +1,116 @@
+"""Internal validation helpers shared across the library.
+
+These helpers normalise user-supplied parameters into plain Python / NumPy
+values and raise :class:`repro.exceptions.ParameterError` with a descriptive
+message when a value is out of range.  They are internal: the public API is
+the set of model and distribution classes that use them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .exceptions import ParameterError
+
+#: Tolerance used when checking that probability vectors sum to one.
+PROBABILITY_SUM_TOLERANCE = 1e-9
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` as a float, requiring it to be strictly positive."""
+    value = _check_finite_number(value, name)
+    if value <= 0.0:
+        raise ParameterError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` as a float, requiring it to be >= 0."""
+    value = _check_finite_number(value, name)
+    if value < 0.0:
+        raise ParameterError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` as a float, requiring it to lie in [0, 1]."""
+    value = _check_finite_number(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` as an int, requiring it to be a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ParameterError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` as an int, requiring it to be a non-negative integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ParameterError(f"{name} must be a non-negative integer, got {value!r}")
+    return int(value)
+
+
+def check_positive_vector(values: Sequence[float], name: str) -> np.ndarray:
+    """Return ``values`` as a 1-D float array of strictly positive entries."""
+    array = _as_1d_float_array(values, name)
+    if array.size == 0:
+        raise ParameterError(f"{name} must not be empty")
+    if np.any(array <= 0.0):
+        raise ParameterError(f"all entries of {name} must be strictly positive, got {array!r}")
+    return array
+
+
+def check_probability_vector(values: Sequence[float], name: str) -> np.ndarray:
+    """Return ``values`` as a 1-D probability vector (entries >= 0, sum == 1)."""
+    array = _as_1d_float_array(values, name)
+    if array.size == 0:
+        raise ParameterError(f"{name} must not be empty")
+    if np.any(array < 0.0):
+        raise ParameterError(f"all entries of {name} must be non-negative, got {array!r}")
+    total = float(array.sum())
+    if abs(total - 1.0) > PROBABILITY_SUM_TOLERANCE:
+        raise ParameterError(
+            f"entries of {name} must sum to 1 (got sum {total!r}); "
+            "normalise the weights before constructing the distribution"
+        )
+    return array
+
+
+def check_same_length(first: np.ndarray, second: np.ndarray, names: str) -> None:
+    """Raise unless the two arrays have the same length."""
+    if len(first) != len(second):
+        raise ParameterError(
+            f"{names} must have the same length, got {len(first)} and {len(second)}"
+        )
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _as_1d_float_array(values: Sequence[float], name: str) -> np.ndarray:
+    try:
+        array = np.asarray(values, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a sequence of real numbers") from exc
+    if array.ndim != 1:
+        raise ParameterError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ParameterError(f"all entries of {name} must be finite")
+    return array

@@ -1,0 +1,228 @@
+"""Command-line interface for the library.
+
+Three subcommands cover the everyday workflows:
+
+``solve``
+    Evaluate one model configuration (exact, approximate or both) and print
+    the headline performance metrics.
+
+``fit``
+    Run the Section-2 analysis pipeline on a breakdown-trace CSV: cleaning,
+    moment estimation, Kolmogorov–Smirnov tests and the hyperexponential fit.
+
+``reproduce``
+    Run the paper's experiments (optionally the quick variants) and print the
+    consolidated report.
+
+The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
+``repro`` console script when the package is installed with pip.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .data import read_trace_csv
+from .distributions import Exponential, HyperExponential
+from .exceptions import ReproError
+from .experiments import format_key_values, render_report, run_all_experiments
+from .fitting import fit_exponential, fit_two_phase_from_moments
+from .queueing import UnreliableQueueModel
+from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Evaluate multi-server systems with unreliable servers "
+            "(Palmer & Mitrani, DSN 2006 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser(
+        "solve", help="evaluate one model configuration and print its metrics"
+    )
+    solve.add_argument("--servers", type=int, required=True, help="number of servers N")
+    solve.add_argument("--arrival-rate", type=float, required=True, help="Poisson arrival rate")
+    solve.add_argument("--service-rate", type=float, default=1.0, help="per-server service rate")
+    solve.add_argument(
+        "--operative-mean", type=float, default=34.62, help="mean operative period"
+    )
+    solve.add_argument(
+        "--operative-scv",
+        type=float,
+        default=4.6,
+        help="squared coefficient of variation of operative periods (>= 1; 1 = exponential)",
+    )
+    solve.add_argument(
+        "--repair-mean", type=float, default=0.04, help="mean inoperative (repair) period"
+    )
+    solve.add_argument(
+        "--method",
+        choices=("spectral", "geometric", "both"),
+        default="both",
+        help="which solution method to use",
+    )
+
+    fit = subparsers.add_parser(
+        "fit", help="fit operative/inoperative period distributions to a trace CSV"
+    )
+    fit.add_argument("trace", help="path to the breakdown-trace CSV file")
+    fit.add_argument(
+        "--bins", type=int, default=50, help="number of histogram bins for the KS grid"
+    )
+
+    reproduce = subparsers.add_parser(
+        "reproduce", help="run the paper's experiments and print the report"
+    )
+    reproduce.add_argument(
+        "--quick", action="store_true", help="use reduced grids (a couple of minutes)"
+    )
+    reproduce.add_argument(
+        "--skip-section2", action="store_true", help="skip the Section-2 trace analysis"
+    )
+    return parser
+
+
+def _operative_distribution(mean: float, scv: float):
+    if scv < 1.0:
+        raise ReproError(
+            "the analytical model requires an operative-period SCV >= 1 "
+            "(use the simulator for low-variability periods)"
+        )
+    if scv == 1.0:
+        return Exponential(rate=1.0 / mean)
+    return HyperExponential.from_mean_and_scv(mean, scv)
+
+
+def _command_solve(arguments: argparse.Namespace) -> int:
+    model = UnreliableQueueModel(
+        num_servers=arguments.servers,
+        arrival_rate=arguments.arrival_rate,
+        service_rate=arguments.service_rate,
+        operative=_operative_distribution(arguments.operative_mean, arguments.operative_scv),
+        inoperative=Exponential(rate=1.0 / arguments.repair_mean),
+    )
+    print(
+        format_key_values(
+            [
+                ("servers", model.num_servers),
+                ("offered load", model.offered_load),
+                ("availability", model.availability),
+                ("mean operative servers", model.mean_operative_servers),
+                ("stable", model.is_stable),
+                ("operational modes", model.num_modes),
+            ],
+            title="Model",
+        )
+    )
+    if not model.is_stable:
+        print("\nThe queue is unstable (paper Eq. 11); add servers or reduce the load.")
+        return 1
+    if arguments.method in ("spectral", "both"):
+        solution = model.solve_spectral()
+        print()
+        print(
+            format_key_values(
+                [
+                    ("mean jobs L", solution.mean_queue_length),
+                    ("mean response time W", solution.mean_response_time),
+                    ("P(empty)", solution.probability_empty),
+                    ("P(delay)", solution.probability_delay),
+                    ("decay rate z_s", solution.decay_rate),
+                ],
+                title="Exact spectral-expansion solution",
+            )
+        )
+    if arguments.method in ("geometric", "both"):
+        approximation = model.solve_geometric()
+        print()
+        print(
+            format_key_values(
+                [
+                    ("mean jobs L", approximation.mean_queue_length),
+                    ("mean response time W", approximation.mean_response_time),
+                    ("decay rate z_s", approximation.decay_rate),
+                ],
+                title="Geometric approximation",
+            )
+        )
+    return 0
+
+
+def _command_fit(arguments: argparse.Namespace) -> int:
+    trace = read_trace_csv(arguments.trace)
+    cleaned = trace.cleaned()
+    print(
+        format_key_values(
+            [
+                ("rows", trace.num_events),
+                ("anomalous fraction", trace.anomalous_fraction),
+            ],
+            title=f"Trace {arguments.trace}",
+        )
+    )
+    for label, sample in (
+        ("Operative periods", cleaned.operative_periods()),
+        ("Inoperative periods", cleaned.inoperative_periods()),
+    ):
+        moments = estimate_moments(sample, 3)
+        density = EmpiricalDensity.from_observations(sample, num_bins=arguments.bins)
+        exponential = fit_exponential(moments)
+        exponential_ks = ks_test_grid(density, exponential.cdf)
+        lines = [
+            ("mean", float(moments[0])),
+            ("C^2", float(moments[1] / moments[0] ** 2 - 1.0)),
+            ("exponential KS D", exponential_ks.statistic),
+            ("exponential passes at 5%", exponential_ks.passes(0.05)),
+        ]
+        try:
+            hyper = fit_two_phase_from_moments(moments).distribution
+            hyper_ks = ks_test_grid(density, hyper.cdf)
+            lines.extend(
+                [
+                    ("H2 weights", tuple(round(float(w), 4) for w in hyper.weights)),
+                    ("H2 rates", tuple(round(float(r), 4) for r in hyper.rates)),
+                    ("H2 KS D", hyper_ks.statistic),
+                    ("H2 passes at 5%", hyper_ks.passes(0.05)),
+                ]
+            )
+        except ReproError as error:
+            lines.append(("H2 fit", f"not applicable ({error})"))
+        print()
+        print(format_key_values(lines, title=label))
+    return 0
+
+
+def _command_reproduce(arguments: argparse.Namespace) -> int:
+    reports = run_all_experiments(
+        include_section2=not arguments.skip_section2, quick=arguments.quick
+    )
+    print(render_report(reports))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` command-line interface."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "solve":
+            return _command_solve(arguments)
+        if arguments.command == "fit":
+            return _command_fit(arguments)
+        if arguments.command == "reproduce":
+            return _command_reproduce(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable: argparse enforces a valid subcommand")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

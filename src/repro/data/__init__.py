@@ -1,0 +1,39 @@
+"""Breakdown-trace data model, synthetic generation and I/O.
+
+Public API
+----------
+
+* :class:`BreakdownEvent`, :class:`BreakdownTrace`,
+  :func:`operative_periods_from_events` — the trace data model of paper
+  Section 2 / Figure 2 (Outage Duration, Time Between Events, derived
+  operative periods, anomaly cleaning).
+* :class:`SyntheticTraceConfig`, :func:`generate_sun_like_trace`,
+  :func:`generate_small_trace` — the synthetic substitute for the
+  confidential Sun Microsystems data set (see DESIGN.md, substitution table).
+* :func:`read_trace_csv`, :func:`write_trace_csv` — CSV I/O in the canonical
+  three-column schema.
+"""
+
+from .io import CANONICAL_COLUMNS, read_trace_csv, write_trace_csv
+from .synthetic import (
+    SUN_TRACE_ANOMALOUS_FRACTION,
+    SUN_TRACE_NUM_EVENTS,
+    SyntheticTraceConfig,
+    generate_small_trace,
+    generate_sun_like_trace,
+)
+from .trace import BreakdownEvent, BreakdownTrace, operative_periods_from_events
+
+__all__ = [
+    "BreakdownEvent",
+    "BreakdownTrace",
+    "operative_periods_from_events",
+    "SyntheticTraceConfig",
+    "generate_sun_like_trace",
+    "generate_small_trace",
+    "SUN_TRACE_NUM_EVENTS",
+    "SUN_TRACE_ANOMALOUS_FRACTION",
+    "read_trace_csv",
+    "write_trace_csv",
+    "CANONICAL_COLUMNS",
+]

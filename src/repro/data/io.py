@@ -1,0 +1,106 @@
+"""CSV input/output for breakdown traces.
+
+The original Sun trace arrived as a flat table; downstream users of this
+library will have their own outage logs in similar form.  The functions here
+read and write the minimal three-column schema used throughout the library:
+
+``server_id, outage_duration, time_between_events``
+
+The reader is tolerant of extra columns (real outage logs carry many) and of
+missing server identifiers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataError
+from .trace import BreakdownTrace
+
+#: The canonical column names written by :func:`write_trace_csv`.
+CANONICAL_COLUMNS = ("server_id", "outage_duration", "time_between_events")
+
+
+def write_trace_csv(trace: BreakdownTrace, path: str | Path) -> Path:
+    """Write a breakdown trace to ``path`` in the canonical CSV schema.
+
+    Returns the path written, for convenience in pipelines.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    ids, outages, gaps = trace.as_arrays()
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CANONICAL_COLUMNS)
+        for row in zip(ids, outages, gaps):
+            writer.writerow([int(row[0]), repr(float(row[1])), repr(float(row[2]))])
+    return destination
+
+
+def read_trace_csv(
+    path: str | Path,
+    *,
+    outage_column: str = "outage_duration",
+    gap_column: str = "time_between_events",
+    server_column: str = "server_id",
+) -> BreakdownTrace:
+    """Read a breakdown trace from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        Path of the CSV file.  The file must have a header row.
+    outage_column, gap_column, server_column:
+        Names of the columns holding the outage duration, the time between
+        events and (optionally) the server identifier.  The server column is
+        optional; all events are assigned to server 0 when it is absent.
+
+    Raises
+    ------
+    DataError
+        If the file is missing, has no header, lacks the required columns or
+        contains non-numeric values in them.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DataError(f"trace file does not exist: {source}")
+    outages: list[float] = []
+    gaps: list[float] = []
+    ids: list[int] = []
+    with source.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataError(f"trace file has no header row: {source}")
+        missing = {outage_column, gap_column} - set(reader.fieldnames)
+        if missing:
+            raise DataError(
+                f"trace file {source} is missing required column(s): {sorted(missing)}"
+            )
+        has_server = server_column in reader.fieldnames
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                outages.append(float(row[outage_column]))
+                gaps.append(float(row[gap_column]))
+            except (TypeError, ValueError) as exc:
+                raise DataError(
+                    f"non-numeric value in {source} at line {line_number}"
+                ) from exc
+            if has_server:
+                try:
+                    ids.append(int(float(row[server_column])))
+                except (TypeError, ValueError) as exc:
+                    raise DataError(
+                        f"non-numeric server id in {source} at line {line_number}"
+                    ) from exc
+            else:
+                ids.append(0)
+    if not outages:
+        raise DataError(f"trace file contains no data rows: {source}")
+    return BreakdownTrace.from_arrays(
+        outage_durations=np.asarray(outages),
+        times_between_events=np.asarray(gaps),
+        server_ids=np.asarray(ids),
+    )

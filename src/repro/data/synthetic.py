@@ -1,0 +1,135 @@
+"""Synthetic stand-in for the proprietary Sun Microsystems breakdown trace.
+
+The raw trace analysed in Section 2 of the paper is confidential (even its
+time unit is withheld), so the reproduction generates a synthetic trace that
+is statistically faithful to the published findings:
+
+* operative periods are drawn from the 2-phase hyperexponential fit the paper
+  reports (weights 0.7246 / 0.2754, rates 0.1663 / 0.0091 — i.e. 72% of
+  periods with mean 6 and 28% with mean 110);
+* outage durations are drawn from the corresponding inoperative fit
+  (weights 0.9303 / 0.0697, rates 25.0043 / 1.6346);
+* ``Time Between Events`` is emitted as outage duration plus operative
+  period, exactly as Figure 2 defines the relationship;
+* a configurable fraction of rows (default ~3%, matching the paper's "less
+  than 4%") is corrupted so that ``Time Between Events < Outage Duration``
+  and must be removed by the cleaning stage.
+
+Because the generator samples from the distributions the paper itself
+declares to be the correct fit, running the Section-2 pipeline on the
+synthetic trace reproduces the paper's statistical *decisions* (exponential
+rejected for operative periods, hyperexponential accepted) without access to
+the original data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..distributions import SUN_INOPERATIVE_FIT, SUN_OPERATIVE_FIT, Distribution
+from ..exceptions import DataError
+from .trace import BreakdownTrace
+
+#: Number of rows in the original Sun Microsystems data set.
+SUN_TRACE_NUM_EVENTS = 140_000
+
+#: Fraction of anomalous rows reported by the paper ("less than 4%").
+SUN_TRACE_ANOMALOUS_FRACTION = 0.03
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Configuration of the synthetic breakdown-trace generator.
+
+    Attributes
+    ----------
+    num_events:
+        Number of rows to generate (the Sun set has 140,000).
+    num_servers:
+        Number of distinct servers to spread the events over.
+    anomalous_fraction:
+        Fraction of rows to corrupt into anomalies (Time Between Events
+        smaller than Outage Duration).
+    operative_distribution:
+        Distribution of the operative periods; defaults to the paper's fitted
+        hyperexponential.
+    inoperative_distribution:
+        Distribution of the outage durations; defaults to the paper's fitted
+        hyperexponential.
+    seed:
+        Seed of the NumPy generator, so traces are reproducible.
+    """
+
+    num_events: int = SUN_TRACE_NUM_EVENTS
+    num_servers: int = 250
+    anomalous_fraction: float = SUN_TRACE_ANOMALOUS_FRACTION
+    operative_distribution: Distribution = SUN_OPERATIVE_FIT
+    inoperative_distribution: Distribution = SUN_INOPERATIVE_FIT
+    seed: int = 936  # the technical-report number, for memorability
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_events, "num_events")
+        check_positive_int(self.num_servers, "num_servers")
+        check_probability(self.anomalous_fraction, "anomalous_fraction")
+        if self.anomalous_fraction >= 0.5:
+            raise DataError("anomalous_fraction must be well below one half to be meaningful")
+
+
+def generate_sun_like_trace(config: SyntheticTraceConfig | None = None) -> BreakdownTrace:
+    """Generate a synthetic breakdown trace shaped like the Sun data set.
+
+    Parameters
+    ----------
+    config:
+        Generator configuration; the default reproduces the published scale
+        (140,000 events, ~3% anomalies) with the paper's fitted distributions.
+
+    Returns
+    -------
+    BreakdownTrace
+        A trace whose cleaned operative and inoperative samples follow the
+        configured distributions.
+    """
+    cfg = config if config is not None else SyntheticTraceConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    operative = np.asarray(cfg.operative_distribution.sample(rng, size=cfg.num_events))
+    outages = np.asarray(cfg.inoperative_distribution.sample(rng, size=cfg.num_events))
+    gaps = outages + operative
+
+    # Corrupt a random subset of rows so that Time Between Events < Outage
+    # Duration, mimicking the anomalies the paper had to discard (these arise
+    # in practice from overlapping tickets and clock skew).
+    num_anomalous = int(round(cfg.anomalous_fraction * cfg.num_events))
+    if num_anomalous > 0:
+        anomalous_indices = rng.choice(cfg.num_events, size=num_anomalous, replace=False)
+        gaps[anomalous_indices] = outages[anomalous_indices] * rng.uniform(
+            0.1, 0.9, size=num_anomalous
+        )
+
+    server_ids = rng.integers(0, cfg.num_servers, size=cfg.num_events)
+    return BreakdownTrace.from_arrays(
+        outage_durations=outages,
+        times_between_events=gaps,
+        server_ids=server_ids,
+    )
+
+
+def generate_small_trace(
+    num_events: int = 5_000, seed: int = 936, anomalous_fraction: float = 0.03
+) -> BreakdownTrace:
+    """Generate a smaller synthetic trace for tests and quick examples.
+
+    Identical in structure to :func:`generate_sun_like_trace` but with a much
+    smaller default event count so unit tests stay fast.
+    """
+    config = SyntheticTraceConfig(
+        num_events=num_events,
+        num_servers=50,
+        anomalous_fraction=anomalous_fraction,
+        seed=seed,
+    )
+    return generate_sun_like_trace(config)

@@ -1,0 +1,213 @@
+"""Breakdown-trace data model and cleaning.
+
+The Sun Microsystems data set analysed in Section 2 of the paper contains one
+row per server breakdown *event* with two fields of interest:
+
+* **Outage Duration** — how long the server stayed inoperative after the
+  event;
+* **Time Between Events** — the time from this breakdown to the server's next
+  breakdown.
+
+Figure 2 of the paper shows how the length of an *operative* period is
+derived from these two fields: the operative period following event ``n`` is
+``Time Between Events - Outage Duration``.  A small fraction (< 4%) of rows
+are anomalous (``Time Between Events < Outage Duration``) and are discarded.
+This module implements that data model, the derivation and the cleaning step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+
+@dataclass(frozen=True)
+class BreakdownEvent:
+    """A single breakdown event (one row of the trace).
+
+    Attributes
+    ----------
+    server_id:
+        Identifier of the server the event belongs to.
+    outage_duration:
+        Length of the inoperative period that starts at this event.
+    time_between_events:
+        Time from this breakdown to the same server's next breakdown.
+    """
+
+    server_id: int
+    outage_duration: float
+    time_between_events: float
+
+    @property
+    def operative_period(self) -> float:
+        """The operative period implied by this event (see paper Figure 2).
+
+        Equal to ``time_between_events - outage_duration``; negative values
+        indicate an anomalous row.
+        """
+        return self.time_between_events - self.outage_duration
+
+    @property
+    def is_anomalous(self) -> bool:
+        """True when ``time_between_events < outage_duration`` (invalid row)."""
+        return self.time_between_events < self.outage_duration
+
+
+@dataclass(frozen=True)
+class BreakdownTrace:
+    """A collection of breakdown events with derived period samples.
+
+    The class keeps the raw events and exposes the cleaned operative and
+    inoperative period samples that Section 2 of the paper analyses.
+    """
+
+    events: tuple[BreakdownEvent, ...]
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_events(cls, events: Iterable[BreakdownEvent]) -> "BreakdownTrace":
+        """Build a trace from an iterable of events."""
+        event_tuple = tuple(events)
+        if not event_tuple:
+            raise DataError("a breakdown trace must contain at least one event")
+        return cls(events=event_tuple)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        outage_durations: Sequence[float],
+        times_between_events: Sequence[float],
+        server_ids: Sequence[int] | None = None,
+    ) -> "BreakdownTrace":
+        """Build a trace from parallel arrays of the two fields of interest."""
+        outages = np.asarray(outage_durations, dtype=float)
+        gaps = np.asarray(times_between_events, dtype=float)
+        if outages.ndim != 1 or gaps.ndim != 1 or outages.size != gaps.size:
+            raise DataError("outage_durations and times_between_events must be equal-length 1-D")
+        if outages.size == 0:
+            raise DataError("a breakdown trace must contain at least one event")
+        if np.any(~np.isfinite(outages)) or np.any(~np.isfinite(gaps)):
+            raise DataError("trace fields must be finite")
+        if np.any(outages < 0.0) or np.any(gaps < 0.0):
+            raise DataError("trace fields must be non-negative")
+        if server_ids is None:
+            ids = np.zeros(outages.size, dtype=int)
+        else:
+            ids = np.asarray(server_ids, dtype=int)
+            if ids.shape != outages.shape:
+                raise DataError("server_ids must have the same length as the other fields")
+        events = tuple(
+            BreakdownEvent(
+                server_id=int(ids[i]),
+                outage_duration=float(outages[i]),
+                time_between_events=float(gaps[i]),
+            )
+            for i in range(outages.size)
+        )
+        return cls(events=events)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_events(self) -> int:
+        """The total number of rows in the trace."""
+        return len(self.events)
+
+    @property
+    def num_servers(self) -> int:
+        """The number of distinct servers appearing in the trace."""
+        return len({event.server_id for event in self.events})
+
+    @property
+    def num_anomalous(self) -> int:
+        """The number of anomalous rows (Time Between Events < Outage Duration)."""
+        return sum(1 for event in self.events if event.is_anomalous)
+
+    @property
+    def anomalous_fraction(self) -> float:
+        """The fraction of anomalous rows; the paper reports < 4% for the Sun set."""
+        return self.num_anomalous / self.num_events
+
+    # ------------------------------------------------------------------ #
+    # Cleaning and derived samples
+    # ------------------------------------------------------------------ #
+
+    def cleaned(self) -> "BreakdownTrace":
+        """Return a trace with anomalous rows removed (the paper ignores them)."""
+        valid = tuple(event for event in self.events if not event.is_anomalous)
+        if not valid:
+            raise DataError("cleaning removed every event; the trace is unusable")
+        return BreakdownTrace(events=valid)
+
+    def operative_periods(self) -> np.ndarray:
+        """Operative-period samples from the non-anomalous rows (paper Figure 2)."""
+        return np.array(
+            [event.operative_period for event in self.events if not event.is_anomalous]
+        )
+
+    def inoperative_periods(self) -> np.ndarray:
+        """Inoperative-period (outage duration) samples from the non-anomalous rows."""
+        return np.array(
+            [event.outage_duration for event in self.events if not event.is_anomalous]
+        )
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(server_ids, outage_durations, times_between_events)``."""
+        ids = np.array([event.server_id for event in self.events], dtype=int)
+        outages = np.array([event.outage_duration for event in self.events])
+        gaps = np.array([event.time_between_events for event in self.events])
+        return ids, outages, gaps
+
+    # ------------------------------------------------------------------ #
+    # Summary
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> dict[str, float]:
+        """Return headline statistics of the cleaned trace.
+
+        The dictionary contains the number of events, the anomalous fraction,
+        and the mean and squared coefficient of variation of the operative
+        and inoperative periods — the quantities Section 2 reports.
+        """
+        operative = self.operative_periods()
+        inoperative = self.inoperative_periods()
+
+        def scv(sample: np.ndarray) -> float:
+            mean = float(np.mean(sample))
+            if mean == 0.0:
+                return float("nan")
+            return float(np.mean(sample**2) / mean**2 - 1.0)
+
+        return {
+            "num_events": float(self.num_events),
+            "anomalous_fraction": self.anomalous_fraction,
+            "operative_mean": float(np.mean(operative)),
+            "operative_scv": scv(operative),
+            "inoperative_mean": float(np.mean(inoperative)),
+            "inoperative_scv": scv(inoperative),
+        }
+
+
+def operative_periods_from_events(
+    outage_durations: Sequence[float], times_between_events: Sequence[float]
+) -> np.ndarray:
+    """Derive operative periods directly from the two trace fields.
+
+    Convenience function implementing Figure 2 of the paper without building
+    a full :class:`BreakdownTrace`; anomalous rows are dropped.
+    """
+    trace = BreakdownTrace.from_arrays(outage_durations, times_between_events)
+    return trace.operative_periods()

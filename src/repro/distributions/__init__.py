@@ -1,0 +1,47 @@
+"""Probability distributions for periods, services and inter-arrival times.
+
+The Palmer–Mitrani model needs exponential service times and hyperexponential
+operative/inoperative periods; the simulator and the extension hooks accept
+any distribution implementing the :class:`Distribution` interface.
+
+Public API
+----------
+
+* :class:`Distribution` — abstract base class (moments, pdf/cdf, sampling,
+  Laplace transform, optional phase-type view).
+* :class:`Exponential` — the single-rate exponential distribution.
+* :class:`HyperExponential` — mixture of exponentials (paper Eq. 5), including
+  the fitted Sun-trace parameter sets
+  :data:`SUN_OPERATIVE_FIT` and :data:`SUN_INOPERATIVE_FIT`.
+* :class:`Erlang`, :class:`Coxian`, :class:`Deterministic`,
+  :class:`PhaseType` — supporting families used for variability sweeps,
+  extensions and cross-validation.
+"""
+
+from .base import Distribution
+from .coxian import Coxian
+from .deterministic import Deterministic
+from .erlang import Erlang, erlang_scv, stages_for_scv
+from .exponential import Exponential
+from .hyperexponential import (
+    SUN_INOPERATIVE_EXPONENTIAL_RATE,
+    SUN_INOPERATIVE_FIT,
+    SUN_OPERATIVE_FIT,
+    HyperExponential,
+)
+from .phase_type import PhaseType
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "HyperExponential",
+    "Erlang",
+    "Coxian",
+    "Deterministic",
+    "PhaseType",
+    "erlang_scv",
+    "stages_for_scv",
+    "SUN_OPERATIVE_FIT",
+    "SUN_INOPERATIVE_FIT",
+    "SUN_INOPERATIVE_EXPONENTIAL_RATE",
+]

@@ -1,0 +1,149 @@
+"""Abstract base class for the positive continuous distributions used by the library.
+
+The queueing model of Palmer & Mitrani describes operative and inoperative
+server periods, job inter-arrival times and service times.  All of these are
+non-negative continuous random variables.  The :class:`Distribution` base
+class defines the small, uniform interface the rest of the library relies on:
+
+* densities and cumulative distributions (``pdf``, ``cdf``, ``sf``),
+* raw moments, mean, variance and squared coefficient of variation,
+* random sampling through a NumPy :class:`~numpy.random.Generator`,
+* the Laplace–Stieltjes transform, used in analytical sanity checks.
+
+Analytical solvers additionally require a *phase-type* view of the
+distribution (see :mod:`repro.distributions.phase_type`); distributions that
+admit one implement :meth:`Distribution.to_phase_type`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .phase_type import PhaseType
+
+
+class Distribution(abc.ABC):
+    """A non-negative continuous probability distribution.
+
+    Subclasses must implement the primitive methods :meth:`pdf`, :meth:`cdf`,
+    :meth:`moment` and :meth:`sample`; the derived quantities (mean, variance,
+    squared coefficient of variation, survival function) are provided here.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Primitive interface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def pdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        """Probability density function evaluated at ``x`` (vectorised)."""
+
+    @abc.abstractmethod
+    def cdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        """Cumulative distribution function evaluated at ``x`` (vectorised)."""
+
+    @abc.abstractmethod
+    def moment(self, k: int) -> float:
+        """Return the ``k``-th raw moment ``E[X^k]`` (``k >= 1``)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        """Draw samples using the supplied random generator.
+
+        Parameters
+        ----------
+        rng:
+            A NumPy random generator; the caller owns seeding so experiments
+            are reproducible.
+        size:
+            Number of variates to draw.  ``None`` returns a scalar.
+        """
+
+    @abc.abstractmethod
+    def laplace_transform(self, s: float | complex) -> complex:
+        """Laplace–Stieltjes transform ``E[exp(-s X)]`` evaluated at ``s``."""
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean(self) -> float:
+        """The first raw moment ``E[X]``."""
+        return self.moment(1)
+
+    @property
+    def variance(self) -> float:
+        """The variance ``E[X^2] - E[X]^2``."""
+        first = self.moment(1)
+        return self.moment(2) - first * first
+
+    @property
+    def std(self) -> float:
+        """The standard deviation."""
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+    @property
+    def scv(self) -> float:
+        """The squared coefficient of variation ``Var[X] / E[X]^2``.
+
+        This is the quantity the paper calls ``C^2`` (Eq. 2); it equals 1 for
+        the exponential distribution and exceeds 1 for every non-degenerate
+        hyperexponential distribution.
+        """
+        first = self.moment(1)
+        if first == 0.0:
+            raise ParameterError("squared coefficient of variation undefined for zero mean")
+        return self.moment(2) / (first * first) - 1.0
+
+    @property
+    def rate(self) -> float:
+        """The reciprocal of the mean, ``1 / E[X]``.
+
+        For the operative/inoperative periods of the paper this is the
+        aggregate breakdown rate ``xi`` or repair rate ``eta`` of Eq. 10.
+        """
+        mean = self.mean
+        if mean <= 0.0:
+            raise ParameterError("rate undefined for non-positive mean")
+        return 1.0 / mean
+
+    def sf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        """Survival function ``P(X > x) = 1 - cdf(x)``."""
+        return 1.0 - np.asarray(self.cdf(x))
+
+    def moments(self, count: int) -> np.ndarray:
+        """Return the first ``count`` raw moments as an array ``[M1, ..., Mcount]``."""
+        if count < 1:
+            raise ParameterError(f"count must be >= 1, got {count}")
+        return np.array([self.moment(k) for k in range(1, count + 1)], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Optional phase-type view
+    # ------------------------------------------------------------------ #
+
+    def to_phase_type(self) -> "PhaseType":
+        """Return an equivalent phase-type representation.
+
+        Subclasses that admit an exact finite phase-type representation
+        (exponential, hyperexponential, Erlang, Coxian) override this; the
+        base implementation raises :class:`NotImplementedError` because not
+        every distribution (e.g. the deterministic one) is phase-type.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not have an exact phase-type representation"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean:.6g}, scv={self.scv:.6g})"

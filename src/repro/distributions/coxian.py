@@ -1,0 +1,148 @@
+"""Coxian distributions (sequential phases with early absorption).
+
+A Coxian distribution passes through up to ``k`` exponential stages in
+sequence; after stage ``i`` the process continues to stage ``i + 1`` with
+probability ``continue_probs[i]`` and is absorbed otherwise.  Coxian
+distributions are dense in the class of all positive distributions and can
+represent any squared coefficient of variation, so they complement the
+hyperexponential (``C^2 > 1``) and Erlang (``C^2 < 1``) families.  They are
+provided as an extension point: the paper's model uses hyperexponential
+periods, but the general Markov-modulated machinery in :mod:`repro.markov`
+also accepts phase-type periods built from Coxians.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_vector
+from ..exceptions import ParameterError
+from .base import Distribution
+from .phase_type import PhaseType
+
+
+class Coxian(Distribution):
+    """A Coxian distribution with ``k`` stages.
+
+    Parameters
+    ----------
+    rates:
+        The stage rates ``mu_1, ..., mu_k`` (strictly positive).
+    continue_probs:
+        The probabilities ``p_1, ..., p_{k-1}`` of continuing from stage ``i``
+        to stage ``i + 1`` (each in ``[0, 1]``).  Continuation after the last
+        stage is impossible.
+    """
+
+    def __init__(self, rates: Sequence[float], continue_probs: Sequence[float]) -> None:
+        rates_arr = check_positive_vector(rates, "rates")
+        probs_arr = np.asarray(continue_probs, dtype=float)
+        if probs_arr.ndim != 1:
+            raise ParameterError("continue_probs must be one-dimensional")
+        if probs_arr.size != rates_arr.size - 1:
+            raise ParameterError(
+                "continue_probs must have exactly len(rates) - 1 entries, "
+                f"got {probs_arr.size} for {rates_arr.size} rates"
+            )
+        if np.any(probs_arr < 0.0) or np.any(probs_arr > 1.0):
+            raise ParameterError("continue_probs entries must lie in [0, 1]")
+        self._rates = rates_arr
+        self._continue_probs = probs_arr
+        self._phase_type = self._build_phase_type()
+
+    def _build_phase_type(self) -> PhaseType:
+        k = self._rates.size
+        generator = np.zeros((k, k))
+        for i in range(k):
+            generator[i, i] = -self._rates[i]
+            if i + 1 < k:
+                generator[i, i + 1] = self._rates[i] * self._continue_probs[i]
+        initial = np.zeros(k)
+        initial[0] = 1.0
+        return PhaseType(initial=initial, generator=generator)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def two_phase_from_moments(cls, mean: float, scv: float) -> "Coxian":
+        """Fit a 2-phase Coxian to a mean and squared coefficient of variation.
+
+        Uses the classical Marie / Altiok construction, valid for
+        ``scv >= 0.5``.  For ``scv >= 1`` the result is an acyclic equivalent
+        of a 2-phase hyperexponential.
+        """
+        mean = float(mean)
+        scv = float(scv)
+        if mean <= 0.0:
+            raise ParameterError(f"mean must be positive, got {mean}")
+        if scv < 0.5:
+            raise ParameterError(
+                f"a 2-phase Coxian requires scv >= 0.5, got {scv}; use an Erlang instead"
+            )
+        rate1 = 2.0 / mean
+        continue_prob = 0.5 / scv
+        rate2 = rate1 * continue_prob
+        return cls(rates=[rate1, rate2], continue_probs=[continue_prob])
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rates(self) -> np.ndarray:
+        """The stage rates (copy)."""
+        return self._rates.copy()
+
+    @property
+    def continue_probs(self) -> np.ndarray:
+        """The continuation probabilities between consecutive stages (copy)."""
+        return self._continue_probs.copy()
+
+    @property
+    def num_phases(self) -> int:
+        """The number of stages ``k``."""
+        return int(self._rates.size)
+
+    # ------------------------------------------------------------------ #
+    # Distribution interface (delegated to the phase-type representation)
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        return self._phase_type.pdf(x)
+
+    def cdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        return self._phase_type.cdf(x)
+
+    def moment(self, k: int) -> float:
+        return self._phase_type.moment(k)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        n = 1 if size is None else int(size)
+        draws = np.zeros(n)
+        for index in range(n):
+            total = 0.0
+            for stage in range(self.num_phases):
+                total += rng.exponential(scale=1.0 / self._rates[stage])
+                if stage < self.num_phases - 1:
+                    if rng.random() >= self._continue_probs[stage]:
+                        break
+                else:
+                    break
+            draws[index] = total
+        return draws if size is not None else float(draws[0])
+
+    def laplace_transform(self, s: float | complex) -> complex:
+        return self._phase_type.laplace_transform(s)
+
+    def to_phase_type(self) -> PhaseType:
+        return self._phase_type
+
+    def __repr__(self) -> str:
+        return (
+            f"Coxian(rates={np.array2string(self._rates, precision=6)}, "
+            f"continue_probs={np.array2string(self._continue_probs, precision=6)})"
+        )

@@ -1,0 +1,84 @@
+"""The deterministic (degenerate) distribution.
+
+The deterministic distribution concentrates all mass at a single value, so
+its squared coefficient of variation is exactly zero.  The paper uses it for
+the first point of Figure 6 (``C^2 = 0``), which cannot be represented by a
+Markovian environment and is therefore evaluated by simulation.  The
+simulator in :mod:`repro.simulation` accepts any :class:`Distribution`, so
+this class slots in directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import check_positive
+from .base import Distribution
+
+
+class Deterministic(Distribution):
+    """A distribution that always takes the value ``value``.
+
+    Parameters
+    ----------
+    value:
+        The constant (strictly positive) value of the random variable.
+    """
+
+    def __init__(self, value: float) -> None:
+        self._value = check_positive(value, "value")
+
+    @property
+    def value(self) -> float:
+        """The constant value taken by the random variable."""
+        return self._value
+
+    # ------------------------------------------------------------------ #
+    # Distribution interface
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        """Return the density, which is zero everywhere except the atom.
+
+        The density of a degenerate distribution is a Dirac delta; for
+        numerical purposes the method returns 0 everywhere (the delta cannot
+        be represented pointwise).  Use :meth:`cdf` for meaningful values.
+        """
+        x_arr = np.asarray(x, dtype=float)
+        result = np.zeros_like(x_arr)
+        return result if result.ndim else float(result)
+
+    def cdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        x_arr = np.asarray(x, dtype=float)
+        result = np.where(x_arr >= self._value, 1.0, 0.0)
+        return result if result.ndim else float(result)
+
+    def moment(self, k: int) -> float:
+        if k < 1:
+            raise ValueError(f"moment order must be >= 1, got {k}")
+        return self._value**k
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        if size is None:
+            return self._value
+        return np.full(int(size), self._value)
+
+    def laplace_transform(self, s: float | complex) -> complex:
+        return complex(np.exp(-s * self._value))
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Deterministic):
+            return NotImplemented
+        return self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("Deterministic", self._value))
+
+    def __repr__(self) -> str:
+        return f"Deterministic(value={self._value:.6g})"

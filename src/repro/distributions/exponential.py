@@ -1,0 +1,104 @@
+"""The exponential distribution.
+
+The exponential distribution is the baseline assumption that the paper sets
+out to test: prior work on multi-server queues with breakdowns assumes both
+operative and inoperative periods are exponential.  Section 2 of the paper
+shows that the assumption fails badly for operative periods.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import check_positive
+from .base import Distribution
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``rate`` (mean ``1 / rate``).
+
+    Parameters
+    ----------
+    rate:
+        The rate parameter ``xi > 0``; the density is
+        ``f(x) = rate * exp(-rate * x)`` for ``x >= 0``.
+
+    Examples
+    --------
+    >>> d = Exponential(rate=0.5)
+    >>> d.mean
+    2.0
+    >>> round(d.scv, 12)
+    1.0
+    """
+
+    def __init__(self, rate: float) -> None:
+        self._rate = check_positive(rate, "rate")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Construct the exponential distribution with the given mean."""
+        mean = check_positive(mean, "mean")
+        return cls(rate=1.0 / mean)
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rate(self) -> float:
+        """The rate parameter ``xi``."""
+        return self._rate
+
+    # ------------------------------------------------------------------ #
+    # Distribution interface
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        x_arr = np.asarray(x, dtype=float)
+        result = np.where(x_arr < 0.0, 0.0, self._rate * np.exp(-self._rate * x_arr))
+        return result if result.ndim else float(result)
+
+    def cdf(self, x: float | Sequence[float]) -> np.ndarray | float:
+        x_arr = np.asarray(x, dtype=float)
+        result = np.where(x_arr < 0.0, 0.0, 1.0 - np.exp(-self._rate * x_arr))
+        return result if result.ndim else float(result)
+
+    def moment(self, k: int) -> float:
+        if k < 1:
+            raise ValueError(f"moment order must be >= 1, got {k}")
+        return math.factorial(k) / self._rate**k
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        draws = rng.exponential(scale=1.0 / self._rate, size=size)
+        return draws if size is not None else float(draws)
+
+    def laplace_transform(self, s: float | complex) -> complex:
+        return complex(self._rate / (self._rate + s))
+
+    def to_phase_type(self):
+        from .phase_type import PhaseType
+
+        return PhaseType(initial=[1.0], generator=[[-self._rate]])
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Exponential):
+            return NotImplemented
+        return self._rate == other._rate
+
+    def __hash__(self) -> int:
+        return hash(("Exponential", self._rate))
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self._rate:.6g})"

@@ -1,0 +1,109 @@
+"""Figure-5 experiment: cost as a function of the number of servers.
+
+The paper fixes the fitted operative-period distribution, exponential repairs
+with rate ``eta = 25``, service rate ``mu = 1`` and cost coefficients
+``c1 = 4`` (holding) and ``c2 = 1`` (server), then plots the total cost
+``C = c1 L + c2 N`` against ``N`` for arrival rates 7.0, 8.0 and 8.5.  The
+reported optima are ``N = 11``, ``12`` and ``13`` respectively, and the
+heavier the load the larger the optimal ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..optimization import CostCurve, cost_curve
+from ..queueing.model import UnreliableQueueModel
+from . import parameters
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Cost curves for the three arrival rates of Figure 5.
+
+    Attributes
+    ----------
+    curves:
+        Mapping from arrival rate to the evaluated :class:`CostCurve`.
+    optima:
+        Mapping from arrival rate to the optimal number of servers found.
+    paper_optima:
+        The optima reported in the paper, for side-by-side comparison.
+    """
+
+    curves: dict[float, CostCurve]
+    optima: dict[float, int]
+    paper_optima: dict[float, int]
+
+    def to_text(self) -> str:
+        """Render the cost table and the optimum comparison."""
+        server_counts = [point.num_servers for point in next(iter(self.curves.values())).points]
+        rows = []
+        for count in server_counts:
+            row: list[object] = [count]
+            for rate in sorted(self.curves):
+                matching = [p for p in self.curves[rate].points if p.num_servers == count]
+                row.append(matching[0].cost if matching else float("nan"))
+            rows.append(row)
+        headers = ["N"] + [f"C (lambda={rate})" for rate in sorted(self.curves)]
+        table = format_table(headers, rows, title="Figure 5: cost vs number of servers")
+
+        optimum_rows = [
+            (rate, self.optima[rate], self.paper_optima.get(rate, "-"))
+            for rate in sorted(self.optima)
+        ]
+        optima_table = format_table(
+            ("arrival rate", "optimal N (measured)", "optimal N (paper)"),
+            optimum_rows,
+            title="Figure 5: optimal number of servers",
+        )
+        return table + "\n\n" + optima_table
+
+
+def base_model(arrival_rate: float, num_servers: int = 10) -> UnreliableQueueModel:
+    """The Figure-5 base model for a given arrival rate."""
+    return UnreliableQueueModel(
+        num_servers=num_servers,
+        arrival_rate=arrival_rate,
+        service_rate=parameters.SERVICE_RATE,
+        operative=parameters.FITTED_OPERATIVE,
+        inoperative=parameters.FIGURE5_INOPERATIVE,
+    )
+
+
+def run_figure5(
+    *,
+    arrival_rates: tuple[float, ...] = parameters.FIGURE5_ARRIVAL_RATES,
+    server_counts: tuple[int, ...] = parameters.FIGURE5_SERVER_COUNTS,
+    solver: str = "spectral",
+) -> Figure5Result:
+    """Evaluate the Figure-5 cost curves.
+
+    Parameters
+    ----------
+    arrival_rates:
+        The arrival rates to sweep (the paper uses 7.0, 8.0, 8.5).
+    server_counts:
+        The server counts on the x-axis (the paper uses 9..17).
+    solver:
+        ``"spectral"`` for the exact solution (default) or ``"geometric"``
+        for the fast approximation (used by quick test runs).
+    """
+    curves: dict[float, CostCurve] = {}
+    optima: dict[float, int] = {}
+    for rate in arrival_rates:
+        curve = cost_curve(
+            base_model(rate),
+            server_counts,
+            holding_cost=parameters.FIGURE5_HOLDING_COST,
+            server_cost=parameters.FIGURE5_SERVER_COST,
+            solver=solver,
+        )
+        curves[rate] = curve
+        optima[rate] = curve.optimal_servers
+    return Figure5Result(
+        curves=curves,
+        optima=optima,
+        paper_optima=dict(parameters.FIGURE5_PAPER_OPTIMA),
+    )

@@ -1,0 +1,103 @@
+"""Figure-7 experiment: queue length vs mean repair time.
+
+The distribution of the operative periods is kept fixed (mean 34.62) while
+server availability is degraded by increasing the mean inoperative period
+``1 / eta`` from 1 to 5.  The mean queue length is computed twice: once with
+exponentially distributed operative periods and once with the fitted
+hyperexponential distribution of the same mean.  The paper's point: the
+exponential assumption becomes more and more over-optimistic as repairs get
+slower (``N = 10``, ``lambda = 8``, ``mu = 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributions import Exponential
+from ..queueing.model import UnreliableQueueModel
+from . import parameters
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class Figure7Point:
+    """One x-axis position of Figure 7.
+
+    Attributes
+    ----------
+    mean_repair_time:
+        The mean inoperative period ``1 / eta``.
+    queue_length_exponential:
+        ``L`` under exponentially distributed operative periods.
+    queue_length_hyperexponential:
+        ``L`` under the fitted hyperexponential operative periods.
+    """
+
+    mean_repair_time: float
+    queue_length_exponential: float
+    queue_length_hyperexponential: float
+
+    @property
+    def underestimation_factor(self) -> float:
+        """How much the exponential assumption underestimates the queue."""
+        if self.queue_length_exponential == 0.0:
+            return float("inf")
+        return self.queue_length_hyperexponential / self.queue_length_exponential
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """The two Figure-7 curves."""
+
+    points: tuple[Figure7Point, ...]
+
+    def to_text(self) -> str:
+        """Render the curves as the series plotted in Figure 7."""
+        rows = [
+            (
+                point.mean_repair_time,
+                point.queue_length_exponential,
+                point.queue_length_hyperexponential,
+                point.underestimation_factor,
+            )
+            for point in self.points
+        ]
+        return format_table(
+            ("1/eta", "L exponential", "L hyperexponential", "ratio"),
+            rows,
+            title="Figure 7: queue length vs average repair time",
+        )
+
+
+def _model_for(mean_repair_time: float, *, hyperexponential: bool) -> UnreliableQueueModel:
+    operative = (
+        parameters.FITTED_OPERATIVE
+        if hyperexponential
+        else Exponential(rate=parameters.AGGREGATE_BREAKDOWN_RATE)
+    )
+    return UnreliableQueueModel(
+        num_servers=parameters.FIGURE7_NUM_SERVERS,
+        arrival_rate=parameters.FIGURE7_ARRIVAL_RATE,
+        service_rate=parameters.SERVICE_RATE,
+        operative=operative,
+        inoperative=Exponential(rate=1.0 / mean_repair_time),
+    )
+
+
+def run_figure7(
+    *,
+    mean_repair_times: tuple[float, ...] = parameters.FIGURE7_MEAN_REPAIR_TIMES,
+) -> Figure7Result:
+    """Evaluate the Figure-7 curves (exact spectral solution for both)."""
+    points: list[Figure7Point] = []
+    for repair_time in mean_repair_times:
+        exponential_solution = _model_for(repair_time, hyperexponential=False).solve_spectral()
+        hyper_solution = _model_for(repair_time, hyperexponential=True).solve_spectral()
+        points.append(
+            Figure7Point(
+                mean_repair_time=repair_time,
+                queue_length_exponential=exponential_solution.mean_queue_length,
+                queue_length_hyperexponential=hyper_solution.mean_queue_length,
+            )
+        )
+    return Figure7Result(points=tuple(points))

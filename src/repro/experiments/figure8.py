@@ -1,0 +1,112 @@
+"""Figure-8 experiment: accuracy of the geometric approximation under load.
+
+With ``N = 10`` servers, the fitted operative-period distribution and
+exponential repairs (``eta = 25``), the mean queue length is computed by the
+exact spectral expansion and by the geometric approximation for effective
+loads between 0.89 and 0.99.  The paper's message — reproduced here — is that
+the approximation error shrinks as the load grows (the approximation is
+asymptotically exact in heavy traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..queueing.model import UnreliableQueueModel
+from . import parameters
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    """Exact and approximate queue lengths at one load level.
+
+    Attributes
+    ----------
+    load:
+        The effective load ``lambda / (mu N eta / (xi + eta))``.
+    arrival_rate:
+        The arrival rate that realises this load.
+    exact_queue_length, approximate_queue_length:
+        The exact (spectral) and approximate (geometric) mean queue lengths.
+    """
+
+    load: float
+    arrival_rate: float
+    exact_queue_length: float
+    approximate_queue_length: float
+
+    @property
+    def relative_error(self) -> float:
+        """The relative error of the approximation at this load."""
+        if self.exact_queue_length == 0.0:
+            return float("inf")
+        return abs(self.approximate_queue_length - self.exact_queue_length) / self.exact_queue_length
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """The exact-vs-approximate comparison across loads."""
+
+    points: tuple[Figure8Point, ...]
+
+    def to_text(self) -> str:
+        """Render the curves as the series plotted in Figure 8."""
+        rows = [
+            (
+                point.load,
+                point.arrival_rate,
+                point.exact_queue_length,
+                point.approximate_queue_length,
+                point.relative_error,
+            )
+            for point in self.points
+        ]
+        return format_table(
+            ("load", "lambda", "L exact", "L approximation", "relative error"),
+            rows,
+            title="Figure 8: exact vs approximate queue length under increasing load",
+        )
+
+    def errors_are_decreasing_overall(self) -> bool:
+        """Whether the relative error at the heaviest load is the smallest.
+
+        This is the qualitative claim of the figure (the error need not be
+        monotone point by point, but heavy load must beat light load).
+        """
+        errors = [point.relative_error for point in self.points]
+        return errors[-1] <= errors[0]
+
+
+def model_for_load(load: float, num_servers: int = parameters.FIGURE8_NUM_SERVERS) -> UnreliableQueueModel:
+    """The Figure-8 model whose effective load equals ``load``."""
+    template = UnreliableQueueModel(
+        num_servers=num_servers,
+        arrival_rate=1.0,
+        service_rate=parameters.SERVICE_RATE,
+        operative=parameters.FITTED_OPERATIVE,
+        inoperative=parameters.FIGURE5_INOPERATIVE,
+    )
+    arrival_rate = load * template.mean_operative_servers * parameters.SERVICE_RATE
+    return template.with_arrival_rate(arrival_rate)
+
+
+def run_figure8(
+    *,
+    loads: tuple[float, ...] = parameters.FIGURE8_LOADS,
+) -> Figure8Result:
+    """Evaluate the Figure-8 comparison."""
+    points: list[Figure8Point] = []
+    for load in loads:
+        model = model_for_load(load)
+        exact = model.solve_spectral()
+        approximate = model.solve_geometric()
+        points.append(
+            Figure8Point(
+                load=load,
+                arrival_rate=model.arrival_rate,
+                exact_queue_length=exact.mean_queue_length,
+                approximate_queue_length=approximate.mean_queue_length,
+            )
+        )
+    return Figure8Result(points=tuple(points))

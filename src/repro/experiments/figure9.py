@@ -1,0 +1,120 @@
+"""Figure-9 experiment: response time vs the number of servers.
+
+With the fitted operative-period distribution, exponential repairs
+(``eta = 25``), ``mu = 1`` and ``lambda = 7.5``, the mean response time ``W``
+is evaluated by both the exact spectral solution and the geometric
+approximation for ``N = 8 .. 13``.  The paper uses the figure to answer a
+sizing question: to keep the mean response time below 1.5, at least 9 servers
+are needed.  It also notes that on this occasion the approximation
+*underestimates* the response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..optimization import minimum_servers_for_response_time
+from ..queueing.model import UnreliableQueueModel
+from . import parameters
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class Figure9Point:
+    """Exact and approximate response times for one server count.
+
+    Attributes
+    ----------
+    num_servers:
+        The number of servers ``N``.
+    exact_response_time, approximate_response_time:
+        Mean response times from the exact solution and the approximation.
+    """
+
+    num_servers: int
+    exact_response_time: float
+    approximate_response_time: float
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """The Figure-9 curves and the answer to the sizing question.
+
+    Attributes
+    ----------
+    points:
+        The evaluated response times per server count.
+    target_response_time:
+        The response-time target discussed in the paper (1.5).
+    required_servers:
+        The smallest evaluated ``N`` whose exact response time meets the
+        target (the paper reports 9).
+    paper_required_servers:
+        The value reported in the paper, for comparison.
+    """
+
+    points: tuple[Figure9Point, ...]
+    target_response_time: float
+    required_servers: int
+    paper_required_servers: int
+
+    def to_text(self) -> str:
+        """Render the curves and the sizing answer."""
+        rows = [
+            (point.num_servers, point.exact_response_time, point.approximate_response_time)
+            for point in self.points
+        ]
+        table = format_table(
+            ("N", "W exact", "W approximation"),
+            rows,
+            title="Figure 9: mean response time vs number of servers (lambda = 7.5)",
+        )
+        sizing = format_table(
+            ("target W", "required N (measured)", "required N (paper)"),
+            [(self.target_response_time, self.required_servers, self.paper_required_servers)],
+            title="Sizing question",
+        )
+        return table + "\n\n" + sizing
+
+
+def base_model(num_servers: int) -> UnreliableQueueModel:
+    """The Figure-9 model with ``num_servers`` servers."""
+    return UnreliableQueueModel(
+        num_servers=num_servers,
+        arrival_rate=parameters.FIGURE9_ARRIVAL_RATE,
+        service_rate=parameters.SERVICE_RATE,
+        operative=parameters.FITTED_OPERATIVE,
+        inoperative=parameters.FIGURE5_INOPERATIVE,
+    )
+
+
+def run_figure9(
+    *,
+    server_counts: tuple[int, ...] = parameters.FIGURE9_SERVER_COUNTS,
+    target_response_time: float = parameters.FIGURE9_RESPONSE_TIME_TARGET,
+) -> Figure9Result:
+    """Evaluate the Figure-9 curves and the minimum-server question."""
+    points: list[Figure9Point] = []
+    for count in server_counts:
+        model = base_model(count)
+        exact = model.solve_spectral()
+        approximate = model.solve_geometric()
+        points.append(
+            Figure9Point(
+                num_servers=count,
+                exact_response_time=exact.mean_response_time,
+                approximate_response_time=approximate.mean_response_time,
+            )
+        )
+    sizing = minimum_servers_for_response_time(
+        base_model(min(server_counts)),
+        target_response_time,
+        solver="spectral",
+        max_servers=max(server_counts) + 10,
+    )
+    return Figure9Result(
+        points=tuple(points),
+        target_response_time=target_response_time,
+        required_servers=sizing.required_servers,
+        paper_required_servers=parameters.FIGURE9_PAPER_MINIMUM_SERVERS,
+    )

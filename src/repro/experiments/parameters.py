@@ -1,0 +1,87 @@
+"""Shared parameter sets of the paper's numerical experiments.
+
+Section 4 of the paper re-uses one base configuration throughout: the
+operative periods follow the fitted Sun hyperexponential distribution, the
+inoperative periods are exponential, and the mean service time is one.  The
+constants below capture every published parameter so that the figure drivers,
+tests and examples all refer to a single source of truth.
+"""
+
+from __future__ import annotations
+
+from ..distributions import Exponential, HyperExponential
+
+#: Fitted operative-period weights (paper Section 2 / Figure 5 caption).
+OPERATIVE_WEIGHTS = (0.7246, 0.2754)
+
+#: Fitted operative-period rates (paper Section 2 / Figure 5 caption).
+OPERATIVE_RATES = (0.1663, 0.0091)
+
+#: The fitted operative-period distribution used in Figures 5, 7, 8 and 9.
+FITTED_OPERATIVE = HyperExponential(weights=OPERATIVE_WEIGHTS, rates=OPERATIVE_RATES)
+
+#: Mean of the fitted operative periods, 1/xi = alpha1/xi1 + alpha2/xi2 (~34.62).
+MEAN_OPERATIVE_PERIOD = float(sum(w / r for w, r in zip(OPERATIVE_WEIGHTS, OPERATIVE_RATES)))
+
+#: Aggregate breakdown rate xi (~0.0289) quoted in the captions of Figures 6 and 7.
+AGGREGATE_BREAKDOWN_RATE = 1.0 / MEAN_OPERATIVE_PERIOD
+
+#: Fitted inoperative-period weights (paper Section 2).
+INOPERATIVE_WEIGHTS = (0.9303, 0.0697)
+
+#: Fitted inoperative-period rates (paper Section 2).
+INOPERATIVE_RATES = (25.0043, 1.6346)
+
+#: The fitted inoperative-period distribution (Figure 4).
+FITTED_INOPERATIVE = HyperExponential(weights=INOPERATIVE_WEIGHTS, rates=INOPERATIVE_RATES)
+
+#: Repair rate eta = 25 used by Figures 5, 8 and 9 (exponential repairs, mean 0.04).
+FIGURE5_REPAIR_RATE = 25.0
+
+#: The exponential repair-time distribution of Figures 5, 8 and 9.
+FIGURE5_INOPERATIVE = Exponential(rate=FIGURE5_REPAIR_RATE)
+
+#: Per-server service rate mu = 1 used by every Section-4 experiment.
+SERVICE_RATE = 1.0
+
+#: Holding (job waiting) cost coefficient c1 of Figure 5.
+FIGURE5_HOLDING_COST = 4.0
+
+#: Server provisioning cost coefficient c2 of Figure 5.
+FIGURE5_SERVER_COST = 1.0
+
+#: Arrival rates evaluated in Figure 5.
+FIGURE5_ARRIVAL_RATES = (7.0, 8.0, 8.5)
+
+#: Server counts evaluated in Figure 5 (x-axis 9..17).
+FIGURE5_SERVER_COUNTS = tuple(range(9, 18))
+
+#: Optimal server counts the paper reports for Figure 5, keyed by arrival rate.
+FIGURE5_PAPER_OPTIMA = {7.0: 11, 8.0: 12, 8.5: 13}
+
+#: Figure 6: number of servers.
+FIGURE6_NUM_SERVERS = 10
+
+#: Figure 6: repair rate eta = 0.2 (mean repair time 5).
+FIGURE6_REPAIR_RATE = 0.2
+
+#: Figure 6: arrival rates of the two curves.
+FIGURE6_ARRIVAL_RATES = (8.5, 8.6)
+
+#: Figure 6: squared coefficients of variation of the operative periods.
+FIGURE6_SCV_VALUES = (0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0)
+
+#: Figure 7: number of servers, arrival rate and mean repair times (1/eta).
+FIGURE7_NUM_SERVERS = 10
+FIGURE7_ARRIVAL_RATE = 8.0
+FIGURE7_MEAN_REPAIR_TIMES = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
+
+#: Figure 8: number of servers and the effective loads evaluated (x-axis 0.89-0.99).
+FIGURE8_NUM_SERVERS = 10
+FIGURE8_LOADS = (0.89, 0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97, 0.98, 0.99)
+
+#: Figure 9: arrival rate, server counts and the response-time target discussed in the text.
+FIGURE9_ARRIVAL_RATE = 7.5
+FIGURE9_SERVER_COUNTS = tuple(range(8, 14))
+FIGURE9_RESPONSE_TIME_TARGET = 1.5
+FIGURE9_PAPER_MINIMUM_SERVERS = 9

@@ -1,0 +1,84 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every experiment driver returns a structured result object and can render it
+as a plain-text table whose rows mirror the series plotted in the paper.  The
+helpers here keep that formatting consistent (fixed-width columns, explicit
+headers, no external dependencies) so the benchmark harness and the examples
+can simply print the returned strings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a list of rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have the same length as ``headers``.
+        Floats are formatted with ``float_format``; other values use ``str``.
+    title:
+        Optional title printed above the table.
+    float_format:
+        Format string applied to float cells.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, bool):
+                rendered.append("yes" if cell else "no")
+            elif isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line([str(header) for header in headers]))
+    lines.append(render_line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_key_values(pairs: Sequence[tuple[str, object]], *, title: str | None = None) -> str:
+    """Render ``(name, value)`` pairs as an aligned two-column block."""
+    width = max((len(name) for name, _ in pairs), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for name, value in pairs:
+        if isinstance(value, float):
+            rendered = f"{value:.6g}"
+        else:
+            rendered = str(value)
+        lines.append(f"{name.ljust(width)}  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Section-2 experiment: empirical analysis of the breakdown trace (Figures 3–4).
+
+The experiment reproduces the statistical pipeline of Section 2 of the paper
+on the synthetic Sun-like trace (the original data set is confidential; see
+DESIGN.md for the substitution argument):
+
+1. load the trace, discard anomalous rows (Time Between Events smaller than
+   Outage Duration) and derive the operative periods (Figure 2);
+2. build histogram-based empirical densities — 50 intervals for the operative
+   periods over ``[0, 250]``, 40 intervals for the inoperative periods over
+   ``[0, 1.2]`` — and estimate the moments and coefficients of variation;
+3. test the exponential hypothesis with the Kolmogorov–Smirnov statistic (the
+   paper reports ``D = 0.4742`` for operative periods, a strong rejection);
+4. fit 2-phase hyperexponential distributions by moment matching and test
+   them (the paper reports ``D = 0.1412`` and ``D = 0.1832``, both accepted);
+5. additionally test the single-exponential simplification of the inoperative
+   periods (mean 0.04), which the paper notes passes at the 5% level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import BreakdownTrace, SyntheticTraceConfig, generate_sun_like_trace
+from ..distributions import Distribution, Exponential, HyperExponential
+from ..fitting import fit_exponential, fit_two_phase_from_moments
+from ..stats import EmpiricalDensity, KSResult, estimate_moments, ks_test_grid
+from .reporting import format_key_values, format_table
+
+#: Histogram resolution used by the paper for the operative periods.
+OPERATIVE_NUM_BINS = 50
+
+#: Upper edge of the operative-period histogram (Figure 3 covers 0-250).
+OPERATIVE_UPPER = 250.0
+
+#: Histogram resolution used by the paper for the inoperative periods.
+INOPERATIVE_NUM_BINS = 40
+
+#: Upper edge of the inoperative-period histogram (Figure 4 covers 0-1.2).
+INOPERATIVE_UPPER = 1.2
+
+
+@dataclass(frozen=True)
+class PeriodAnalysis:
+    """Analysis of one period type (operative or inoperative).
+
+    Attributes
+    ----------
+    label:
+        Human-readable name of the period type.
+    empirical:
+        The histogram-based empirical density.
+    mean, scv:
+        Estimated mean and squared coefficient of variation (paper Eq. 1–2).
+    exponential_fit:
+        The one-moment exponential fit (the null hypothesis).
+    exponential_ks:
+        KS test of the exponential fit on the histogram grid.
+    hyperexponential_fit:
+        The 2-phase hyperexponential moment-matching fit.
+    hyperexponential_ks:
+        KS test of the hyperexponential fit.
+    """
+
+    label: str
+    empirical: EmpiricalDensity
+    mean: float
+    scv: float
+    exponential_fit: Exponential
+    exponential_ks: KSResult
+    hyperexponential_fit: HyperExponential
+    hyperexponential_ks: KSResult
+
+    def to_text(self) -> str:
+        """Render the analysis as the rows the paper reports in Section 2."""
+        pairs = [
+            ("observations", self.empirical.sample_size),
+            ("estimated mean", self.mean),
+            ("estimated C^2", self.scv),
+            ("exponential KS statistic D", self.exponential_ks.statistic),
+            ("exponential KS 5% critical value", self.exponential_ks.critical_value(0.05)),
+            ("exponential passes at 5%", self.exponential_ks.passes(0.05)),
+            (
+                "hyperexponential weights",
+                tuple(round(float(w), 4) for w in self.hyperexponential_fit.weights),
+            ),
+            (
+                "hyperexponential rates",
+                tuple(round(float(r), 4) for r in self.hyperexponential_fit.rates),
+            ),
+            ("hyperexponential KS statistic D", self.hyperexponential_ks.statistic),
+            (
+                "hyperexponential KS 5% critical value",
+                self.hyperexponential_ks.critical_value(0.05),
+            ),
+            ("hyperexponential passes at 5%", self.hyperexponential_ks.passes(0.05)),
+            ("hyperexponential passes at 10%", self.hyperexponential_ks.passes(0.10)),
+        ]
+        return format_key_values(pairs, title=f"{self.label} periods")
+
+
+@dataclass(frozen=True)
+class Section2Result:
+    """Full result of the Section-2 reproduction.
+
+    Attributes
+    ----------
+    trace_rows, anomalous_fraction:
+        Size and anomaly rate of the analysed trace (the paper reports
+        140,000 rows with fewer than 4% anomalies).
+    operative, inoperative:
+        Per-period analyses (Figures 3 and 4).
+    inoperative_exponential_ks:
+        KS test of the single-exponential simplification of the inoperative
+        periods discussed at the end of Section 2.
+    """
+
+    trace_rows: int
+    anomalous_fraction: float
+    operative: PeriodAnalysis
+    inoperative: PeriodAnalysis
+    inoperative_exponential_simplified: Exponential
+    inoperative_exponential_ks: KSResult
+
+    def to_text(self) -> str:
+        """Render the whole Section-2 reproduction as a plain-text report."""
+        header = format_key_values(
+            [
+                ("trace rows", self.trace_rows),
+                ("anomalous fraction", self.anomalous_fraction),
+                (
+                    "simplified exponential repair mean",
+                    self.inoperative_exponential_simplified.mean,
+                ),
+                (
+                    "simplified exponential KS D",
+                    self.inoperative_exponential_ks.statistic,
+                ),
+                (
+                    "simplified exponential passes at 5%",
+                    self.inoperative_exponential_ks.passes(0.05),
+                ),
+            ],
+            title="Section 2 - trace overview",
+        )
+        return "\n\n".join([header, self.operative.to_text(), self.inoperative.to_text()])
+
+    def density_table(self, which: str = "operative", max_rows: int = 10) -> str:
+        """A compact table of the empirical vs fitted densities (Figures 3–4)."""
+        analysis = self.operative if which == "operative" else self.inoperative
+        midpoints, densities = analysis.empirical.as_series()
+        fitted = analysis.hyperexponential_fit.pdf(midpoints)
+        step = max(1, len(midpoints) // max_rows)
+        rows = [
+            (float(midpoints[i]), float(densities[i]), float(fitted[i]))
+            for i in range(0, len(midpoints), step)
+        ]
+        return format_table(
+            ("period length", "observed density", "hyperexponential fit"),
+            rows,
+            title=f"Figure {'3' if which == 'operative' else '4'}: {which} period densities",
+            float_format="{:.5f}",
+        )
+
+
+def _analyse_periods(
+    label: str,
+    observations,
+    num_bins: int,
+    upper: float,
+) -> PeriodAnalysis:
+    # The display/KS histogram covers the range shown in the paper's figure
+    # (values beyond it are clipped into the last bin), while the moments are
+    # estimated from the raw observations so that the heavy tail of the
+    # operative periods is not truncated — clipping the tail would bias the
+    # third moment and break the hyperexponential fit.
+    empirical = EmpiricalDensity.from_observations(observations, num_bins=num_bins, upper=upper)
+    moments = estimate_moments(observations, 3)
+    scv = float(moments[1] / moments[0] ** 2 - 1.0)
+    exponential_fit = fit_exponential(moments)
+    exponential_ks = ks_test_grid(empirical, exponential_fit.cdf)
+    hyper_report = fit_two_phase_from_moments(moments)
+    hyper_fit = hyper_report.distribution
+    hyper_ks = ks_test_grid(empirical, hyper_fit.cdf)
+    return PeriodAnalysis(
+        label=label,
+        empirical=empirical,
+        mean=float(moments[0]),
+        scv=scv,
+        exponential_fit=exponential_fit,
+        exponential_ks=exponential_ks,
+        hyperexponential_fit=hyper_fit,
+        hyperexponential_ks=hyper_ks,
+    )
+
+
+def run_section2(
+    trace: BreakdownTrace | None = None,
+    *,
+    num_events: int | None = None,
+    seed: int = 936,
+) -> Section2Result:
+    """Run the Section-2 reproduction.
+
+    Parameters
+    ----------
+    trace:
+        A breakdown trace to analyse.  When omitted a synthetic Sun-like
+        trace is generated (140,000 events by default).
+    num_events:
+        Number of synthetic events to generate when no trace is supplied;
+        useful for fast test runs.
+    seed:
+        Seed of the synthetic generator.
+    """
+    if trace is None:
+        config = SyntheticTraceConfig(seed=seed) if num_events is None else SyntheticTraceConfig(
+            num_events=num_events, seed=seed
+        )
+        trace = generate_sun_like_trace(config)
+
+    anomalous_fraction = trace.anomalous_fraction
+    cleaned = trace.cleaned()
+    operative_periods = cleaned.operative_periods()
+    inoperative_periods = cleaned.inoperative_periods()
+
+    operative = _analyse_periods(
+        "Operative", operative_periods, OPERATIVE_NUM_BINS, OPERATIVE_UPPER
+    )
+    inoperative = _analyse_periods(
+        "Inoperative", inoperative_periods, INOPERATIVE_NUM_BINS, INOPERATIVE_UPPER
+    )
+
+    # The single-exponential simplification the paper discusses: an
+    # exponential whose mean equals that of the dominant mixture component.
+    dominant_index = int(inoperative.hyperexponential_fit.weights.argmax())
+    dominant_rate = float(inoperative.hyperexponential_fit.rates[dominant_index])
+    simplified = Exponential(rate=dominant_rate)
+    simplified_ks = ks_test_grid(inoperative.empirical, simplified.cdf)
+
+    return Section2Result(
+        trace_rows=trace.num_events,
+        anomalous_fraction=anomalous_fraction,
+        operative=operative,
+        inoperative=inoperative,
+        inoperative_exponential_simplified=simplified,
+        inoperative_exponential_ks=simplified_ks,
+    )
+
+
+def fitted_distributions(result: Section2Result) -> tuple[Distribution, Distribution]:
+    """Convenience accessor returning the fitted (operative, inoperative) pair."""
+    return result.operative.hyperexponential_fit, result.inoperative.hyperexponential_fit

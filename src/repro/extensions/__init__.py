@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's published results.
+
+Currently this package addresses the open problem stated in the paper's
+conclusions — the distribution (rather than just the mean) of the response
+time:
+
+* :func:`simulated_response_time_distribution`,
+  :class:`ResponseTimeDistribution` — empirical response-time quantiles from
+  the discrete-event simulator;
+* :func:`fcfs_exponential_capacity_bound` — a closed-form heavy-traffic
+  estimate of response-time quantiles.
+"""
+
+from .response_times import (
+    ResponseTimeDistribution,
+    fcfs_exponential_capacity_bound,
+    simulated_response_time_distribution,
+)
+
+__all__ = [
+    "ResponseTimeDistribution",
+    "simulated_response_time_distribution",
+    "fcfs_exponential_capacity_bound",
+]

@@ -1,0 +1,144 @@
+"""Response-time distributions — the paper's stated open problem.
+
+Section 5 of the paper notes that the spectral-expansion solution gives the
+distribution of the *queue size* (and hence the mean response time via
+Little's law) but not the distribution of the *response time* itself, e.g.
+its 90th percentile, and leaves that as future work.  This module provides
+two practical answers a downstream user can rely on today:
+
+* :func:`simulated_response_time_distribution` — an empirical response-time
+  distribution from the discrete-event simulator, valid for any period
+  distributions (this is the ground truth the open problem asks for);
+* :func:`fcfs_exponential_capacity_bound` — a closed-form *approximation*
+  obtained by treating the cluster as a single fast server of capacity equal
+  to the mean number of operative servers (an M/M/1-style bound that is
+  asymptotically correct in heavy traffic, where the queue — not the service
+  — dominates the response time).
+
+Both are exercised by the test-suite against each other and against the exact
+mean response time from the spectral solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive, check_probability
+from ..exceptions import SimulationError
+from ..queueing.model import UnreliableQueueModel
+from ..simulation.queue_sim import UnreliableQueueSimulator
+from ..distributions import Exponential
+
+
+@dataclass(frozen=True)
+class ResponseTimeDistribution:
+    """An empirical response-time distribution estimated by simulation.
+
+    Attributes
+    ----------
+    samples:
+        The post-warm-up response-time samples, sorted ascending.
+    mean:
+        The sample mean response time.
+    """
+
+    samples: np.ndarray
+    mean: float
+
+    def quantile(self, probability: float) -> float:
+        """The empirical quantile of the response time (e.g. 0.9 for the 90th)."""
+        probability = check_probability(probability, "probability")
+        return float(np.quantile(self.samples, probability))
+
+    def tail_probability(self, threshold: float) -> float:
+        """``P(response time > threshold)`` under the empirical distribution."""
+        threshold = check_positive(threshold, "threshold")
+        return float(np.mean(self.samples > threshold))
+
+    @property
+    def percentile_90(self) -> float:
+        """The 90th percentile the paper singles out as the open question."""
+        return self.quantile(0.9)
+
+    @property
+    def num_samples(self) -> int:
+        """The number of completed jobs behind the estimate."""
+        return int(self.samples.size)
+
+
+def simulated_response_time_distribution(
+    model: UnreliableQueueModel,
+    *,
+    horizon: float,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+) -> ResponseTimeDistribution:
+    """Estimate the response-time distribution of a model by simulation.
+
+    Parameters
+    ----------
+    model:
+        The queueing model (any period distributions are accepted).
+    horizon:
+        Total simulated time including warm-up.
+    warmup_fraction:
+        Fraction of the horizon discarded before collecting response times.
+    seed:
+        Random seed of the simulation run.
+
+    Raises
+    ------
+    SimulationError
+        If the horizon is too short to produce a usable number of completed
+        jobs after the warm-up period.
+    """
+    horizon = check_positive(horizon, "horizon")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise SimulationError("warmup_fraction must lie in [0, 1)")
+    simulator = UnreliableQueueSimulator(
+        num_servers=model.num_servers,
+        arrival_rate=model.arrival_rate,
+        service_distribution=Exponential(rate=model.service_rate),
+        operative_distribution=model.operative,
+        inoperative_distribution=model.inoperative,
+        seed=seed,
+    )
+    simulator.run(horizon)
+    warmup_time = warmup_fraction * horizon
+    samples = np.array(
+        sorted(
+            response
+            for completion_time, response in simulator.completed_jobs()
+            if completion_time >= warmup_time
+        )
+    )
+    if samples.size < 100:
+        raise SimulationError(
+            f"only {samples.size} completed jobs after warm-up; increase the horizon"
+        )
+    return ResponseTimeDistribution(samples=samples, mean=float(np.mean(samples)))
+
+
+def fcfs_exponential_capacity_bound(
+    model: UnreliableQueueModel, probability: float
+) -> float:
+    """A closed-form heavy-traffic approximation of a response-time quantile.
+
+    The cluster is replaced by a single exponential server whose rate equals
+    the average operative service capacity ``c = mu * N * eta / (xi + eta)``;
+    the response time of the resulting M/M/1 queue is exponential with rate
+    ``c - lambda``, whose ``p``-quantile is ``-ln(1 - p) / (c - lambda)``.
+    The estimate is meaningful only in heavy traffic, where the waiting time
+    (which the aggregated server captures) dominates the service time (which
+    it distorts); at light load it understates response times and the
+    simulation-based estimator should be used instead.
+    """
+    probability = check_probability(probability, "probability")
+    if not 0.0 < probability < 1.0:
+        raise SimulationError("probability must lie strictly between 0 and 1")
+    model.require_stable()
+    capacity = model.service_rate * model.mean_operative_servers
+    gap = capacity - model.arrival_rate
+    return float(-np.log(1.0 - probability) / gap)

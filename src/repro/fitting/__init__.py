@@ -1,0 +1,45 @@
+"""Distribution-fitting procedures for breakdown/repair period data.
+
+The Section-2 analysis of the paper fits hyperexponential distributions to
+the operative and inoperative periods of the Sun trace.  This package
+provides every procedure the paper mentions plus a likelihood-based
+alternative:
+
+* closed-form 2-phase moment matching (:func:`fit_two_phase_from_moments`);
+* brute-force rate search minimising the Eq.-8 objective
+  (:func:`fit_hyperexponential_brute_force`);
+* Newton and Gauss–Seidel iterations on the full moment system
+  (:func:`fit_newton`, :func:`fit_gauss_seidel`) — these reproduce the
+  convergence failures the paper reports for 3-phase fits;
+* EM maximum-likelihood fitting (:func:`fit_hyperexponential_em`).
+"""
+
+from .brute_force import BruteForceFitResult, fit_hyperexponential_brute_force
+from .em import EMFitResult, fit_hyperexponential_em
+from .iterative import IterativeFitResult, fit_gauss_seidel, fit_newton
+from .moment_matching import (
+    MomentFitReport,
+    fit_exponential,
+    fit_two_phase_from_mean_and_scv,
+    fit_two_phase_from_moments,
+    hyperexponential_moments,
+    solve_weights_for_rates,
+    weights_are_feasible,
+)
+
+__all__ = [
+    "MomentFitReport",
+    "fit_exponential",
+    "fit_two_phase_from_moments",
+    "fit_two_phase_from_mean_and_scv",
+    "hyperexponential_moments",
+    "solve_weights_for_rates",
+    "weights_are_feasible",
+    "BruteForceFitResult",
+    "fit_hyperexponential_brute_force",
+    "IterativeFitResult",
+    "fit_newton",
+    "fit_gauss_seidel",
+    "EMFitResult",
+    "fit_hyperexponential_em",
+]

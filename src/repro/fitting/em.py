@@ -1,0 +1,131 @@
+"""Expectation-maximisation fitting of hyperexponential mixtures.
+
+The paper fits hyperexponential distributions by moment matching.  Moment
+matching is simple but sensitive to heavy tails (the fifth moment of a noisy
+sample is a fragile quantity), so a production library should also offer a
+likelihood-based alternative.  EM for a mixture of exponentials is the
+classical choice: each observation is softly assigned to a phase in the
+E-step and the phase weights/rates are re-estimated in closed form in the
+M-step.  The library uses it as a cross-check on the moment-matching fit in
+the Section-2 experiment and exposes it as part of the public fitting API.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..distributions import HyperExponential
+from ..exceptions import FittingError
+
+
+@dataclass(frozen=True)
+class EMFitResult:
+    """Result of an EM fit of a hyperexponential mixture.
+
+    Attributes
+    ----------
+    distribution:
+        The fitted hyperexponential distribution.
+    log_likelihood:
+        The final log-likelihood of the data under the fitted mixture.
+    iterations:
+        Number of EM iterations performed.
+    converged:
+        True when the relative log-likelihood improvement fell below the
+        tolerance within the iteration budget.
+    """
+
+    distribution: HyperExponential
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+
+def _log_likelihood(data: np.ndarray, weights: np.ndarray, rates: np.ndarray) -> float:
+    densities = weights * rates * np.exp(-np.outer(data, rates))
+    mixture = densities.sum(axis=1)
+    mixture = np.maximum(mixture, 1e-300)
+    return float(np.sum(np.log(mixture)))
+
+
+def fit_hyperexponential_em(
+    observations: Sequence[float],
+    num_phases: int = 2,
+    *,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+    rng: np.random.Generator | None = None,
+) -> EMFitResult:
+    """Fit an ``n``-phase hyperexponential to raw observations by EM.
+
+    Parameters
+    ----------
+    observations:
+        Strictly positive observed period lengths.
+    num_phases:
+        Number of exponential phases in the mixture.
+    max_iterations:
+        EM iteration budget.
+    tolerance:
+        Convergence threshold on the relative improvement of the
+        log-likelihood between successive iterations.
+    rng:
+        Generator used to randomise the initial rate spread; a fixed default
+        seed is used when omitted so fits are reproducible.
+
+    Raises
+    ------
+    FittingError
+        If the observations are empty or non-positive, or if a phase
+        collapses (zero responsibility mass) during the iteration.
+    """
+    num_phases = check_positive_int(num_phases, "num_phases")
+    data = np.asarray(observations, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise FittingError("observations must be a non-empty one-dimensional sequence")
+    if np.any(data <= 0.0) or np.any(~np.isfinite(data)):
+        raise FittingError("observations must be finite and strictly positive")
+    generator = rng if rng is not None else np.random.default_rng(19681215)
+
+    mean = float(np.mean(data))
+    spread = np.geomspace(0.2, 5.0, num_phases) * generator.uniform(0.9, 1.1, size=num_phases)
+    rates = spread / mean
+    weights = np.full(num_phases, 1.0 / num_phases)
+
+    previous = _log_likelihood(data, weights, rates)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # E-step: responsibilities r_{ij} proportional to alpha_j f_j(x_i).
+        densities = weights * rates * np.exp(-np.outer(data, rates))
+        totals = densities.sum(axis=1, keepdims=True)
+        totals = np.maximum(totals, 1e-300)
+        responsibilities = densities / totals
+
+        # M-step: closed-form updates for exponential mixtures.
+        mass = responsibilities.sum(axis=0)
+        if np.any(mass <= 0.0):
+            raise FittingError("a mixture phase collapsed during EM (zero responsibility mass)")
+        weights = mass / data.size
+        weighted_sums = responsibilities.T @ data
+        rates = mass / weighted_sums
+
+        current = _log_likelihood(data, weights, rates)
+        if abs(current - previous) <= tolerance * (abs(previous) + 1e-12):
+            previous = current
+            converged = True
+            break
+        previous = current
+
+    order = np.argsort(rates)[::-1]
+    distribution = HyperExponential(weights=weights[order] / weights.sum(), rates=rates[order])
+    return EMFitResult(
+        distribution=distribution,
+        log_likelihood=previous,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,230 @@
+"""Moment-matching fits of hyperexponential distributions.
+
+An ``n``-phase hyperexponential distribution is completely determined by its
+first ``2n - 1`` raw moments (paper Eq. 6–7).  This module provides:
+
+* :func:`fit_two_phase_from_moments` — the closed-form three-moment fit of a
+  2-phase hyperexponential (the fit eventually adopted by the paper, after
+  observing that the 3-phase brute-force search returned two nearly equal
+  rates);
+* :func:`fit_exponential` — the one-moment exponential fit used as the null
+  hypothesis of the Kolmogorov–Smirnov tests;
+* :func:`hyperexponential_moments` / :func:`solve_weights_for_rates` — the
+  algebraic building blocks shared with the brute-force and iterative
+  fitting procedures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distributions import Exponential, HyperExponential
+from ..exceptions import FittingError
+
+
+@dataclass(frozen=True)
+class MomentFitReport:
+    """Diagnostics attached to a moment-matching fit.
+
+    Attributes
+    ----------
+    distribution:
+        The fitted hyperexponential distribution.
+    target_moments:
+        The empirical moments the fit was asked to match.
+    fitted_moments:
+        The corresponding moments of the fitted distribution.
+    absolute_errors:
+        ``|fitted - target|`` per moment order.
+    """
+
+    distribution: HyperExponential
+    target_moments: np.ndarray
+    fitted_moments: np.ndarray
+    absolute_errors: np.ndarray
+
+    @property
+    def max_relative_error(self) -> float:
+        """The largest relative error across the matched moments."""
+        scale = np.where(self.target_moments == 0.0, 1.0, np.abs(self.target_moments))
+        return float(np.max(self.absolute_errors / scale))
+
+
+def hyperexponential_moments(
+    weights: Sequence[float], rates: Sequence[float], count: int
+) -> np.ndarray:
+    """Raw moments ``M_k = k! sum_j alpha_j / xi_j^k`` for ``k = 1..count`` (Eq. 6)."""
+    weights_arr = np.asarray(weights, dtype=float)
+    rates_arr = np.asarray(rates, dtype=float)
+    return np.array(
+        [
+            math.factorial(k) * float(np.sum(weights_arr / rates_arr**k))
+            for k in range(1, count + 1)
+        ]
+    )
+
+
+def solve_weights_for_rates(rates: Sequence[float], target_moments: Sequence[float]) -> np.ndarray:
+    """Solve for mixing weights given candidate rates and leading moments.
+
+    For ``n`` candidate rates the weights are obtained from the normalising
+    condition plus the first ``n - 1`` moment equations, which are *linear* in
+    the weights.  This is the elimination step the paper applies before its
+    brute-force search over rates (Section 2).
+
+    Parameters
+    ----------
+    rates:
+        Candidate rates ``xi_1 .. xi_n`` (strictly positive).
+    target_moments:
+        Estimated moments ``M~_1, M~_2, ...``; at least ``n - 1`` values are
+        required.
+
+    Returns
+    -------
+    numpy.ndarray
+        The weight vector ``alpha``.  The entries sum to one but may be
+        negative or exceed one for infeasible rate combinations; callers must
+        check feasibility (see :func:`weights_are_feasible`).
+    """
+    rates_arr = np.asarray(rates, dtype=float)
+    moments_arr = np.asarray(target_moments, dtype=float)
+    n = rates_arr.size
+    if np.any(rates_arr <= 0.0):
+        raise FittingError("candidate rates must be strictly positive")
+    if moments_arr.size < n - 1:
+        raise FittingError(
+            f"need at least {n - 1} target moments to determine {n} weights, "
+            f"got {moments_arr.size}"
+        )
+    # Row 0: normalisation sum alpha_j = 1.
+    # Row k (1-based): sum_j alpha_j * k! / xi_j^k = M~_k  for k = 1 .. n-1.
+    system = np.ones((n, n))
+    rhs = np.ones(n)
+    for k in range(1, n):
+        system[k, :] = math.factorial(k) / rates_arr**k
+        rhs[k] = moments_arr[k - 1]
+    try:
+        weights = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise FittingError(f"weight system is singular for rates {rates_arr!r}") from exc
+    return weights
+
+
+def weights_are_feasible(weights: Sequence[float], tolerance: float = 1e-9) -> bool:
+    """Return True when all weights lie in ``[0, 1]`` up to ``tolerance``."""
+    weights_arr = np.asarray(weights, dtype=float)
+    return bool(np.all(weights_arr >= -tolerance) and np.all(weights_arr <= 1.0 + tolerance))
+
+
+def fit_exponential(target_moments: Sequence[float]) -> Exponential:
+    """Fit an exponential distribution by matching the first moment.
+
+    This is the null-hypothesis distribution whose Kolmogorov–Smirnov test
+    the paper reports as strongly rejected for operative periods.
+    """
+    moments_arr = np.asarray(target_moments, dtype=float)
+    if moments_arr.size < 1 or moments_arr[0] <= 0.0:
+        raise FittingError("the first target moment must be positive")
+    return Exponential(rate=1.0 / float(moments_arr[0]))
+
+
+def fit_two_phase_from_moments(target_moments: Sequence[float]) -> MomentFitReport:
+    """Closed-form fit of a 2-phase hyperexponential to three raw moments.
+
+    Writing ``m_k = M_k / k! = sum_j alpha_j / xi_j^k`` and ``x_j = 1 / xi_j``,
+    the pair ``(x_1, x_2)`` solves the quadratic ``x^2 - c_1 x - c_0 = 0``
+    whose coefficients are obtained from the linear system
+
+    .. math::
+
+        c_1 m_1 + c_0 m_0 = m_2, \\qquad c_1 m_2 + c_0 m_1 = m_3,
+
+    with ``m_0 = 1``; the weight on the first phase is then
+    ``alpha_1 = (m_1 - x_2) / (x_1 - x_2)``.
+
+    Parameters
+    ----------
+    target_moments:
+        The estimated raw moments ``(M~_1, M~_2, M~_3)``.  Only the first
+        three entries are used.
+
+    Raises
+    ------
+    FittingError
+        If fewer than three moments are supplied, the squared coefficient of
+        variation implied by the first two moments is not greater than one,
+        or the three moments are not jointly attainable by a 2-phase
+        hyperexponential distribution.
+    """
+    moments_arr = np.asarray(target_moments, dtype=float)
+    if moments_arr.size < 3:
+        raise FittingError("three target moments are required for a 2-phase fit")
+    m1_raw, m2_raw, m3_raw = (float(moments_arr[k]) for k in range(3))
+    if m1_raw <= 0.0 or m2_raw <= 0.0 or m3_raw <= 0.0:
+        raise FittingError("target moments must be strictly positive")
+    scv = m2_raw / (m1_raw * m1_raw) - 1.0
+    if scv <= 0.0:
+        raise FittingError(
+            "the empirical squared coefficient of variation must exceed 1 for a "
+            f"hyperexponential fit, got C^2 = {1.0 + scv:.6g} - 1"
+        )
+    # Normalised power sums m_k = M_k / k!.
+    m0, m1, m2, m3 = 1.0, m1_raw, m2_raw / 2.0, m3_raw / 6.0
+    determinant = m1 * m1 - m2 * m0
+    if abs(determinant) < 1e-300:
+        raise FittingError("moment system is degenerate (Hankel determinant is zero)")
+    system = np.array([[m1, m0], [m2, m1]])
+    rhs = np.array([m2, m3])
+    try:
+        c1, c0 = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise FittingError("moment system is singular") from exc
+    discriminant = c1 * c1 + 4.0 * c0
+    if discriminant < 0.0:
+        raise FittingError(
+            "the supplied moments are not attainable by a 2-phase hyperexponential "
+            f"(negative discriminant {discriminant:.6g})"
+        )
+    sqrt_disc = math.sqrt(discriminant)
+    x1 = 0.5 * (c1 + sqrt_disc)
+    x2 = 0.5 * (c1 - sqrt_disc)
+    if x1 <= 0.0 or x2 <= 0.0 or math.isclose(x1, x2, rel_tol=1e-12):
+        raise FittingError(
+            "the supplied moments do not yield two distinct positive phase means "
+            f"(got {x1:.6g} and {x2:.6g})"
+        )
+    alpha1 = (m1 - x2) / (x1 - x2)
+    alpha2 = 1.0 - alpha1
+    if not weights_are_feasible([alpha1, alpha2]):
+        raise FittingError(
+            f"the implied mixing weights ({alpha1:.6g}, {alpha2:.6g}) are outside [0, 1]"
+        )
+    alpha1 = min(max(alpha1, 0.0), 1.0)
+    # Present the phases in decreasing-rate order (shorter-period phase
+    # first), matching the convention of the paper's Section-2 tables.
+    weights = np.array([alpha1, 1.0 - alpha1])
+    rates = np.array([1.0 / x1, 1.0 / x2])
+    order = np.argsort(rates)[::-1]
+    distribution = HyperExponential(weights=weights[order], rates=rates[order])
+    fitted = distribution.moments(3)
+    targets = moments_arr[:3].astype(float)
+    return MomentFitReport(
+        distribution=distribution,
+        target_moments=targets,
+        fitted_moments=fitted,
+        absolute_errors=np.abs(fitted - targets),
+    )
+
+
+def fit_two_phase_from_mean_and_scv(mean: float, scv: float) -> HyperExponential:
+    """Fit a balanced-means 2-phase hyperexponential to a mean and SCV.
+
+    Thin wrapper over :meth:`HyperExponential.from_mean_and_scv`, provided so
+    that all fitting entry points live in :mod:`repro.fitting`.
+    """
+    return HyperExponential.from_mean_and_scv(mean, scv)

@@ -1,0 +1,49 @@
+"""Markov-chain substrate: mode enumeration, environments and CTMC solvers.
+
+Public API
+----------
+
+* :func:`num_modes`, :func:`enumerate_modes`, :func:`compositions`,
+  :func:`mode_index_map`, :func:`operative_counts` — enumeration of the
+  operational modes of the environment (paper Eq. 12 and the Section-3.1
+  worked example).
+* :class:`BreakdownEnvironment`, :class:`ModeTransition`,
+  :func:`expected_num_modes` — the Markovian environment modulating the
+  queue: matrices ``A`` and ``D^A``, operative-server counts, availability
+  and the environment steady state.
+* :func:`steady_state_from_generator`, :func:`steady_state_sparse`,
+  :func:`validate_generator`, :func:`embedded_jump_chain`,
+  :func:`mean_holding_times` — generic CTMC utilities.
+"""
+
+from .ctmc import (
+    embedded_jump_chain,
+    mean_holding_times,
+    steady_state_from_generator,
+    steady_state_sparse,
+    validate_generator,
+)
+from .environment import BreakdownEnvironment, ModeTransition, expected_num_modes
+from .partitions import (
+    compositions,
+    enumerate_modes,
+    mode_index_map,
+    num_modes,
+    operative_counts,
+)
+
+__all__ = [
+    "compositions",
+    "enumerate_modes",
+    "mode_index_map",
+    "num_modes",
+    "operative_counts",
+    "BreakdownEnvironment",
+    "ModeTransition",
+    "expected_num_modes",
+    "steady_state_from_generator",
+    "steady_state_sparse",
+    "validate_generator",
+    "embedded_jump_chain",
+    "mean_holding_times",
+]

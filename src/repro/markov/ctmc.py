@@ -1,0 +1,149 @@
+"""Generic continuous-time Markov chain (CTMC) utilities.
+
+Two consumers in the library need a plain CTMC steady-state solver:
+
+* the :class:`~repro.markov.environment.BreakdownEnvironment`, whose own
+  generator is a small dense matrix; and
+* the truncated-CTMC reference solver in :mod:`repro.queueing.ctmc_reference`,
+  which builds a (sparse) generator over ``(mode, queue length)`` pairs and is
+  used to validate the spectral-expansion solution on finite state spaces.
+
+The functions here therefore accept both dense NumPy arrays and SciPy sparse
+matrices and always return a dense probability vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse
+import scipy.sparse.linalg
+
+from ..exceptions import SolverError
+
+#: Largest acceptable magnitude of a negative entry in a computed probability
+#: vector before the solver refuses to return it.
+_NEGATIVITY_TOLERANCE = 1e-8
+
+
+def validate_generator(generator: np.ndarray, *, tolerance: float = 1e-9) -> None:
+    """Validate that a dense matrix is a CTMC generator.
+
+    A generator has non-negative off-diagonal entries, non-positive diagonal
+    entries and zero row sums.  Raises :class:`SolverError` otherwise.
+    """
+    matrix = np.asarray(generator, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise SolverError(f"generator must be square, got shape {matrix.shape}")
+    off_diagonal = matrix - np.diag(np.diag(matrix))
+    if np.any(off_diagonal < -tolerance):
+        raise SolverError("generator has negative off-diagonal entries")
+    if np.any(np.diag(matrix) > tolerance):
+        raise SolverError("generator has positive diagonal entries")
+    row_sums = matrix.sum(axis=1)
+    if np.any(np.abs(row_sums) > 1e-6 * max(1.0, float(np.max(np.abs(matrix))))):
+        raise SolverError("generator row sums are not zero")
+
+
+def steady_state_from_generator(generator: np.ndarray) -> np.ndarray:
+    """Stationary distribution ``pi`` of a dense CTMC generator (``pi Q = 0``).
+
+    The singular balance system is closed by replacing one equation with the
+    normalisation ``sum(pi) = 1`` and solved by least squares for robustness
+    against mild ill-conditioning.
+
+    Raises
+    ------
+    SolverError
+        If the matrix is not square or the computed vector has significantly
+        negative entries (indicating a reducible or malformed generator).
+    """
+    matrix = np.asarray(generator, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise SolverError(f"generator must be square, got shape {matrix.shape}")
+    size = matrix.shape[0]
+    if size == 1:
+        return np.array([1.0])
+    # Solve pi Q = 0 with sum(pi) = 1: transpose to Q^T pi^T = 0 and append the
+    # normalisation row.
+    system = np.vstack([matrix.T, np.ones((1, size))])
+    rhs = np.zeros(size + 1)
+    rhs[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    if np.any(solution < -_NEGATIVITY_TOLERANCE):
+        raise SolverError(
+            "stationary distribution has negative entries; "
+            "the generator may be reducible or malformed"
+        )
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if total <= 0.0:
+        raise SolverError("stationary distribution sums to zero")
+    return solution / total
+
+
+def steady_state_sparse(generator: scipy.sparse.spmatrix) -> np.ndarray:
+    """Stationary distribution of a sparse CTMC generator.
+
+    Uses a sparse LU solve of the balance equations with one column replaced
+    by the normalisation condition; falls back to a dense least-squares solve
+    for small systems if the factorisation fails.
+    """
+    matrix = scipy.sparse.csr_matrix(generator, dtype=float)
+    size = matrix.shape[0]
+    if matrix.shape[0] != matrix.shape[1]:
+        raise SolverError(f"generator must be square, got shape {matrix.shape}")
+    if size == 1:
+        return np.array([1.0])
+    # Build the transposed balance system Q^T x = 0 and overwrite the last row
+    # with the normalisation sum(x) = 1.
+    transposed = matrix.T.tolil()
+    transposed[size - 1, :] = np.ones(size)
+    rhs = np.zeros(size)
+    rhs[size - 1] = 1.0
+    try:
+        solution = scipy.sparse.linalg.spsolve(transposed.tocsr(), rhs)
+    except RuntimeError as exc:  # pragma: no cover - depends on SuperLU behaviour
+        if size > 5000:
+            raise SolverError(f"sparse steady-state solve failed: {exc}") from exc
+        dense = matrix.toarray()
+        return steady_state_from_generator(dense)
+    solution = np.asarray(solution, dtype=float)
+    if np.any(~np.isfinite(solution)):
+        raise SolverError("sparse steady-state solve produced non-finite values")
+    if np.any(solution < -1e-6):
+        raise SolverError("sparse steady-state solve produced negative probabilities")
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if total <= 0.0:
+        raise SolverError("sparse steady-state solution sums to zero")
+    return solution / total
+
+
+def embedded_jump_chain(generator: np.ndarray) -> np.ndarray:
+    """Transition matrix of the embedded jump chain of a dense generator.
+
+    Row ``i`` of the result is the conditional distribution of the next state
+    given a jump out of state ``i``; absorbing states (zero exit rate) map to
+    themselves.  Used by simulation utilities and tests.
+    """
+    matrix = np.asarray(generator, dtype=float)
+    validate_generator(matrix)
+    size = matrix.shape[0]
+    jump = np.zeros_like(matrix)
+    for i in range(size):
+        exit_rate = -matrix[i, i]
+        if exit_rate <= 0.0:
+            jump[i, i] = 1.0
+        else:
+            jump[i] = matrix[i] / exit_rate
+            jump[i, i] = 0.0
+    return jump
+
+
+def mean_holding_times(generator: np.ndarray) -> np.ndarray:
+    """Mean holding time ``1 / -Q_{ii}`` per state (infinite for absorbing states)."""
+    matrix = np.asarray(generator, dtype=float)
+    validate_generator(matrix)
+    diagonal = -np.diag(matrix)
+    with np.errstate(divide="ignore"):
+        return np.where(diagonal > 0.0, 1.0 / diagonal, np.inf)

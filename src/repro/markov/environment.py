@@ -1,0 +1,314 @@
+"""The Markovian environment of the unreliable multi-server queue.
+
+Section 3 of the paper models the ``N`` servers as a Markovian environment
+whose state records how many servers are in each phase of an operative or
+inoperative period.  The environment is independent of the job queue; it
+modulates the queue only through the number of operative servers in the
+current mode (which determines the service capacity).
+
+This module builds the environment from the operative and inoperative period
+distributions (hyperexponential, including the exponential special case):
+
+* the list of operational modes (see :mod:`repro.markov.partitions`);
+* the matrix ``A`` of transition rates between modes (paper Section 3.1,
+  item (a)) and the diagonal matrix ``D^A`` of its row sums;
+* the number of operative servers in each mode, which generates the
+  service-completion matrices ``C_j``;
+* the environment's own steady-state distribution, availability and the mean
+  number of operative servers — the ingredients of the stability condition
+  (paper Eq. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..distributions import Distribution, Exponential, HyperExponential
+from ..exceptions import ParameterError
+from .ctmc import steady_state_from_generator
+from .partitions import enumerate_modes, mode_index_map, num_modes
+
+
+def _as_phase_mixture(distribution: Distribution, name: str) -> tuple[np.ndarray, np.ndarray]:
+    """Return (weights, rates) of a distribution usable as a period distribution.
+
+    The analytical model requires hyperexponential (or exponential) periods;
+    other distributions are rejected with a clear message — they can still be
+    studied via the simulator.
+    """
+    if isinstance(distribution, HyperExponential):
+        return distribution.weights, distribution.rates
+    if isinstance(distribution, Exponential):
+        return np.array([1.0]), np.array([distribution.rate])
+    raise ParameterError(
+        f"{name} must be Exponential or HyperExponential for the analytical model, "
+        f"got {type(distribution).__name__}; use repro.simulation for general distributions"
+    )
+
+
+@dataclass(frozen=True)
+class ModeTransition:
+    """A single transition between operational modes.
+
+    Attributes
+    ----------
+    source, target:
+        Mode indices.
+    rate:
+        Transition rate.
+    kind:
+        Either ``"breakdown"`` (an operative server fails) or ``"repair"``
+        (an inoperative server comes back).
+    """
+
+    source: int
+    target: int
+    rate: float
+    kind: str
+
+
+class BreakdownEnvironment:
+    """The Markov-modulating environment of servers subject to breakdowns.
+
+    Parameters
+    ----------
+    num_servers:
+        The number of servers ``N``.
+    operative:
+        Distribution of operative periods (exponential or hyperexponential
+        with weights ``alpha_j`` and rates ``xi_j``).
+    inoperative:
+        Distribution of inoperative periods (exponential or hyperexponential
+        with weights ``beta_k`` and rates ``eta_k``).
+
+    Examples
+    --------
+    The paper's worked example with two servers, two operative phases and one
+    (exponential) inoperative phase has six modes:
+
+    >>> from repro.distributions import HyperExponential, Exponential
+    >>> env = BreakdownEnvironment(
+    ...     num_servers=2,
+    ...     operative=HyperExponential(weights=[0.5, 0.5], rates=[1.0, 0.1]),
+    ...     inoperative=Exponential(rate=2.0),
+    ... )
+    >>> env.num_modes
+    6
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        operative: Distribution,
+        inoperative: Distribution,
+    ) -> None:
+        self._num_servers = check_positive_int(num_servers, "num_servers")
+        self._operative = operative
+        self._inoperative = inoperative
+        weights_op, rates_op = _as_phase_mixture(operative, "operative")
+        weights_rep, rates_rep = _as_phase_mixture(inoperative, "inoperative")
+        self._alpha = weights_op
+        self._xi = rates_op
+        self._beta = weights_rep
+        self._eta = rates_rep
+        self._modes = enumerate_modes(self._num_servers, self._alpha.size, self._beta.size)
+        self._mode_index = mode_index_map(self._num_servers, self._alpha.size, self._beta.size)
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_servers(self) -> int:
+        """The total number of servers ``N``."""
+        return self._num_servers
+
+    @property
+    def operative_distribution(self) -> Distribution:
+        """The operative-period distribution."""
+        return self._operative
+
+    @property
+    def inoperative_distribution(self) -> Distribution:
+        """The inoperative-period distribution."""
+        return self._inoperative
+
+    @property
+    def num_operative_phases(self) -> int:
+        """The number of operative phases ``n``."""
+        return int(self._alpha.size)
+
+    @property
+    def num_inoperative_phases(self) -> int:
+        """The number of inoperative phases ``m``."""
+        return int(self._beta.size)
+
+    @property
+    def num_modes(self) -> int:
+        """The number of operational modes ``s`` (paper Eq. 12)."""
+        return len(self._modes)
+
+    @property
+    def modes(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """The list of modes as ``(X, Y)`` occupancy pairs, in mode order."""
+        return list(self._modes)
+
+    def mode_of(self, operative: tuple[int, ...], inoperative: tuple[int, ...]) -> int:
+        """Return the index of the mode with the given occupancies."""
+        key = (tuple(operative), tuple(inoperative))
+        if key not in self._mode_index:
+            raise ParameterError(f"no such mode: {key!r}")
+        return self._mode_index[key]
+
+    @cached_property
+    def operative_counts(self) -> np.ndarray:
+        """The number of operative servers ``x`` in each mode, in mode order."""
+        return np.array([sum(operative) for operative, _ in self._modes], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Transition structure (paper Section 3.1)
+    # ------------------------------------------------------------------ #
+
+    def transitions(self) -> list[ModeTransition]:
+        """Enumerate all mode-changing transitions with their rates (paper Eq. 9).
+
+        A breakdown moves one server from operative phase ``j`` to inoperative
+        phase ``k`` at rate ``x_j xi_j beta_k``; a repair moves one server
+        from inoperative phase ``k`` to operative phase ``j`` at rate
+        ``y_k eta_k alpha_j``.
+        """
+        result: list[ModeTransition] = []
+        n = self.num_operative_phases
+        m = self.num_inoperative_phases
+        for index, (operative, inoperative) in enumerate(self._modes):
+            for j in range(n):
+                if operative[j] == 0:
+                    continue
+                for k in range(m):
+                    rate = operative[j] * self._xi[j] * self._beta[k]
+                    if rate == 0.0:
+                        continue
+                    new_operative = list(operative)
+                    new_operative[j] -= 1
+                    new_inoperative = list(inoperative)
+                    new_inoperative[k] += 1
+                    target = self._mode_index[(tuple(new_operative), tuple(new_inoperative))]
+                    result.append(
+                        ModeTransition(source=index, target=target, rate=rate, kind="breakdown")
+                    )
+            for k in range(m):
+                if inoperative[k] == 0:
+                    continue
+                for j in range(n):
+                    rate = inoperative[k] * self._eta[k] * self._alpha[j]
+                    if rate == 0.0:
+                        continue
+                    new_operative = list(operative)
+                    new_operative[j] += 1
+                    new_inoperative = list(inoperative)
+                    new_inoperative[k] -= 1
+                    target = self._mode_index[(tuple(new_operative), tuple(new_inoperative))]
+                    result.append(
+                        ModeTransition(source=index, target=target, rate=rate, kind="repair")
+                    )
+        return result
+
+    @cached_property
+    def transition_matrix(self) -> np.ndarray:
+        """The matrix ``A`` of mode-changing transition rates (zero diagonal)."""
+        matrix = np.zeros((self.num_modes, self.num_modes))
+        for transition in self.transitions():
+            matrix[transition.source, transition.target] += transition.rate
+        return matrix
+
+    @cached_property
+    def row_sum_matrix(self) -> np.ndarray:
+        """The diagonal matrix ``D^A`` whose entries are the row sums of ``A``."""
+        return np.diag(self.transition_matrix.sum(axis=1))
+
+    @cached_property
+    def generator(self) -> np.ndarray:
+        """The environment's own CTMC generator ``A - D^A``."""
+        return self.transition_matrix - self.row_sum_matrix
+
+    # ------------------------------------------------------------------ #
+    # Steady-state quantities (ingredients of paper Eq. 10-11)
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def steady_state(self) -> np.ndarray:
+        """The stationary distribution of the environment over its modes."""
+        return steady_state_from_generator(self.generator)
+
+    @property
+    def mean_operative_period(self) -> float:
+        """The mean operative period ``1/xi = sum_j alpha_j / xi_j`` (Eq. 10)."""
+        return float(np.sum(self._alpha / self._xi))
+
+    @property
+    def mean_inoperative_period(self) -> float:
+        """The mean inoperative period ``1/eta = sum_k beta_k / eta_k`` (Eq. 10)."""
+        return float(np.sum(self._beta / self._eta))
+
+    @property
+    def availability(self) -> float:
+        """The long-run fraction of time a server is operative, ``eta / (xi + eta)``."""
+        operative = self.mean_operative_period
+        inoperative = self.mean_inoperative_period
+        return operative / (operative + inoperative)
+
+    @property
+    def mean_operative_servers(self) -> float:
+        """The steady-state average number of operative servers ``N eta / (xi + eta)``."""
+        return self._num_servers * self.availability
+
+    @cached_property
+    def mean_operative_servers_from_steady_state(self) -> float:
+        """The same quantity computed from the environment's stationary distribution.
+
+        Provided as an internal consistency check: it must agree with
+        :attr:`mean_operative_servers` because each server is operative a
+        fraction ``eta / (xi + eta)`` of the time regardless of phase detail.
+        """
+        return float(self.steady_state @ self.operative_counts)
+
+    # ------------------------------------------------------------------ #
+    # Phase parameters (exposed for the spectral solver and tests)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def operative_weights(self) -> np.ndarray:
+        """The operative-phase entry probabilities ``alpha_j`` (copy)."""
+        return self._alpha.copy()
+
+    @property
+    def operative_rates(self) -> np.ndarray:
+        """The operative-phase rates ``xi_j`` (copy)."""
+        return self._xi.copy()
+
+    @property
+    def inoperative_weights(self) -> np.ndarray:
+        """The inoperative-phase entry probabilities ``beta_k`` (copy)."""
+        return self._beta.copy()
+
+    @property
+    def inoperative_rates(self) -> np.ndarray:
+        """The inoperative-phase rates ``eta_k`` (copy)."""
+        return self._eta.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BreakdownEnvironment(num_servers={self._num_servers}, "
+            f"modes={self.num_modes}, availability={self.availability:.4f})"
+        )
+
+
+def expected_num_modes(num_servers: int, operative: Distribution, inoperative: Distribution) -> int:
+    """The mode count ``s`` for given period distributions without building the environment."""
+    alpha, _ = _as_phase_mixture(operative, "operative")
+    beta, _ = _as_phase_mixture(inoperative, "inoperative")
+    return num_modes(num_servers, alpha.size, beta.size)

@@ -1,0 +1,105 @@
+"""Enumeration of server configurations over operative/inoperative phases.
+
+The Markovian environment of the model tracks, for each of the ``n``
+operative phases and ``m`` inoperative phases, how many of the ``N`` servers
+currently sit in that phase.  A configuration is therefore a *weak
+composition* of ``N`` into ``n + m`` non-negative parts, and the number of
+configurations — the number of "operational modes" in the paper's terminology
+— is the binomial coefficient of paper Eq. 12:
+
+.. math::
+
+    s = \\binom{N + n + m - 1}{n + m - 1} .
+
+This module enumerates the compositions in a deterministic order, maps
+between compositions and mode indices, and provides the count.  The ordering
+is chosen so that the worked example of the paper (``N = 2, n = 2, m = 1``)
+enumerates its six modes exactly as listed in Section 3.1: modes are sorted
+by increasing number of operative servers, and within the same operative
+count lexicographically by the operative phase occupancies (phase-1-heavy
+configurations first), then by the inoperative occupancies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from math import comb
+
+from .._validation import check_non_negative_int, check_positive_int
+
+
+def num_modes(num_servers: int, num_operative_phases: int, num_inoperative_phases: int) -> int:
+    """The number of operational modes ``s`` (paper Eq. 12)."""
+    total_servers = check_non_negative_int(num_servers, "num_servers")
+    n = check_positive_int(num_operative_phases, "num_operative_phases")
+    m = check_positive_int(num_inoperative_phases, "num_inoperative_phases")
+    return comb(total_servers + n + m - 1, n + m - 1)
+
+
+def compositions(total: int, parts: int) -> list[tuple[int, ...]]:
+    """All weak compositions of ``total`` into ``parts`` non-negative integers.
+
+    The compositions are returned in lexicographically *decreasing* order of
+    the leading parts (i.e. ``(total, 0, ..)`` first), which places
+    phase-1-heavy configurations before phase-2-heavy ones as in the paper's
+    worked example.
+    """
+    total = check_non_negative_int(total, "total")
+    parts = check_positive_int(parts, "parts")
+    results: list[tuple[int, ...]] = []
+    if parts == 1:
+        return [(total,)]
+    for first in range(total, -1, -1):
+        for rest in compositions(total - first, parts - 1):
+            results.append((first,) + rest)
+    return results
+
+
+@lru_cache(maxsize=None)
+def _enumerate_modes_cached(
+    num_servers: int, num_operative_phases: int, num_inoperative_phases: int
+) -> tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]:
+    modes: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for operative_count in range(num_servers + 1):
+        inoperative_count = num_servers - operative_count
+        operative_splits = compositions(operative_count, num_operative_phases)
+        inoperative_splits = compositions(inoperative_count, num_inoperative_phases)
+        for operative, inoperative in itertools.product(operative_splits, inoperative_splits):
+            modes.append((operative, inoperative))
+    return tuple(modes)
+
+
+def enumerate_modes(
+    num_servers: int, num_operative_phases: int, num_inoperative_phases: int
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Enumerate all operational modes as ``(X, Y)`` occupancy pairs.
+
+    ``X`` is the tuple of per-phase counts of operative servers and ``Y`` the
+    tuple of per-phase counts of inoperative servers; ``sum(X) + sum(Y) = N``.
+    Modes are ordered by increasing number of operative servers, matching the
+    paper's worked example (mode 0 has every server inoperative).
+
+    The result is cached internally; callers receive a fresh list they may
+    mutate freely.
+    """
+    total_servers = check_non_negative_int(num_servers, "num_servers")
+    n = check_positive_int(num_operative_phases, "num_operative_phases")
+    m = check_positive_int(num_inoperative_phases, "num_inoperative_phases")
+    return list(_enumerate_modes_cached(total_servers, n, m))
+
+
+def mode_index_map(
+    num_servers: int, num_operative_phases: int, num_inoperative_phases: int
+) -> dict[tuple[tuple[int, ...], tuple[int, ...]], int]:
+    """Map each ``(X, Y)`` occupancy pair to its mode index."""
+    modes = enumerate_modes(num_servers, num_operative_phases, num_inoperative_phases)
+    return {mode: index for index, mode in enumerate(modes)}
+
+
+def operative_counts(
+    num_servers: int, num_operative_phases: int, num_inoperative_phases: int
+) -> list[int]:
+    """The number of operative servers ``x = sum(X)`` for every mode, in mode order."""
+    modes = enumerate_modes(num_servers, num_operative_phases, num_inoperative_phases)
+    return [sum(operative) for operative, _ in modes]

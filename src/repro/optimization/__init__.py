@@ -1,0 +1,42 @@
+"""Cost optimisation and capacity planning (Section 4 of the paper).
+
+Public API
+----------
+
+* :func:`evaluate_cost`, :func:`cost_curve`, :func:`optimal_server_count`,
+  :class:`CostPoint`, :class:`CostCurve` — the Eq.-22 cost model and the
+  Figure-5 optimisation over the number of servers.
+* :func:`response_time_curve`, :func:`minimum_servers_for_response_time`,
+  :class:`SizingPoint`, :class:`SizingResult` — the Figure-9 service-level
+  sizing question.
+* :func:`minimum_stable_servers` — the smallest ``N`` satisfying the
+  stability condition (Eq. 11).
+"""
+
+from .cost import (
+    CostCurve,
+    CostPoint,
+    cost_curve,
+    evaluate_cost,
+    minimum_stable_servers,
+    optimal_server_count,
+)
+from .sizing import (
+    SizingPoint,
+    SizingResult,
+    minimum_servers_for_response_time,
+    response_time_curve,
+)
+
+__all__ = [
+    "CostPoint",
+    "CostCurve",
+    "evaluate_cost",
+    "cost_curve",
+    "optimal_server_count",
+    "minimum_stable_servers",
+    "SizingPoint",
+    "SizingResult",
+    "response_time_curve",
+    "minimum_servers_for_response_time",
+]

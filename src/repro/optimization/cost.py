@@ -1,0 +1,226 @@
+"""Cost evaluation and optimisation over the number of servers.
+
+Section 4 of the paper attaches a linear cost to the steady state of the
+system (Eq. 22):
+
+.. math::
+
+    C = c_1 L + c_2 N ,
+
+where ``c_1`` is the cost per unit time of holding a job in the system (the
+"user" cost) and ``c_2`` the cost per unit time of providing a server (the
+"provider" cost).  For fixed demand there is a trade-off: more servers reduce
+``L`` but cost more, so an optimal ``N`` exists.  Figure 5 of the paper plots
+``C`` against ``N`` for three arrival rates; the optima reported are
+``N = 11`` for ``lambda = 7``, ``N = 12`` for ``lambda = 8`` and ``N = 13``
+for ``lambda = 8.5``.
+
+This module evaluates the cost curve and locates the optimum, using either
+the exact spectral solution or the geometric approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_positive_int
+from ..exceptions import ParameterError, SolverError, UnstableQueueError
+from ..queueing.model import UnreliableQueueModel
+from ..queueing.solution_base import QueueSolution
+
+#: Type of the solver callables accepted by the optimisation helpers.
+SolverCallable = Callable[[UnreliableQueueModel], QueueSolution]
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """The evaluated cost at one candidate number of servers.
+
+    Attributes
+    ----------
+    num_servers:
+        The candidate ``N``.
+    mean_queue_length:
+        The mean number of jobs ``L`` at that ``N``.
+    cost:
+        The total cost ``c1 L + c2 N``.
+    stable:
+        Whether the queue is stable at that ``N`` (unstable points carry an
+        infinite cost).
+    """
+
+    num_servers: int
+    mean_queue_length: float
+    cost: float
+    stable: bool
+
+
+@dataclass(frozen=True)
+class CostCurve:
+    """The cost as a function of the number of servers.
+
+    Attributes
+    ----------
+    points:
+        Evaluated :class:`CostPoint` entries, in increasing ``N``.
+    holding_cost, server_cost:
+        The cost coefficients ``c1`` and ``c2``.
+    """
+
+    points: tuple[CostPoint, ...]
+    holding_cost: float
+    server_cost: float
+
+    @property
+    def optimal_point(self) -> CostPoint:
+        """The evaluated point with the smallest finite cost."""
+        finite = [point for point in self.points if point.stable]
+        if not finite:
+            raise SolverError("no stable server count in the evaluated range")
+        return min(finite, key=lambda point: point.cost)
+
+    @property
+    def optimal_servers(self) -> int:
+        """The number of servers minimising the cost over the evaluated range."""
+        return self.optimal_point.num_servers
+
+    def as_series(self) -> tuple[list[int], list[float]]:
+        """Return ``(server counts, costs)`` — the series plotted in Figure 5."""
+        return (
+            [point.num_servers for point in self.points],
+            [point.cost for point in self.points],
+        )
+
+
+def _resolve_solver(solver: str | SolverCallable) -> SolverCallable:
+    """Turn a solver name into the corresponding solve function."""
+    if callable(solver):
+        return solver
+    if solver == "spectral":
+        return lambda model: model.solve_spectral()
+    if solver == "geometric":
+        return lambda model: model.solve_geometric()
+    if solver == "ctmc":
+        return lambda model: model.solve_ctmc()
+    raise ParameterError(
+        f"unknown solver {solver!r}; expected 'spectral', 'geometric', 'ctmc' or a callable"
+    )
+
+
+def evaluate_cost(
+    model: UnreliableQueueModel,
+    holding_cost: float,
+    server_cost: float,
+    *,
+    solver: str | SolverCallable = "spectral",
+) -> CostPoint:
+    """Evaluate the Eq.-22 cost of a single model configuration."""
+    holding_cost = check_non_negative(holding_cost, "holding_cost")
+    server_cost = check_non_negative(server_cost, "server_cost")
+    solve = _resolve_solver(solver)
+    if not model.is_stable:
+        return CostPoint(
+            num_servers=model.num_servers,
+            mean_queue_length=math.inf,
+            cost=math.inf,
+            stable=False,
+        )
+    solution = solve(model)
+    mean_jobs = solution.mean_queue_length
+    return CostPoint(
+        num_servers=model.num_servers,
+        mean_queue_length=mean_jobs,
+        cost=holding_cost * mean_jobs + server_cost * model.num_servers,
+        stable=True,
+    )
+
+
+def cost_curve(
+    base_model: UnreliableQueueModel,
+    server_counts: Sequence[int],
+    holding_cost: float,
+    server_cost: float,
+    *,
+    solver: str | SolverCallable = "spectral",
+) -> CostCurve:
+    """Evaluate the cost function over a range of server counts (Figure 5)."""
+    if not server_counts:
+        raise ParameterError("server_counts must not be empty")
+    points = []
+    for count in sorted({check_positive_int(count, "server count") for count in server_counts}):
+        model = base_model.with_servers(count)
+        points.append(
+            evaluate_cost(model, holding_cost, server_cost, solver=solver)
+        )
+    return CostCurve(
+        points=tuple(points), holding_cost=float(holding_cost), server_cost=float(server_cost)
+    )
+
+
+def optimal_server_count(
+    base_model: UnreliableQueueModel,
+    holding_cost: float,
+    server_cost: float,
+    *,
+    solver: str | SolverCallable = "spectral",
+    max_servers: int = 200,
+) -> CostPoint:
+    """Find the number of servers minimising the Eq.-22 cost.
+
+    The search starts at the smallest stable server count and walks upwards
+    until the cost has increased for three consecutive candidates (the cost
+    curve is convex in practice: holding costs fall quickly at first, then
+    the linear server cost dominates), or ``max_servers`` is reached.
+    """
+    check_non_negative(holding_cost, "holding_cost")
+    check_non_negative(server_cost, "server_cost")
+    max_servers = check_positive_int(max_servers, "max_servers")
+    solve = _resolve_solver(solver)
+
+    start = minimum_stable_servers(base_model, max_servers=max_servers)
+    best: CostPoint | None = None
+    consecutive_increases = 0
+    previous_cost = math.inf
+    for count in range(start, max_servers + 1):
+        model = base_model.with_servers(count)
+        try:
+            solution = solve(model)
+        except (UnstableQueueError, SolverError):
+            continue
+        cost = holding_cost * solution.mean_queue_length + server_cost * count
+        point = CostPoint(
+            num_servers=count,
+            mean_queue_length=solution.mean_queue_length,
+            cost=cost,
+            stable=True,
+        )
+        if best is None or cost < best.cost:
+            best = point
+        if cost > previous_cost:
+            consecutive_increases += 1
+            if consecutive_increases >= 3:
+                break
+        else:
+            consecutive_increases = 0
+        previous_cost = cost
+    if best is None:
+        raise SolverError(f"no stable configuration found with up to {max_servers} servers")
+    return best
+
+
+def minimum_stable_servers(
+    base_model: UnreliableQueueModel, *, max_servers: int = 10_000
+) -> int:
+    """The smallest ``N`` satisfying the stability condition of paper Eq. 11."""
+    availability = base_model.availability
+    if availability <= 0.0:
+        raise SolverError("server availability is zero; no finite N can stabilise the queue")
+    required = base_model.offered_load / availability
+    candidate = max(1, int(math.floor(required)) )
+    while candidate <= max_servers:
+        if base_model.with_servers(candidate).is_stable:
+            return candidate
+        candidate += 1
+    raise SolverError(f"no stable configuration found with up to {max_servers} servers")

@@ -1,0 +1,154 @@
+"""Capacity planning against quality-of-service targets.
+
+The second and third questions of the paper's introduction are planning
+questions: *what is the minimum number of servers that ensures a desired
+level of performance?* and *what number of servers balances waiting cost
+against provisioning cost?*  The cost trade-off is handled in
+:mod:`repro.optimization.cost`; this module answers the service-level
+question, the one illustrated by Figure 9 (with a mean-response-time target
+of 1.5 the fitted system needs at least 9 servers at ``lambda = 7.5``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .._validation import check_positive, check_positive_int
+from ..exceptions import SolverError, UnstableQueueError
+from ..queueing.model import UnreliableQueueModel
+from .cost import SolverCallable, _resolve_solver, minimum_stable_servers
+
+
+@dataclass(frozen=True)
+class SizingPoint:
+    """Performance of one candidate server count during a sizing sweep.
+
+    Attributes
+    ----------
+    num_servers:
+        The candidate ``N``.
+    mean_response_time:
+        The mean response time ``W`` at that ``N``.
+    mean_queue_length:
+        The mean number of jobs ``L``.
+    meets_target:
+        Whether the response-time target is met.
+    """
+
+    num_servers: int
+    mean_response_time: float
+    mean_queue_length: float
+    meets_target: bool
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Result of a minimum-server search.
+
+    Attributes
+    ----------
+    required_servers:
+        The smallest ``N`` meeting the target.
+    target_response_time:
+        The target ``W`` that was requested.
+    evaluations:
+        Every candidate evaluated on the way (useful for plotting the
+        response-time curve of Figure 9).
+    """
+
+    required_servers: int
+    target_response_time: float
+    evaluations: tuple[SizingPoint, ...]
+
+
+def response_time_curve(
+    base_model: UnreliableQueueModel,
+    server_counts: Sequence[int],
+    *,
+    solver: str | SolverCallable = "spectral",
+) -> list[SizingPoint]:
+    """Mean response time as a function of the number of servers (Figure 9).
+
+    Unstable configurations are reported with an infinite response time.
+    """
+    solve = _resolve_solver(solver)
+    points: list[SizingPoint] = []
+    for count in sorted({check_positive_int(count, "server count") for count in server_counts}):
+        model = base_model.with_servers(count)
+        if not model.is_stable:
+            points.append(
+                SizingPoint(
+                    num_servers=count,
+                    mean_response_time=float("inf"),
+                    mean_queue_length=float("inf"),
+                    meets_target=False,
+                )
+            )
+            continue
+        solution = solve(model)
+        points.append(
+            SizingPoint(
+                num_servers=count,
+                mean_response_time=solution.mean_response_time,
+                mean_queue_length=solution.mean_queue_length,
+                meets_target=False,
+            )
+        )
+    return points
+
+
+def minimum_servers_for_response_time(
+    base_model: UnreliableQueueModel,
+    target_response_time: float,
+    *,
+    solver: str | SolverCallable = "spectral",
+    max_servers: int = 500,
+) -> SizingResult:
+    """The smallest number of servers whose mean response time meets a target.
+
+    The mean response time decreases monotonically in ``N`` (more capacity
+    can only help), so the search walks upward from the smallest stable
+    configuration and stops at the first candidate that meets the target.
+
+    Raises
+    ------
+    SolverError
+        If no candidate up to ``max_servers`` meets the target.
+    """
+    target_response_time = check_positive(target_response_time, "target_response_time")
+    max_servers = check_positive_int(max_servers, "max_servers")
+    if target_response_time <= base_model.mean_service_time:
+        raise SolverError(
+            "the target response time cannot be smaller than the mean service time "
+            f"({target_response_time} <= {base_model.mean_service_time})"
+        )
+    solve = _resolve_solver(solver)
+    evaluations: list[SizingPoint] = []
+    start = minimum_stable_servers(base_model, max_servers=max_servers)
+    for count in range(start, max_servers + 1):
+        model = base_model.with_servers(count)
+        try:
+            solution = solve(model)
+        except (UnstableQueueError, SolverError):
+            continue
+        response_time = solution.mean_response_time
+        meets = response_time <= target_response_time
+        evaluations.append(
+            SizingPoint(
+                num_servers=count,
+                mean_response_time=response_time,
+                mean_queue_length=solution.mean_queue_length,
+                meets_target=meets,
+            )
+        )
+        if meets:
+            return SizingResult(
+                required_servers=count,
+                target_response_time=target_response_time,
+                evaluations=tuple(evaluations),
+            )
+    raise SolverError(
+        f"no configuration with up to {max_servers} servers meets the response-time target "
+        f"{target_response_time}"
+    )

@@ -1,0 +1,216 @@
+"""Truncated-CTMC reference solution for validation.
+
+The spectral expansion handles the infinite queue exactly.  As an independent
+check, this module solves the same Markov process on a *finite* state space by
+truncating the queue at a large level ``J`` and solving the global balance
+equations of the resulting CTMC with sparse linear algebra.  For a stable
+queue and a sufficiently large ``J`` the truncation error is negligible, so
+the two solvers must agree — the integration tests rely on this.
+
+The truncation level is chosen automatically from the effective load: the
+queue-length tail decays at least geometrically with a rate no larger than
+the dominant eigenvalue, which itself is bounded above by the effective load
+for the heavily loaded regimes of interest, so ``J = N + log(eps) / log(rho)``
+captures all but a vanishing fraction of the probability mass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse
+
+from .._validation import check_positive_int
+from ..exceptions import SolverError
+from ..markov import steady_state_sparse
+from .model import UnreliableQueueModel
+from .solution_base import QueueSolution
+
+#: Target truncation tail mass used when choosing the truncation level.
+_DEFAULT_TAIL_MASS = 1e-10
+
+#: Hard bounds on the automatically chosen truncation level (above ``N``).
+_MIN_EXTRA_LEVELS = 100
+_MAX_EXTRA_LEVELS = 40_000
+
+
+def default_truncation_level(model: UnreliableQueueModel) -> int:
+    """A truncation level that keeps the neglected tail mass below ~1e-10."""
+    load = min(model.effective_load, 0.999999)
+    if load <= 0.0:
+        extra = _MIN_EXTRA_LEVELS
+    else:
+        extra = int(math.ceil(math.log(_DEFAULT_TAIL_MASS) / math.log(load)))
+        extra = min(max(extra, _MIN_EXTRA_LEVELS), _MAX_EXTRA_LEVELS)
+    return model.num_servers + extra
+
+
+class TruncatedCTMCSolution(QueueSolution):
+    """Steady-state solution of the finite (truncated) Markov chain.
+
+    Attributes are exposed through the common :class:`QueueSolution`
+    interface; :attr:`truncation_level` and :meth:`truncation_mass` report how
+    aggressive the truncation was.
+    """
+
+    def __init__(
+        self,
+        model: UnreliableQueueModel,
+        probabilities: np.ndarray,
+    ) -> None:
+        self._model = model
+        self._probabilities = probabilities  # shape (levels, modes)
+        self._level_totals = probabilities.sum(axis=1)
+
+    @property
+    def model(self) -> UnreliableQueueModel:
+        """The model that was solved."""
+        return self._model
+
+    @property
+    def arrival_rate(self) -> float:
+        return self._model.arrival_rate
+
+    @property
+    def num_servers(self) -> int:
+        return self._model.num_servers
+
+    @property
+    def truncation_level(self) -> int:
+        """The largest queue length represented in the finite chain."""
+        return int(self._probabilities.shape[0] - 1)
+
+    def truncation_mass(self) -> float:
+        """The probability mass at the truncation boundary (diagnostic).
+
+        A well-chosen truncation level makes this negligible; validation
+        tests assert it is tiny before comparing against the exact solution.
+        """
+        return float(self._level_totals[-1])
+
+    def level_vector(self, num_jobs: int) -> np.ndarray:
+        """The probability vector over modes at level ``num_jobs``."""
+        if num_jobs < 0 or num_jobs > self.truncation_level:
+            return np.zeros(self._probabilities.shape[1])
+        return self._probabilities[num_jobs].copy()
+
+    def queue_length_pmf(self, num_jobs: int) -> float:
+        if num_jobs < 0 or num_jobs > self.truncation_level:
+            return 0.0
+        return float(self._level_totals[num_jobs])
+
+    def mode_marginals(self) -> np.ndarray:
+        totals = self._probabilities.sum(axis=0)
+        return totals / totals.sum()
+
+    @property
+    def mean_queue_length(self) -> float:
+        levels = np.arange(self._level_totals.size)
+        return float(np.dot(levels, self._level_totals))
+
+    @property
+    def mean_jobs_in_service(self) -> float:
+        """Exact mean number of busy servers under the truncated chain."""
+        counts = self._model.environment.operative_counts
+        total = 0.0
+        for level in range(self._probabilities.shape[0]):
+            busy = np.minimum(counts, float(level))
+            total += float(self._probabilities[level] @ busy)
+        return total
+
+    @property
+    def mean_jobs_waiting(self) -> float:
+        return self.mean_queue_length - self.mean_jobs_in_service
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TruncatedCTMCSolution(N={self.num_servers}, "
+            f"levels={self.truncation_level + 1}, L={self.mean_queue_length:.4f})"
+        )
+
+
+def build_truncated_generator(
+    model: UnreliableQueueModel, max_queue_length: int
+) -> scipy.sparse.csr_matrix:
+    """Build the sparse generator of the truncated chain.
+
+    States are ordered level-major: state ``(mode i, level j)`` has index
+    ``j * s + i``.  Arrivals at the truncation boundary are dropped, which is
+    the usual finite-buffer truncation and biases the solution optimistically
+    by a negligible amount when the boundary mass is tiny.
+    """
+    max_queue_length = check_positive_int(max_queue_length, "max_queue_length")
+    environment = model.environment
+    num_modes = environment.num_modes
+    counts = environment.operative_counts
+    mode_matrix = environment.transition_matrix
+    arrival_rate = model.arrival_rate
+    service_rate = model.service_rate
+
+    num_levels = max_queue_length + 1
+    size = num_levels * num_modes
+    rows: list[int] = []
+    cols: list[int] = []
+    rates: list[float] = []
+
+    def index(level: int, mode: int) -> int:
+        return level * num_modes + mode
+
+    mode_sources, mode_targets = np.nonzero(mode_matrix)
+    for level in range(num_levels):
+        base = level * num_modes
+        # Mode-changing transitions (breakdowns and repairs).
+        for source, target in zip(mode_sources, mode_targets):
+            rows.append(base + source)
+            cols.append(base + target)
+            rates.append(float(mode_matrix[source, target]))
+        # Arrivals.
+        if level < max_queue_length:
+            for mode in range(num_modes):
+                rows.append(index(level, mode))
+                cols.append(index(level + 1, mode))
+                rates.append(arrival_rate)
+        # Departures.
+        if level > 0:
+            for mode in range(num_modes):
+                rate = min(counts[mode], float(level)) * service_rate
+                if rate > 0.0:
+                    rows.append(index(level, mode))
+                    cols.append(index(level - 1, mode))
+                    rates.append(rate)
+
+    off_diagonal = scipy.sparse.coo_matrix(
+        (rates, (rows, cols)), shape=(size, size)
+    ).tocsr()
+    diagonal = np.asarray(off_diagonal.sum(axis=1)).ravel()
+    generator = off_diagonal - scipy.sparse.diags(diagonal)
+    return generator.tocsr()
+
+
+def solve_truncated_ctmc(
+    model: UnreliableQueueModel, max_queue_length: int | None = None
+) -> TruncatedCTMCSolution:
+    """Solve the truncated chain and wrap the result in a :class:`TruncatedCTMCSolution`.
+
+    Parameters
+    ----------
+    model:
+        The queueing model (must be stable; otherwise the truncated solution
+        would silently misrepresent an unstable system).
+    max_queue_length:
+        The truncation level ``J``.  Chosen automatically from the effective
+        load when omitted.
+    """
+    model.require_stable()
+    if max_queue_length is None:
+        max_queue_length = default_truncation_level(model)
+    if max_queue_length <= model.num_servers:
+        raise SolverError(
+            "max_queue_length must exceed the number of servers "
+            f"({max_queue_length} <= {model.num_servers})"
+        )
+    generator = build_truncated_generator(model, max_queue_length)
+    stationary = steady_state_sparse(generator)
+    probabilities = stationary.reshape(max_queue_length + 1, model.environment.num_modes)
+    return TruncatedCTMCSolution(model=model, probabilities=probabilities)

@@ -1,0 +1,175 @@
+"""Classical reliable-server baselines: M/M/1 and M/M/c (Erlang-C) formulas.
+
+These closed-form results serve three purposes in the reproduction:
+
+* **validation** — when breakdowns are switched off (or made vanishingly
+  rare) the unreliable-server model must collapse to the ordinary M/M/c
+  queue, and the spectral solver is tested against these formulas;
+* **baseline** — they quantify how much performance is lost to breakdowns,
+  the comparison that motivates the paper;
+* **teaching** — the examples use them to show the gap between the naive
+  "always up" capacity plan and the breakdown-aware plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import check_positive, check_positive_int
+from ..exceptions import UnstableQueueError
+
+
+@dataclass(frozen=True)
+class MMcMetrics:
+    """Steady-state metrics of an M/M/c queue.
+
+    Attributes
+    ----------
+    probability_empty:
+        Probability that the system is empty, ``p0``.
+    probability_wait:
+        The Erlang-C probability that an arriving job has to wait.
+    mean_jobs_waiting:
+        Mean number of jobs in the waiting line, ``Lq``.
+    mean_queue_length:
+        Mean number of jobs in the system, ``L``.
+    mean_waiting_time:
+        Mean time spent waiting before service, ``Wq``.
+    mean_response_time:
+        Mean total time in the system, ``W``.
+    """
+
+    probability_empty: float
+    probability_wait: float
+    mean_jobs_waiting: float
+    mean_queue_length: float
+    mean_waiting_time: float
+    mean_response_time: float
+
+
+def erlang_c(num_servers: int, offered_load: float) -> float:
+    """The Erlang-C probability of waiting for ``num_servers`` servers.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of (always operative) servers ``c``.
+    offered_load:
+        The offered load ``a = lambda / mu`` in Erlangs; must satisfy
+        ``a < c`` for the queue to be stable.
+
+    Raises
+    ------
+    UnstableQueueError
+        If ``offered_load >= num_servers``.
+    """
+    num_servers = check_positive_int(num_servers, "num_servers")
+    offered_load = check_positive(offered_load, "offered_load")
+    if offered_load >= num_servers:
+        raise UnstableQueueError(offered_load, float(num_servers))
+    utilisation = offered_load / num_servers
+    # Sum_{k<c} a^k / k!  computed iteratively to avoid overflow for large c.
+    partial_sum = 0.0
+    term = 1.0
+    for k in range(num_servers):
+        if k > 0:
+            term *= offered_load / k
+        partial_sum += term
+    top = term * offered_load / num_servers / (1.0 - utilisation)
+    return top / (partial_sum + top)
+
+
+def mmc_metrics(num_servers: int, arrival_rate: float, service_rate: float) -> MMcMetrics:
+    """All standard steady-state metrics of the M/M/c queue."""
+    arrival_rate = check_positive(arrival_rate, "arrival_rate")
+    service_rate = check_positive(service_rate, "service_rate")
+    offered_load = arrival_rate / service_rate
+    wait_probability = erlang_c(num_servers, offered_load)
+    utilisation = offered_load / num_servers
+    mean_waiting_jobs = wait_probability * utilisation / (1.0 - utilisation)
+    mean_jobs = mean_waiting_jobs + offered_load
+    mean_waiting_time = mean_waiting_jobs / arrival_rate
+    mean_response_time = mean_waiting_time + 1.0 / service_rate
+
+    # p0 of the M/M/c queue.
+    partial_sum = 0.0
+    term = 1.0
+    for k in range(num_servers):
+        if k > 0:
+            term *= offered_load / k
+        partial_sum += term
+    term *= offered_load / num_servers
+    p0 = 1.0 / (partial_sum + term / (1.0 - utilisation))
+
+    return MMcMetrics(
+        probability_empty=p0,
+        probability_wait=wait_probability,
+        mean_jobs_waiting=mean_waiting_jobs,
+        mean_queue_length=mean_jobs,
+        mean_waiting_time=mean_waiting_time,
+        mean_response_time=mean_response_time,
+    )
+
+
+def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """The mean number of jobs in an M/M/1 queue, ``rho / (1 - rho)``."""
+    arrival_rate = check_positive(arrival_rate, "arrival_rate")
+    service_rate = check_positive(service_rate, "service_rate")
+    utilisation = arrival_rate / service_rate
+    if utilisation >= 1.0:
+        raise UnstableQueueError(utilisation, 1.0)
+    return utilisation / (1.0 - utilisation)
+
+
+def mm1_queue_length_pmf(arrival_rate: float, service_rate: float, num_jobs: int) -> float:
+    """The geometric queue-length probability of the M/M/1 queue."""
+    arrival_rate = check_positive(arrival_rate, "arrival_rate")
+    service_rate = check_positive(service_rate, "service_rate")
+    if num_jobs < 0:
+        return 0.0
+    utilisation = arrival_rate / service_rate
+    if utilisation >= 1.0:
+        raise UnstableQueueError(utilisation, 1.0)
+    return (1.0 - utilisation) * utilisation**num_jobs
+
+
+def erlang_b(num_servers: int, offered_load: float) -> float:
+    """The Erlang-B blocking probability (no waiting room).
+
+    Included for completeness of the baseline family; computed with the
+    standard numerically stable recurrence.
+    """
+    num_servers = check_positive_int(num_servers, "num_servers")
+    offered_load = check_positive(offered_load, "offered_load")
+    blocking = 1.0
+    for k in range(1, num_servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking
+
+
+def required_servers_erlang_c(
+    arrival_rate: float,
+    service_rate: float,
+    max_wait_probability: float,
+    *,
+    max_servers: int = 10_000,
+) -> int:
+    """The smallest ``c`` whose Erlang-C waiting probability meets a target.
+
+    A reliable-server capacity-planning helper, used by the examples to show
+    how many extra servers the breakdown-aware model requires on top of the
+    classical answer.
+    """
+    arrival_rate = check_positive(arrival_rate, "arrival_rate")
+    service_rate = check_positive(service_rate, "service_rate")
+    if not 0.0 < max_wait_probability < 1.0:
+        raise ValueError("max_wait_probability must lie strictly between 0 and 1")
+    offered_load = arrival_rate / service_rate
+    start = max(1, math.ceil(offered_load + 1e-12))
+    for candidate in range(start, max_servers + 1):
+        if candidate <= offered_load:
+            continue
+        if erlang_c(candidate, offered_load) <= max_wait_probability:
+            return candidate
+    raise UnstableQueueError(offered_load, float(max_servers))

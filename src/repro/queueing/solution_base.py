@@ -1,0 +1,194 @@
+"""Common interface shared by all steady-state solutions of the model.
+
+The exact spectral-expansion solution, the geometric approximation, the
+truncated-CTMC reference solver and (with estimator caveats) the simulator
+all answer the same questions:
+
+* the distribution of the number of jobs present;
+* the mean number of jobs ``L`` and, by Little's law, the mean response time
+  ``W = L / lambda``;
+* tail probabilities and quantiles of the queue length;
+* the marginal distribution over operational modes.
+
+This module defines the :class:`QueueSolution` base class that provides the
+derived quantities once a subclass implements the two primitives
+:meth:`QueueSolution.queue_length_pmf` and
+:meth:`QueueSolution.mode_marginals`, plus the small
+:class:`PerformanceSummary` record that the experiment harness prints.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_probability
+
+
+@dataclass(frozen=True)
+class PerformanceSummary:
+    """Headline steady-state performance metrics of a solved model.
+
+    Attributes
+    ----------
+    mean_jobs:
+        The mean number of jobs present, ``L``.
+    mean_response_time:
+        The mean response time ``W = L / lambda`` (Little's law).
+    mean_queueing_jobs:
+        The mean number of jobs waiting (not in service).
+    probability_empty:
+        The probability that no job is present.
+    probability_delay:
+        The probability that an arriving job cannot start service at once
+        (by PASTA, the probability that the number of jobs present is at
+        least the number of operative servers).
+    """
+
+    mean_jobs: float
+    mean_response_time: float
+    mean_queueing_jobs: float
+    probability_empty: float
+    probability_delay: float
+
+
+class QueueSolution(abc.ABC):
+    """Steady-state solution of an unreliable multi-server queue.
+
+    Subclasses implement the primitives; every derived metric defined here is
+    computed from those primitives so the different solvers expose identical
+    semantics.
+    """
+
+    #: Relative tolerance used when summing queue-length tails numerically.
+    _TAIL_EPSILON = 1e-12
+
+    # ------------------------------------------------------------------ #
+    # Primitives
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def arrival_rate(self) -> float:
+        """The arrival rate ``lambda`` of the solved model."""
+
+    @property
+    @abc.abstractmethod
+    def num_servers(self) -> int:
+        """The number of servers ``N`` of the solved model."""
+
+    @abc.abstractmethod
+    def queue_length_pmf(self, num_jobs: int) -> float:
+        """The steady-state probability of exactly ``num_jobs`` jobs present."""
+
+    @abc.abstractmethod
+    def mode_marginals(self) -> np.ndarray:
+        """The marginal distribution over operational modes (sums to one)."""
+
+    @property
+    @abc.abstractmethod
+    def mean_queue_length(self) -> float:
+        """The mean number of jobs present ``L`` (paper Section 4)."""
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean_response_time(self) -> float:
+        """The mean response time ``W = L / lambda`` (Little's law)."""
+        return self.mean_queue_length / self.arrival_rate
+
+    @property
+    def mean_jobs_in_service(self) -> float:
+        """The mean number of jobs in service (= throughput / service rate).
+
+        For a stable queue the throughput equals ``lambda``, so by Little's
+        law applied to the service stations this is ``lambda / mu``.  It is
+        computed here from the queue-length distribution for solvers that
+        expose per-mode detail; the base implementation uses the
+        distributional identity ``E[min(jobs, operative servers)]`` summed
+        over modes when available, and falls back to ``L`` minus the mean
+        number waiting.
+        """
+        return self.mean_queue_length - self.mean_jobs_waiting
+
+    @property
+    def mean_jobs_waiting(self) -> float:
+        """The mean number of jobs waiting for service (not being served).
+
+        Computed as ``sum_j max(j - N, 0) p(j)`` plus the contribution of
+        partially staffed modes; the base implementation uses the
+        conservative bound that at most ``N`` jobs are in service, i.e.
+        ``E[(jobs - N)^+]``.  Subclasses with per-mode information override
+        this with the exact value.
+        """
+        total = 0.0
+        level = self.num_servers + 1
+        remaining = 1.0 - self.queue_length_cdf(self.num_servers)
+        while remaining > self._TAIL_EPSILON and level < 10_000_000:
+            probability = self.queue_length_pmf(level)
+            total += (level - self.num_servers) * probability
+            remaining -= probability
+            level += 1
+        return total
+
+    def queue_length_cdf(self, num_jobs: int) -> float:
+        """The probability that at most ``num_jobs`` jobs are present."""
+        num_jobs = check_non_negative_int(num_jobs, "num_jobs")
+        return float(sum(self.queue_length_pmf(j) for j in range(num_jobs + 1)))
+
+    def queue_length_tail(self, num_jobs: int) -> float:
+        """The probability that more than ``num_jobs`` jobs are present."""
+        return max(0.0, 1.0 - self.queue_length_cdf(num_jobs))
+
+    def queue_length_quantile(self, probability: float) -> int:
+        """The smallest ``j`` such that ``P(jobs <= j) >= probability``."""
+        probability = check_probability(probability, "probability")
+        cumulative = 0.0
+        level = 0
+        while cumulative < probability:
+            cumulative += self.queue_length_pmf(level)
+            if cumulative >= probability:
+                return level
+            level += 1
+            if level > 100_000_000:  # pragma: no cover - defensive guard
+                break
+        return level
+
+    @property
+    def probability_empty(self) -> float:
+        """The probability that the system is empty."""
+        return self.queue_length_pmf(0)
+
+    @property
+    def probability_delay(self) -> float:
+        """The probability that at least ``N`` jobs are present.
+
+        With all servers operative this is the probability an arriving job
+        must wait; with breakdowns it is a lower bound on that probability
+        (jobs also wait when fewer servers are operative), so subclasses with
+        per-mode detail refine it.
+        """
+        return self.queue_length_tail(self.num_servers - 1)
+
+    def queue_length_distribution(self, max_jobs: int) -> np.ndarray:
+        """The probabilities ``p(0), ..., p(max_jobs)`` as an array."""
+        max_jobs = check_non_negative_int(max_jobs, "max_jobs")
+        return np.array([self.queue_length_pmf(j) for j in range(max_jobs + 1)])
+
+    def summary(self) -> PerformanceSummary:
+        """Collect the headline metrics into a :class:`PerformanceSummary`."""
+        return PerformanceSummary(
+            mean_jobs=self.mean_queue_length,
+            mean_response_time=self.mean_response_time,
+            mean_queueing_jobs=self.mean_jobs_waiting,
+            probability_empty=self.probability_empty,
+            probability_delay=self.probability_delay,
+        )
+
+    def total_cost(self, holding_cost: float, server_cost: float) -> float:
+        """The steady-state cost ``C = c1 L + c2 N`` of paper Eq. 22."""
+        return holding_cost * self.mean_queue_length + server_cost * self.num_servers

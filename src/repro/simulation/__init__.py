@@ -1,0 +1,29 @@
+"""Discrete-event simulation of the unreliable multi-server queue.
+
+Public API
+----------
+
+* :class:`UnreliableQueueSimulator` — the event-driven simulator (arbitrary
+  period/service distributions, preemptive-resume breakdowns).
+* :func:`simulate_queue`, :class:`SimulationEstimate` — one-call estimation of
+  the headline metrics with batch-means confidence intervals.
+* :class:`EventScheduler`, :class:`EventHandle` — the underlying simulation
+  engine (reusable for extension studies).
+* :class:`TimeWeightedAccumulator`, :func:`batch_means_interval`,
+  :class:`ConfidenceInterval` — output-analysis utilities.
+"""
+
+from .engine import EventHandle, EventScheduler
+from .estimators import ConfidenceInterval, TimeWeightedAccumulator, batch_means_interval
+from .queue_sim import SimulationEstimate, UnreliableQueueSimulator, simulate_queue
+
+__all__ = [
+    "EventScheduler",
+    "EventHandle",
+    "TimeWeightedAccumulator",
+    "batch_means_interval",
+    "ConfidenceInterval",
+    "UnreliableQueueSimulator",
+    "simulate_queue",
+    "SimulationEstimate",
+]

@@ -1,0 +1,360 @@
+"""Discrete-event simulation of the unreliable multi-server queue.
+
+The simulator reproduces the modelling assumptions of Section 3 of the paper
+without the Markovian restriction on the period distributions:
+
+* jobs arrive in a Poisson stream and wait in one unbounded FIFO queue;
+* each of the ``N`` servers alternates between operative and inoperative
+  periods drawn independently from arbitrary distributions;
+* service requirements are exponential (general distributions are supported
+  as well, for extension studies);
+* an operative server is never idle while jobs wait;
+* a job whose service is interrupted by a breakdown returns to the *front* of
+  the queue and later resumes from the point of interruption, with no
+  switching overhead (preemptive resume).
+
+The paper uses simulation for the deterministic (``C^2 = 0``) operative-period
+point of Figure 6; the test-suite additionally uses it to validate the
+analytical solvers on hyperexponential configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive, check_positive_int
+from ..distributions import Distribution, Exponential
+from ..exceptions import SimulationError
+from .engine import EventHandle, EventScheduler
+from .estimators import ConfidenceInterval, TimeWeightedAccumulator, batch_means_interval
+
+
+@dataclass(frozen=True)
+class SimulationEstimate:
+    """Point estimates (with confidence intervals) from one simulation run.
+
+    Attributes
+    ----------
+    mean_queue_length:
+        Time-average number of jobs in the system with a batch-means
+        confidence interval.
+    mean_response_time:
+        Average response time of jobs completed after the warm-up period.
+    utilisation:
+        Time-average number of busy servers divided by ``N``.
+    num_completed_jobs:
+        Number of jobs that completed service after the warm-up period.
+    horizon:
+        Total simulated time (including warm-up).
+    warmup_time:
+        Length of the discarded warm-up period.
+    """
+
+    mean_queue_length: ConfidenceInterval
+    mean_response_time: ConfidenceInterval
+    utilisation: float
+    num_completed_jobs: int
+    horizon: float
+    warmup_time: float
+
+
+@dataclass
+class _Job:
+    """A job in the simulated system (mutable: remaining service decreases)."""
+
+    identifier: int
+    arrival_time: float
+    remaining_service: float
+
+
+@dataclass
+class _Server:
+    """A simulated server and its current activity."""
+
+    identifier: int
+    operative: bool = True
+    job: _Job | None = None
+    service_start: float = 0.0
+    completion_handle: EventHandle | None = None
+
+
+class UnreliableQueueSimulator:
+    """Event-driven simulator of the multi-server queue with breakdowns.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of servers ``N``.
+    arrival_rate:
+        Poisson arrival rate ``lambda``.
+    service_distribution:
+        Distribution of the service requirement of a job (the analytical
+        model requires :class:`~repro.distributions.Exponential`).
+    operative_distribution, inoperative_distribution:
+        Distributions of the alternating server periods (any
+        :class:`~repro.distributions.Distribution`).
+    seed:
+        Seed for the NumPy random generator.
+    start_operative:
+        Whether servers start in an operative period (default) or inoperative.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        arrival_rate: float,
+        service_distribution: Distribution,
+        operative_distribution: Distribution,
+        inoperative_distribution: Distribution,
+        *,
+        seed: int = 0,
+        start_operative: bool = True,
+    ) -> None:
+        self._num_servers = check_positive_int(num_servers, "num_servers")
+        self._arrival_rate = check_positive(arrival_rate, "arrival_rate")
+        self._service_distribution = service_distribution
+        self._operative_distribution = operative_distribution
+        self._inoperative_distribution = inoperative_distribution
+        self._rng = np.random.default_rng(seed)
+        self._scheduler = EventScheduler()
+        self._queue: deque[_Job] = deque()
+        self._servers = [_Server(identifier=i, operative=start_operative) for i in range(num_servers)]
+        self._next_job_id = 0
+        self._jobs_in_system = 0
+        self._jobs_accumulator = TimeWeightedAccumulator()
+        self._busy_accumulator = TimeWeightedAccumulator()
+        self._completed_jobs: list[tuple[float, float]] = []  # (completion time, response time)
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Public interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """The current simulation time."""
+        return self._scheduler.now
+
+    @property
+    def num_jobs_in_system(self) -> int:
+        """The current number of jobs present (waiting or in service)."""
+        return self._jobs_in_system
+
+    @property
+    def num_operative_servers(self) -> int:
+        """The current number of operative servers."""
+        return sum(1 for server in self._servers if server.operative)
+
+    @property
+    def num_busy_servers(self) -> int:
+        """The current number of servers actively serving a job."""
+        return sum(1 for server in self._servers if server.job is not None)
+
+    def run(self, horizon: float) -> None:
+        """Run (or continue) the simulation until the given absolute time."""
+        if horizon <= 0.0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        if not self._started:
+            self._bootstrap()
+            self._started = True
+        self._scheduler.run_until(horizon)
+
+    def completed_jobs(self) -> list[tuple[float, float]]:
+        """Return ``(completion_time, response_time)`` pairs for finished jobs."""
+        return list(self._completed_jobs)
+
+    def time_average_jobs(self, start: float, end: float) -> float:
+        """Time-average number of jobs in the system over ``[start, end]``."""
+        return self._jobs_accumulator.time_average(start, end)
+
+    def time_average_busy_servers(self, start: float, end: float) -> float:
+        """Time-average number of busy servers over ``[start, end]``."""
+        return self._busy_accumulator.time_average(start, end)
+
+    # ------------------------------------------------------------------ #
+    # Event logic
+    # ------------------------------------------------------------------ #
+
+    def _bootstrap(self) -> None:
+        self._schedule_next_arrival()
+        for server in self._servers:
+            if server.operative:
+                self._schedule_breakdown(server)
+            else:
+                self._schedule_repair(server)
+
+    def _schedule_next_arrival(self) -> None:
+        delay = self._rng.exponential(scale=1.0 / self._arrival_rate)
+        self._scheduler.schedule(delay, self._handle_arrival)
+
+    def _schedule_breakdown(self, server: _Server) -> None:
+        duration = float(self._operative_distribution.sample(self._rng))
+        self._scheduler.schedule(duration, lambda: self._handle_breakdown(server))
+
+    def _schedule_repair(self, server: _Server) -> None:
+        duration = float(self._inoperative_distribution.sample(self._rng))
+        self._scheduler.schedule(duration, lambda: self._handle_repair(server))
+
+    def _handle_arrival(self) -> None:
+        self._schedule_next_arrival()
+        job = _Job(
+            identifier=self._next_job_id,
+            arrival_time=self.now,
+            remaining_service=float(self._service_distribution.sample(self._rng)),
+        )
+        self._next_job_id += 1
+        self._record_jobs_change(+1)
+        self._queue.append(job)
+        self._dispatch_jobs()
+
+    def _handle_breakdown(self, server: _Server) -> None:
+        if not server.operative:  # pragma: no cover - defensive; should not happen
+            return
+        server.operative = False
+        if server.job is not None:
+            self._preempt(server)
+        self._schedule_repair(server)
+
+    def _handle_repair(self, server: _Server) -> None:
+        if server.operative:  # pragma: no cover - defensive; should not happen
+            return
+        server.operative = True
+        self._schedule_breakdown(server)
+        self._dispatch_jobs()
+
+    def _handle_completion(self, server: _Server) -> None:
+        job = server.job
+        if job is None:  # pragma: no cover - defensive; cancelled handles prevent this
+            return
+        server.job = None
+        server.completion_handle = None
+        self._record_busy_change()
+        self._record_jobs_change(-1)
+        self._completed_jobs.append((self.now, self.now - job.arrival_time))
+        self._dispatch_jobs()
+
+    def _preempt(self, server: _Server) -> None:
+        """Interrupt the job in service and return it to the front of the queue."""
+        job = server.job
+        assert job is not None
+        if server.completion_handle is not None:
+            server.completion_handle.cancel()
+            remaining = server.completion_handle.time - self.now
+        else:  # pragma: no cover - defensive
+            remaining = job.remaining_service
+        job.remaining_service = max(remaining, 0.0)
+        server.job = None
+        server.completion_handle = None
+        self._record_busy_change()
+        self._queue.appendleft(job)
+
+    def _dispatch_jobs(self) -> None:
+        """Assign waiting jobs to idle operative servers (work conservation)."""
+        for server in self._servers:
+            if not self._queue:
+                break
+            if server.operative and server.job is None:
+                job = self._queue.popleft()
+                server.job = job
+                server.service_start = self.now
+                server.completion_handle = self._scheduler.schedule(
+                    job.remaining_service, lambda srv=server: self._handle_completion(srv)
+                )
+                self._record_busy_change()
+
+    # ------------------------------------------------------------------ #
+    # Statistics plumbing
+    # ------------------------------------------------------------------ #
+
+    def _record_jobs_change(self, delta: int) -> None:
+        self._jobs_in_system += delta
+        self._jobs_accumulator.record(self.now, float(self._jobs_in_system))
+
+    def _record_busy_change(self) -> None:
+        self._busy_accumulator.record(self.now, float(self.num_busy_servers))
+
+
+def simulate_queue(
+    model,
+    *,
+    horizon: float,
+    warmup_fraction: float = 0.1,
+    num_batches: int = 10,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> SimulationEstimate:
+    """Simulate an :class:`~repro.queueing.model.UnreliableQueueModel`.
+
+    Parameters
+    ----------
+    model:
+        The queueing model to simulate (period distributions may be any
+        :class:`~repro.distributions.Distribution`).
+    horizon:
+        Total simulated time, including warm-up.
+    warmup_fraction:
+        Fraction of the horizon discarded before statistics are collected.
+    num_batches:
+        Number of batches for the batch-means confidence intervals.
+    seed:
+        Random seed.
+    confidence:
+        Confidence level for the intervals.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise SimulationError("warmup_fraction must lie in [0, 1)")
+    num_batches = check_positive_int(num_batches, "num_batches")
+    if num_batches < 2:
+        raise SimulationError("at least two batches are required for confidence intervals")
+    horizon = check_positive(horizon, "horizon")
+
+    simulator = UnreliableQueueSimulator(
+        num_servers=model.num_servers,
+        arrival_rate=model.arrival_rate,
+        service_distribution=Exponential(rate=model.service_rate),
+        operative_distribution=model.operative,
+        inoperative_distribution=model.inoperative,
+        seed=seed,
+    )
+    simulator.run(horizon)
+
+    warmup_time = warmup_fraction * horizon
+    measurement_time = horizon - warmup_time
+    batch_length = measurement_time / num_batches
+
+    queue_batches = np.array(
+        [
+            simulator.time_average_jobs(
+                warmup_time + index * batch_length, warmup_time + (index + 1) * batch_length
+            )
+            for index in range(num_batches)
+        ]
+    )
+    queue_interval = batch_means_interval(queue_batches, confidence=confidence)
+
+    completions = [
+        (when, response) for when, response in simulator.completed_jobs() if when >= warmup_time
+    ]
+    if len(completions) < num_batches:
+        raise SimulationError(
+            "too few completed jobs after warm-up to form response-time batches; "
+            "increase the horizon"
+        )
+    response_times = np.array([response for _, response in completions])
+    response_batches = np.array(
+        [float(np.mean(chunk)) for chunk in np.array_split(response_times, num_batches)]
+    )
+    response_interval = batch_means_interval(response_batches, confidence=confidence)
+
+    busy_average = simulator.time_average_busy_servers(warmup_time, horizon)
+    return SimulationEstimate(
+        mean_queue_length=queue_interval,
+        mean_response_time=response_interval,
+        utilisation=busy_average / model.num_servers,
+        num_completed_jobs=len(completions),
+        horizon=horizon,
+        warmup_time=warmup_time,
+    )

@@ -1,0 +1,320 @@
+"""Generalized eigenvalues and left eigenvectors of the characteristic polynomial.
+
+The spectral-expansion method needs the "generalized eigenvalues" ``z_k`` of
+the quadratic matrix polynomial ``Q(z) = Q0 + Q1 z + Q2 z^2`` that lie in the
+interior of the unit disk, together with the corresponding left eigenvectors
+``u_k`` satisfying ``u_k Q(z_k) = 0`` (paper Eq. 17–18).  When the queue is
+ergodic, exactly ``s`` eigenvalues lie strictly inside the unit disk (one per
+environment state) and experience shows they are simple.
+
+The quadratic eigenvalue problem is solved by the standard companion
+linearisation of the transposed polynomial: ``u Q(z) = 0`` is equivalent to
+``(Q0^T + z Q1^T + z^2 Q2^T) w = 0`` with ``w = u^T``, which becomes the
+generalized (pencil) eigenproblem
+
+.. math::
+
+    \\begin{pmatrix} 0 & I \\\\ -Q_0^T & -Q_1^T \\end{pmatrix}
+    \\begin{pmatrix} w \\\\ z w \\end{pmatrix}
+    = z
+    \\begin{pmatrix} I & 0 \\\\ 0 & Q_2^T \\end{pmatrix}
+    \\begin{pmatrix} w \\\\ z w \\end{pmatrix} .
+
+``Q2`` is singular whenever some mode has no operative server, so the pencil
+has infinite eigenvalues; SciPy's QZ-based solver handles this and the
+filtering step simply discards them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from ..exceptions import SolverError
+
+#: Eigenvalues with modulus below this threshold times machine epsilon of the
+#: problem scale are treated as exact zeros (they are legitimate eigenvalues).
+_UNIT_DISK_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class SpectralEigensystem:
+    """The inside-the-unit-disk eigenstructure of ``Q(z)``.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Complex array of the ``d`` eigenvalues with ``|z| < 1``, sorted by
+        increasing modulus (the dominant eigenvalue is last).
+    left_eigenvectors:
+        Complex array of shape ``(d, s)``; row ``k`` is the left eigenvector
+        ``u_k`` with ``u_k Q(z_k) = 0``, normalised to unit Euclidean norm
+        with a deterministic phase.
+    residuals:
+        Array of the residual norms ``||u_k Q(z_k)||_inf`` for diagnostics.
+    """
+
+    eigenvalues: np.ndarray
+    left_eigenvectors: np.ndarray
+    residuals: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """The number of eigenvalues inside the unit disk."""
+        return int(self.eigenvalues.size)
+
+    @property
+    def dominant_eigenvalue(self) -> float:
+        """The eigenvalue of largest modulus inside the unit disk.
+
+        The theory (and paper Section 3.2) guarantees it is real and
+        positive; the property returns it as a float and raises if the
+        numerically computed value has a non-negligible imaginary part.
+        """
+        value = self.eigenvalues[-1]
+        if abs(value.imag) > 1e-8 * max(1.0, abs(value.real)):
+            raise SolverError(
+                f"dominant eigenvalue {value!r} is not numerically real; "
+                "the eigensystem is suspect"
+            )
+        return float(value.real)
+
+    @property
+    def dominant_left_eigenvector(self) -> np.ndarray:
+        """The left eigenvector associated with the dominant eigenvalue (real part)."""
+        vector = self.left_eigenvectors[-1]
+        return np.real(vector)
+
+    def max_residual(self) -> float:
+        """The largest eigenpair residual, a cheap quality indicator."""
+        return float(np.max(self.residuals)) if self.residuals.size else 0.0
+
+
+def _normalise_left_eigenvector(vector: np.ndarray) -> np.ndarray:
+    """Scale a left eigenvector to unit Euclidean norm with a consistent phase.
+
+    Unit 2-norm (rather than unit element sum) keeps the boundary linear
+    system well scaled: eigenvectors whose entries nearly cancel would
+    otherwise be blown up by orders of magnitude.  The phase is fixed so the
+    entry of largest modulus is real and positive, which makes eigenvectors
+    of conjugate eigenvalue pairs conjugate to each other.
+    """
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:
+        raise SolverError("encountered a zero eigenvector in the spectral expansion")
+    scaled = vector / norm
+    pivot = scaled[np.argmax(np.abs(scaled))]
+    if abs(pivot) > 0.0:
+        scaled = scaled * (np.conj(pivot) / abs(pivot))
+    return scaled
+
+
+def _left_null_vector(matrix: np.ndarray) -> np.ndarray:
+    """The (complex) left null vector of a numerically singular matrix.
+
+    Computed from the SVD of the transpose: the right singular vector of
+    ``matrix^T`` associated with its smallest singular value spans the left
+    null space of ``matrix``.  Used to re-extract accurate eigenvectors once
+    the eigenvalues are known, which is far more accurate than reading the
+    eigenvectors off the companion linearisation for stiff problems.
+    """
+    _, _, vt = np.linalg.svd(matrix.T)
+    return np.conj(vt[-1])
+
+
+def refine_eigenpair(
+    q0: np.ndarray,
+    q1: np.ndarray,
+    q2: np.ndarray,
+    eigenvalue: complex,
+    *,
+    max_iterations: int = 20,
+    tolerance: float = 1e-12,
+) -> tuple[complex, np.ndarray]:
+    """Refine an eigenvalue of ``Q(z)`` by Newton's method on ``det Q(z) = 0``.
+
+    The derivative of the determinant is evaluated through Jacobi's formula
+    using the adjugate obtained from an SVD-based pseudo-inverse, which stays
+    stable near the root.  The associated left eigenvector is re-extracted
+    from the SVD at the refined eigenvalue.
+    """
+    z = complex(eigenvalue)
+    scale = max(1.0, float(np.max(np.abs(q0 + q1 + q2))))
+    for _ in range(max_iterations):
+        matrix = q0 + q1 * z + q2 * (z * z)
+        derivative_matrix = q1 + 2.0 * z * q2
+        u, s, vt = np.linalg.svd(matrix)
+        smallest = s[-1]
+        if smallest < tolerance * scale:
+            break
+        # Newton step on the smallest singular value as a proxy for det:
+        # d sigma_min / dz = Re(u_min^H (dQ/dz) v_min) in the complex sense.
+        u_min = u[:, -1]
+        v_min = np.conj(vt[-1])
+        derivative = np.conj(u_min) @ derivative_matrix @ v_min
+        if derivative == 0.0 or not np.isfinite(derivative):
+            break
+        step = smallest / derivative
+        candidate = z - step
+        if not np.isfinite(candidate):
+            break
+        z = candidate
+    matrix = q0 + q1 * z + q2 * (z * z)
+    vector = _left_null_vector(matrix)
+    return z, vector
+
+
+def solve_quadratic_eigenproblem(
+    q0: np.ndarray, q1: np.ndarray, q2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve ``u (Q0 + Q1 z + Q2 z^2) = 0`` for all finite ``(z, u)`` pairs.
+
+    Returns
+    -------
+    (eigenvalues, left_eigenvectors):
+        All finite eigenvalues of the pencil together with the corresponding
+        left eigenvectors of ``Q(z)`` (rows).  No unit-disk filtering is done
+        here; see :func:`eigenvalues_inside_unit_disk`.
+    """
+    size = q0.shape[0]
+    for name, matrix in (("Q0", q0), ("Q1", q1), ("Q2", q2)):
+        if matrix.shape != (size, size):
+            raise SolverError(f"{name} must be {size}x{size}, got {matrix.shape}")
+    zero = np.zeros((size, size))
+    identity = np.eye(size)
+    # Companion linearisation of the transposed polynomial.
+    lhs = np.block([[zero, identity], [-q0.T, -q1.T]])
+    rhs = np.block([[identity, zero], [zero, q2.T]])
+    eigenvalues, eigenvectors = scipy.linalg.eig(lhs, rhs)
+    finite = np.isfinite(eigenvalues)
+    eigenvalues = eigenvalues[finite]
+    eigenvectors = eigenvectors[:, finite]
+    left_vectors = eigenvectors[:size, :].T  # w = u^T occupies the top block
+    return eigenvalues, left_vectors
+
+
+def eigenvalues_inside_unit_disk(
+    q0: np.ndarray,
+    q1: np.ndarray,
+    q2: np.ndarray,
+    expected_count: int | None = None,
+) -> SpectralEigensystem:
+    """Eigenvalues of ``Q(z)`` strictly inside the unit disk, with eigenvectors.
+
+    Parameters
+    ----------
+    q0, q1, q2:
+        Coefficients of the characteristic matrix polynomial.
+    expected_count:
+        The number of eigenvalues the theory predicts inside the unit disk
+        (the number of environment states ``s`` for an ergodic queue).  When
+        provided, the function verifies the count and, if the strict filter
+        disagrees because of eigenvalues hugging the unit circle, falls back
+        to taking the ``expected_count`` smallest-modulus finite eigenvalues
+        (still requiring them to have modulus below ``1``).
+
+    Raises
+    ------
+    SolverError
+        If the eigenvalue count cannot be reconciled with ``expected_count``.
+    """
+    eigenvalues, left_vectors = solve_quadratic_eigenproblem(q0, q1, q2)
+    moduli = np.abs(eigenvalues)
+    inside = moduli < 1.0 - _UNIT_DISK_TOLERANCE
+    selected = np.where(inside)[0]
+
+    if expected_count is not None and selected.size != expected_count:
+        # Eigenvalues extremely close to the unit circle (heavy load) can fall
+        # on the wrong side of the strict tolerance; retry by rank.
+        order = np.argsort(moduli)
+        candidates = [index for index in order if moduli[index] < 1.0 - 1e-14]
+        if len(candidates) < expected_count:
+            raise SolverError(
+                f"found only {len(candidates)} eigenvalues inside the unit disk, "
+                f"expected {expected_count}; the queue may be unstable or the "
+                "eigenproblem ill-conditioned"
+            )
+        selected = np.array(candidates[:expected_count])
+
+    chosen_values = eigenvalues[selected]
+    order = np.argsort(np.abs(chosen_values), kind="stable")
+    chosen_values = chosen_values[order]
+
+    # The eigenvalues from the QZ decomposition are reliable, but the
+    # eigenvectors read off the companion linearisation lose accuracy badly
+    # when the rates span several orders of magnitude (stiff environments).
+    # Re-extract each left eigenvector from an SVD of Q(z_k), with a few
+    # Newton refinement steps on the eigenvalue itself.
+    size = q0.shape[0]
+    refined_values = np.empty(chosen_values.size, dtype=complex)
+    normalised = np.empty((chosen_values.size, size), dtype=complex)
+    residuals = np.empty(chosen_values.size)
+    for k, value in enumerate(chosen_values):
+        polynomial = q0 + q1 * value + q2 * (value * value)
+        vector = _left_null_vector(polynomial)
+        residual = float(np.max(np.abs(vector @ polynomial)))
+        best_value, best_vector, best_residual = value, vector, residual
+        if residual > 1e-10 * max(1.0, float(np.max(np.abs(polynomial)))):
+            # The QZ eigenvalue is not accurate enough for this root; try a
+            # few Newton refinement steps and keep them only if they help.
+            refined, refined_vector = refine_eigenpair(q0, q1, q2, value)
+            if abs(refined) < 1.0 and abs(refined - value) < 1e-3 * max(1.0, abs(value)):
+                refined_poly = q0 + q1 * refined + q2 * (refined * refined)
+                refined_residual = float(np.max(np.abs(refined_vector @ refined_poly)))
+                if refined_residual < best_residual:
+                    best_value = refined
+                    best_vector = refined_vector
+                    best_residual = refined_residual
+        refined_values[k] = best_value
+        normalised[k] = _normalise_left_eigenvector(best_vector)
+        # The raw vector from the SVD already has unit norm, so the residual
+        # is directly comparable across eigenpairs.
+        residuals[k] = best_residual
+
+    order = np.argsort(np.abs(refined_values), kind="stable")
+    return SpectralEigensystem(
+        eigenvalues=refined_values[order],
+        left_eigenvectors=normalised[order],
+        residuals=residuals[order],
+    )
+
+
+def spectral_abscissa(matrix: np.ndarray) -> float:
+    """The largest real part among the eigenvalues of ``matrix``.
+
+    For the ML-matrices ``Q(z)`` (non-negative off-diagonal entries) the
+    abscissa is attained by a real (Perron) eigenvalue; the decay-rate
+    bisection in :mod:`repro.spectral.approximation` relies on this.
+    """
+    eigenvalues = np.linalg.eigvals(matrix)
+    return float(np.max(eigenvalues.real))
+
+
+def perron_left_null_vector(matrix: np.ndarray) -> np.ndarray:
+    """A non-negative left null vector of ``matrix`` (which must be singular).
+
+    Computed from the singular value decomposition: the left singular vector
+    associated with the smallest singular value spans the left null space for
+    a rank-deficient matrix.  The sign is fixed so the vector is non-negative
+    (up to numerical noise) and it is normalised to sum to one.
+    """
+    _, singular_values, vt = np.linalg.svd(matrix.T)
+    null_vector = vt[-1]
+    smallest = singular_values[-1]
+    scale = max(1.0, float(np.max(np.abs(matrix))))
+    if smallest > 1e-6 * scale:
+        raise SolverError(
+            f"matrix is not numerically singular (smallest singular value {smallest:.3g}); "
+            "cannot extract a null vector"
+        )
+    if np.sum(null_vector) < 0.0:
+        null_vector = -null_vector
+    if np.any(null_vector < -1e-6):
+        raise SolverError("left null vector has significantly negative entries")
+    null_vector = np.clip(null_vector, 0.0, None)
+    total = null_vector.sum()
+    if total <= 0.0:
+        raise SolverError("left null vector is numerically zero")
+    return null_vector / total

@@ -1,0 +1,41 @@
+"""Empirical statistics used in the Section-2 analysis of the paper.
+
+Public API
+----------
+
+* :class:`EmpiricalDensity` — histogram-based empirical densities, moments
+  and CDFs (paper Eq. 1–3).
+* :func:`estimate_moments`, :func:`sample_scv` — raw-sample moment estimators.
+* :func:`ks_test_grid`, :func:`ks_test_samples`, :class:`KSResult`,
+  :func:`ks_critical_value` — the Kolmogorov–Smirnov goodness-of-fit test
+  (paper Eq. 4) with Massey critical values.
+* :func:`bootstrap_statistic`, :func:`bootstrap_mean`, :func:`bootstrap_scv`,
+  :class:`BootstrapResult` — nonparametric uncertainty quantification.
+"""
+
+from .bootstrap import BootstrapResult, bootstrap_mean, bootstrap_scv, bootstrap_statistic
+from .empirical import EmpiricalDensity, estimate_moments, sample_scv
+from .ks_test import (
+    MASSEY_COEFFICIENTS,
+    KSResult,
+    kolmogorov_p_value,
+    ks_critical_value,
+    ks_test_grid,
+    ks_test_samples,
+)
+
+__all__ = [
+    "EmpiricalDensity",
+    "estimate_moments",
+    "sample_scv",
+    "KSResult",
+    "ks_test_grid",
+    "ks_test_samples",
+    "ks_critical_value",
+    "kolmogorov_p_value",
+    "MASSEY_COEFFICIENTS",
+    "BootstrapResult",
+    "bootstrap_statistic",
+    "bootstrap_mean",
+    "bootstrap_scv",
+]

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide small, fast-to-solve model instances that many test
+modules reuse:  a tiny two-server system matching the paper's worked example
+(two operative phases, one inoperative phase), a moderate ten-server system
+with the fitted Sun parameters, and a seeded random generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import SUN_OPERATIVE_FIT, Exponential, HyperExponential
+from repro.queueing import UnreliableQueueModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded NumPy random generator."""
+    return np.random.default_rng(2006)
+
+
+@pytest.fixture
+def small_model() -> UnreliableQueueModel:
+    """A tiny model (N=2, n=2, m=1, s=6) solvable in milliseconds."""
+    return UnreliableQueueModel(
+        num_servers=2,
+        arrival_rate=1.0,
+        service_rate=1.0,
+        operative=HyperExponential(weights=[0.6, 0.4], rates=[0.2, 0.02]),
+        inoperative=Exponential(rate=2.0),
+    )
+
+
+@pytest.fixture
+def medium_model() -> UnreliableQueueModel:
+    """A moderately loaded five-server model with the fitted operative periods."""
+    return UnreliableQueueModel(
+        num_servers=5,
+        arrival_rate=3.5,
+        service_rate=1.0,
+        operative=SUN_OPERATIVE_FIT,
+        inoperative=Exponential(rate=25.0),
+    )
+
+
+@pytest.fixture
+def paper_model() -> UnreliableQueueModel:
+    """The N=10 configuration used by several of the paper's figures."""
+    return UnreliableQueueModel(
+        num_servers=10,
+        arrival_rate=7.0,
+        service_rate=1.0,
+        operative=SUN_OPERATIVE_FIT,
+        inoperative=Exponential(rate=25.0),
+    )

@@ -1,0 +1,76 @@
+"""Unit tests for the bootstrap utilities in :mod:`repro.stats.bootstrap`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, HyperExponential
+from repro.exceptions import DataError, ParameterError
+from repro.stats import bootstrap_mean, bootstrap_scv, bootstrap_statistic
+
+
+class TestBootstrapStatistic:
+    def test_point_estimate_is_statistic_of_sample(self, rng):
+        data = rng.exponential(scale=2.0, size=500)
+        result = bootstrap_statistic(data, lambda s: float(np.mean(s)), rng=rng)
+        assert result.point_estimate == pytest.approx(float(np.mean(data)))
+
+    def test_interval_brackets_point_estimate(self, rng):
+        data = rng.exponential(scale=2.0, size=500)
+        result = bootstrap_statistic(data, lambda s: float(np.mean(s)), rng=rng)
+        assert result.lower <= result.point_estimate <= result.upper
+
+    def test_reproducible_with_default_seed(self):
+        data = np.arange(1.0, 101.0)
+        first = bootstrap_statistic(data, lambda s: float(np.mean(s)))
+        second = bootstrap_statistic(data, lambda s: float(np.mean(s)))
+        assert first.lower == second.lower
+        assert first.upper == second.upper
+
+    def test_number_of_replicates(self, rng):
+        data = np.arange(1.0, 51.0)
+        result = bootstrap_statistic(
+            data, lambda s: float(np.mean(s)), num_resamples=77, rng=rng
+        )
+        assert result.replicates.size == 77
+
+    def test_half_width_and_contains(self, rng):
+        data = np.arange(1.0, 101.0)
+        result = bootstrap_statistic(data, lambda s: float(np.mean(s)), rng=rng)
+        assert result.half_width == pytest.approx((result.upper - result.lower) / 2.0)
+        assert result.contains(result.point_estimate)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(DataError):
+            bootstrap_statistic([], lambda s: 0.0)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises((DataError, ParameterError)):
+            bootstrap_statistic([1.0, 2.0], lambda s: 0.0, confidence=1.5)
+
+    def test_invalid_resamples_rejected(self):
+        with pytest.raises(ParameterError):
+            bootstrap_statistic([1.0, 2.0], lambda s: 0.0, num_resamples=0)
+
+
+class TestConvenienceWrappers:
+    def test_bootstrap_mean_covers_true_mean(self, rng):
+        dist = Exponential(rate=0.5)
+        data = dist.sample(rng, size=3000)
+        result = bootstrap_mean(data, rng=rng, num_resamples=300)
+        assert result.contains(dist.mean)
+
+    def test_bootstrap_scv_covers_true_scv(self, rng):
+        dist = HyperExponential(weights=[0.7, 0.3], rates=[1.0, 0.1])
+        data = dist.sample(rng, size=20_000)
+        result = bootstrap_scv(data, rng=rng, num_resamples=200)
+        # The SCV estimator is biased for heavy-tailed data; allow a wide check.
+        assert result.lower < dist.scv * 1.2
+        assert result.upper > dist.scv * 0.6
+
+    def test_wider_confidence_gives_wider_interval(self, rng):
+        data = rng.exponential(scale=1.0, size=500)
+        narrow = bootstrap_mean(data, confidence=0.8, rng=np.random.default_rng(1))
+        wide = bootstrap_mean(data, confidence=0.99, rng=np.random.default_rng(1))
+        assert wide.half_width > narrow.half_width

@@ -1,0 +1,115 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import generate_small_trace, write_trace_csv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_arguments(self):
+        arguments = build_parser().parse_args(
+            ["solve", "--servers", "10", "--arrival-rate", "7"]
+        )
+        assert arguments.command == "solve"
+        assert arguments.servers == 10
+        assert arguments.arrival_rate == 7.0
+        assert arguments.method == "both"
+
+    def test_fit_arguments(self):
+        arguments = build_parser().parse_args(["fit", "trace.csv", "--bins", "30"])
+        assert arguments.command == "fit"
+        assert arguments.trace == "trace.csv"
+        assert arguments.bins == 30
+
+    def test_reproduce_arguments(self):
+        arguments = build_parser().parse_args(["reproduce", "--quick"])
+        assert arguments.command == "reproduce"
+        assert arguments.quick
+
+
+class TestSolveCommand:
+    def test_solve_prints_metrics(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--servers", "5",
+                "--arrival-rate", "3.5",
+                "--operative-mean", "34.62",
+                "--operative-scv", "4.6",
+                "--repair-mean", "0.04",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Exact spectral-expansion solution" in output
+        assert "Geometric approximation" in output
+        assert "mean response time W" in output
+
+    def test_solve_spectral_only(self, capsys):
+        exit_code = main(
+            ["solve", "--servers", "3", "--arrival-rate", "1.5", "--method", "spectral"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Exact spectral-expansion solution" in output
+        assert "Geometric approximation" not in output
+
+    def test_solve_unstable_returns_nonzero(self, capsys):
+        exit_code = main(["solve", "--servers", "2", "--arrival-rate", "50"])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "unstable" in output
+
+    def test_solve_exponential_periods(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--servers", "3",
+                "--arrival-rate", "1.0",
+                "--operative-scv", "1.0",
+            ]
+        )
+        assert exit_code == 0
+        assert "mean jobs L" in capsys.readouterr().out
+
+    def test_solve_invalid_scv_reports_error(self, capsys):
+        exit_code = main(
+            ["solve", "--servers", "3", "--arrival-rate", "1.0", "--operative-scv", "0.5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err
+
+
+class TestFitCommand:
+    def test_fit_on_synthetic_trace(self, tmp_path, capsys):
+        trace = generate_small_trace(num_events=5000, seed=1)
+        path = write_trace_csv(trace, tmp_path / "trace.csv")
+        exit_code = main(["fit", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Operative periods" in output
+        assert "Inoperative periods" in output
+        assert "H2 weights" in output
+
+    def test_fit_missing_file_reports_error(self, tmp_path, capsys):
+        exit_code = main(["fit", str(tmp_path / "missing.csv")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err
+
+
+class TestReproduceCommand:
+    def test_quick_reproduce_runs(self, capsys):
+        exit_code = main(["reproduce", "--quick", "--skip-section2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("figure5", "figure6", "figure7", "figure8", "figure9"):
+            assert name in output

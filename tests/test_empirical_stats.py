@@ -1,0 +1,156 @@
+"""Unit tests for :mod:`repro.stats.empirical` (paper Eq. 1–3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential
+from repro.exceptions import DataError
+from repro.stats import EmpiricalDensity, estimate_moments, sample_scv
+
+
+class TestEmpiricalDensityConstruction:
+    def test_probabilities_sum_to_one(self):
+        data = np.array([0.5, 1.5, 2.5, 3.5, 4.5])
+        density = EmpiricalDensity.from_observations(data, num_bins=5)
+        assert density.probabilities.sum() == pytest.approx(1.0)
+
+    def test_densities_are_probabilities_over_width(self):
+        data = np.array([0.5, 1.5, 2.5, 3.5])
+        density = EmpiricalDensity.from_observations(data, num_bins=4, upper=4.0)
+        widths = np.diff(density.bin_edges)
+        np.testing.assert_allclose(density.densities * widths, density.probabilities)
+
+    def test_number_of_bins(self):
+        data = np.linspace(0.1, 9.9, 50)
+        density = EmpiricalDensity.from_observations(data, num_bins=7)
+        assert len(density) == 7
+        assert density.bin_edges.size == 8
+
+    def test_midpoints_are_centres(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        density = EmpiricalDensity.from_observations(data, num_bins=4, upper=4.0)
+        np.testing.assert_allclose(density.midpoints, [0.5, 1.5, 2.5, 3.5])
+
+    def test_values_above_upper_are_clipped_into_last_bin(self):
+        data = np.array([0.5, 1.5, 100.0])
+        density = EmpiricalDensity.from_observations(data, num_bins=2, upper=2.0)
+        assert density.probabilities.sum() == pytest.approx(1.0)
+        assert density.probabilities[-1] == pytest.approx(2.0 / 3.0)
+
+    def test_sample_size_recorded(self):
+        data = np.arange(1, 11, dtype=float)
+        density = EmpiricalDensity.from_observations(data, num_bins=5)
+        assert density.sample_size == 10
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(DataError):
+            EmpiricalDensity.from_observations([], num_bins=5)
+
+    def test_negative_observations_rejected(self):
+        with pytest.raises(DataError):
+            EmpiricalDensity.from_observations([-1.0, 2.0], num_bins=5)
+
+    def test_non_finite_observations_rejected(self):
+        with pytest.raises(DataError):
+            EmpiricalDensity.from_observations([1.0, np.nan], num_bins=5)
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(Exception):
+            EmpiricalDensity.from_observations([1.0, 2.0], num_bins=0)
+
+
+class TestMoments:
+    def test_moment_formula_eq1(self):
+        """M~_k = sum x_i^k p_i over the histogram grid (paper Eq. 1)."""
+        data = np.array([0.5, 0.5, 1.5, 2.5])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        expected_m1 = 0.5 * 0.5 + 1.5 * 0.25 + 2.5 * 0.25
+        assert density.moment(1) == pytest.approx(expected_m1)
+
+    def test_variance_and_scv_eq2(self):
+        data = np.array([0.5, 0.5, 1.5, 2.5])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        m1, m2 = density.moment(1), density.moment(2)
+        assert density.variance == pytest.approx(m2 - m1 * m1)
+        assert density.scv == pytest.approx(m2 / m1**2 - 1.0)
+
+    def test_histogram_moments_close_to_sample_moments(self, rng):
+        draws = Exponential(rate=0.5).sample(rng, size=100_000)
+        density = EmpiricalDensity.from_observations(draws, num_bins=400)
+        raw = estimate_moments(draws, 2)
+        assert density.moment(1) == pytest.approx(raw[0], rel=0.02)
+        assert density.moment(2) == pytest.approx(raw[1], rel=0.05)
+
+    def test_moments_helper(self):
+        data = np.array([1.0, 2.0, 3.0])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        np.testing.assert_allclose(
+            density.moments(2), [density.moment(1), density.moment(2)]
+        )
+
+
+class TestCDF:
+    def test_cdf_is_cumulative_sum_eq3(self):
+        data = np.array([0.5, 1.5, 1.5, 2.5])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        np.testing.assert_allclose(density.cdf(), np.cumsum(density.probabilities))
+
+    def test_cdf_reaches_one(self):
+        data = np.linspace(0.5, 9.5, 100)
+        density = EmpiricalDensity.from_observations(data, num_bins=10)
+        assert density.cdf()[-1] == pytest.approx(1.0)
+
+    def test_cdf_at_before_first_midpoint(self):
+        data = np.array([1.0, 2.0, 3.0])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        assert density.cdf_at(0.0) == 0.0
+
+    def test_cdf_at_after_last_midpoint(self):
+        data = np.array([1.0, 2.0, 3.0])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        assert density.cdf_at(10.0) == pytest.approx(1.0)
+
+    def test_as_series_returns_copies(self):
+        data = np.array([1.0, 2.0, 3.0])
+        density = EmpiricalDensity.from_observations(data, num_bins=3, upper=3.0)
+        midpoints, values = density.as_series()
+        midpoints[0] = -99.0
+        assert density.midpoints[0] != -99.0
+
+
+class TestRawEstimators:
+    def test_estimate_moments_matches_numpy(self, rng):
+        draws = rng.exponential(scale=2.0, size=1000)
+        moments = estimate_moments(draws, 3)
+        assert moments[0] == pytest.approx(np.mean(draws))
+        assert moments[2] == pytest.approx(np.mean(draws**3))
+
+    def test_sample_scv_of_exponential_near_one(self, rng):
+        draws = Exponential(rate=1.0).sample(rng, size=200_000)
+        assert sample_scv(draws) == pytest.approx(1.0, abs=0.05)
+
+    def test_estimate_moments_empty_rejected(self):
+        with pytest.raises(DataError):
+            estimate_moments([], 2)
+
+    def test_sample_scv_constant_sample_is_zero(self):
+        assert sample_scv(np.full(100, 3.0)) == pytest.approx(0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=200),
+    num_bins=st.integers(min_value=1, max_value=60),
+)
+def test_property_probabilities_sum_to_one(data, num_bins):
+    if max(data) < 1e-6:
+        data = [value + 0.5 for value in data]
+    density = EmpiricalDensity.from_observations(np.array(data), num_bins=num_bins)
+    assert density.probabilities.sum() == pytest.approx(1.0)
+    cdf = density.cdf()
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[-1] == pytest.approx(1.0)

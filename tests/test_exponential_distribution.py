@@ -1,0 +1,161 @@
+"""Unit tests for :class:`repro.distributions.Exponential`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_rate_is_stored(self):
+        assert Exponential(rate=2.5).rate == 2.5
+
+    def test_from_mean(self):
+        dist = Exponential.from_mean(4.0)
+        assert dist.rate == pytest.approx(0.25)
+        assert dist.mean == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("bad_rate", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_rate_rejected(self, bad_rate):
+        with pytest.raises(ParameterError):
+            Exponential(rate=bad_rate)
+
+    def test_non_numeric_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            Exponential(rate="fast")  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Exponential(1.5) == Exponential(1.5)
+        assert Exponential(1.5) != Exponential(2.5)
+        assert hash(Exponential(1.5)) == hash(Exponential(1.5))
+
+    def test_repr_mentions_rate(self):
+        assert "0.5" in repr(Exponential(0.5))
+
+
+class TestMoments:
+    def test_mean_is_reciprocal_rate(self):
+        assert Exponential(rate=0.2).mean == pytest.approx(5.0)
+
+    def test_second_moment(self):
+        dist = Exponential(rate=2.0)
+        assert dist.moment(2) == pytest.approx(2.0 / 4.0)
+
+    def test_kth_moment_formula(self):
+        dist = Exponential(rate=3.0)
+        for k in range(1, 6):
+            assert dist.moment(k) == pytest.approx(math.factorial(k) / 3.0**k)
+
+    def test_variance(self):
+        dist = Exponential(rate=0.5)
+        assert dist.variance == pytest.approx(4.0)
+
+    def test_scv_is_one(self):
+        assert Exponential(rate=7.0).scv == pytest.approx(1.0)
+
+    def test_std_is_mean(self):
+        dist = Exponential(rate=4.0)
+        assert dist.std == pytest.approx(dist.mean)
+
+    def test_moments_helper_returns_prefix(self):
+        dist = Exponential(rate=1.0)
+        np.testing.assert_allclose(dist.moments(3), [1.0, 2.0, 6.0])
+
+    def test_moment_order_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=1.0).moment(0)
+
+
+class TestDensities:
+    def test_pdf_at_zero(self):
+        assert Exponential(rate=2.0).pdf(0.0) == pytest.approx(2.0)
+
+    def test_pdf_negative_argument_is_zero(self):
+        assert Exponential(rate=2.0).pdf(-1.0) == 0.0
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = Exponential(rate=1.0)
+        xs = np.linspace(0.0, 20.0, 50)
+        cdf = dist.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0.0)
+        assert cdf[0] == pytest.approx(0.0)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_negative_argument_is_zero(self):
+        assert Exponential(rate=1.0).cdf(-5.0) == 0.0
+
+    def test_sf_complements_cdf(self):
+        dist = Exponential(rate=0.7)
+        x = 1.3
+        assert dist.sf(x) == pytest.approx(1.0 - dist.cdf(x))
+
+    def test_pdf_integrates_to_one(self):
+        dist = Exponential(rate=0.8)
+        xs = np.linspace(0.0, 60.0, 200_001)
+        integral = np.trapezoid(dist.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    def test_vectorised_pdf_matches_scalar(self):
+        dist = Exponential(rate=1.3)
+        xs = np.array([0.1, 0.5, 2.0])
+        np.testing.assert_allclose(dist.pdf(xs), [dist.pdf(float(x)) for x in xs])
+
+
+class TestTransformAndPhaseType:
+    def test_laplace_transform_at_zero_is_one(self):
+        assert Exponential(rate=2.0).laplace_transform(0.0) == pytest.approx(1.0)
+
+    def test_laplace_transform_formula(self):
+        dist = Exponential(rate=2.0)
+        assert dist.laplace_transform(1.0) == pytest.approx(2.0 / 3.0)
+
+    def test_laplace_transform_derivative_gives_mean(self):
+        dist = Exponential(rate=0.4)
+        h = 1e-6
+        derivative = (dist.laplace_transform(h) - dist.laplace_transform(0.0)) / h
+        assert -derivative.real == pytest.approx(dist.mean, rel=1e-4)
+
+    def test_phase_type_representation_matches_moments(self):
+        dist = Exponential(rate=1.7)
+        ph = dist.to_phase_type()
+        assert ph.num_phases == 1
+        assert ph.mean == pytest.approx(dist.mean)
+        assert ph.moment(3) == pytest.approx(dist.moment(3))
+
+
+class TestSampling:
+    def test_scalar_sample(self, rng):
+        value = Exponential(rate=1.0).sample(rng)
+        assert isinstance(value, float)
+        assert value >= 0.0
+
+    def test_sample_mean_converges(self, rng):
+        dist = Exponential(rate=0.25)
+        draws = dist.sample(rng, size=200_000)
+        assert np.mean(draws) == pytest.approx(dist.mean, rel=0.02)
+
+    def test_sample_scv_converges(self, rng):
+        dist = Exponential(rate=2.0)
+        draws = dist.sample(rng, size=200_000)
+        scv = np.var(draws) / np.mean(draws) ** 2
+        assert scv == pytest.approx(1.0, abs=0.05)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rate=st.floats(min_value=1e-3, max_value=1e3))
+def test_property_mean_times_rate_is_one(rate):
+    assert Exponential(rate=rate).mean * rate == pytest.approx(1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rate=st.floats(min_value=1e-3, max_value=1e3), x=st.floats(min_value=0.0, max_value=1e3))
+def test_property_cdf_within_unit_interval(rate, x):
+    value = Exponential(rate=rate).cdf(x)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,134 @@
+"""Unit tests for the moment-matching fitting procedures (paper Eq. 6–8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, HyperExponential
+from repro.exceptions import FittingError
+from repro.fitting import (
+    fit_exponential,
+    fit_two_phase_from_mean_and_scv,
+    fit_two_phase_from_moments,
+    hyperexponential_moments,
+    solve_weights_for_rates,
+    weights_are_feasible,
+)
+
+
+class TestHyperexponentialMoments:
+    def test_matches_distribution_moments(self):
+        dist = HyperExponential(weights=[0.3, 0.7], rates=[2.0, 0.2])
+        computed = hyperexponential_moments(dist.weights, dist.rates, 5)
+        np.testing.assert_allclose(computed, dist.moments(5))
+
+    def test_single_phase(self):
+        computed = hyperexponential_moments([1.0], [0.5], 3)
+        np.testing.assert_allclose(computed, Exponential(rate=0.5).moments(3))
+
+
+class TestSolveWeights:
+    def test_recovers_known_weights(self):
+        dist = HyperExponential(weights=[0.7246, 0.2754], rates=[0.1663, 0.0091])
+        weights = solve_weights_for_rates(dist.rates, dist.moments(3))
+        np.testing.assert_allclose(weights, dist.weights, rtol=1e-9)
+
+    def test_three_phase_recovery(self):
+        dist = HyperExponential(weights=[0.5, 0.3, 0.2], rates=[3.0, 0.5, 0.05])
+        weights = solve_weights_for_rates(dist.rates, dist.moments(5))
+        np.testing.assert_allclose(weights, dist.weights, rtol=1e-8)
+
+    def test_requires_enough_moments(self):
+        with pytest.raises(FittingError):
+            solve_weights_for_rates([1.0, 2.0, 3.0], [5.0])
+
+    def test_non_positive_rates_rejected(self):
+        with pytest.raises(FittingError):
+            solve_weights_for_rates([1.0, -2.0], [5.0])
+
+    def test_feasibility_helper(self):
+        assert weights_are_feasible([0.4, 0.6])
+        assert not weights_are_feasible([-0.2, 1.2])
+        assert weights_are_feasible([0.0, 1.0 + 1e-12])
+
+
+class TestExponentialFit:
+    def test_matches_first_moment(self):
+        fit = fit_exponential([4.0, 32.0])
+        assert fit.mean == pytest.approx(4.0)
+
+    def test_invalid_moment_rejected(self):
+        with pytest.raises(FittingError):
+            fit_exponential([0.0])
+
+
+class TestTwoPhaseFit:
+    def test_roundtrip_recovers_paper_fit(self):
+        """Fitting to the moments of the fitted distribution recovers it exactly."""
+        original = HyperExponential(weights=[0.7246, 0.2754], rates=[0.1663, 0.0091])
+        report = fit_two_phase_from_moments(original.moments(3))
+        fitted = report.distribution
+        np.testing.assert_allclose(np.sort(fitted.rates), np.sort(original.rates), rtol=1e-6)
+        np.testing.assert_allclose(
+            np.sort(fitted.weights), np.sort(original.weights), rtol=1e-6
+        )
+
+    def test_phases_sorted_by_decreasing_rate(self):
+        original = HyperExponential(weights=[0.3, 0.7], rates=[0.05, 5.0])
+        fitted = fit_two_phase_from_moments(original.moments(3)).distribution
+        assert fitted.rates[0] > fitted.rates[1]
+
+    def test_report_contains_errors(self):
+        original = HyperExponential(weights=[0.5, 0.5], rates=[1.0, 0.1])
+        report = fit_two_phase_from_moments(original.moments(3))
+        assert report.max_relative_error < 1e-8
+        np.testing.assert_allclose(report.target_moments, original.moments(3))
+
+    def test_noisy_moments_still_close(self, rng):
+        original = HyperExponential(weights=[0.7246, 0.2754], rates=[0.1663, 0.0091])
+        draws = original.sample(rng, size=400_000)
+        moments = np.array([np.mean(draws**k) for k in (1, 2, 3)])
+        fitted = fit_two_phase_from_moments(moments).distribution
+        assert fitted.mean == pytest.approx(original.mean, rel=0.05)
+        assert fitted.scv == pytest.approx(original.scv, rel=0.2)
+
+    def test_exponential_moments_rejected(self):
+        """SCV = 1 data cannot be fitted by a (strict) 2-phase hyperexponential."""
+        moments = Exponential(rate=0.5).moments(3)
+        with pytest.raises(FittingError):
+            fit_two_phase_from_moments(moments)
+
+    def test_low_variability_rejected(self):
+        # Erlang-like moments: scv < 1.
+        moments = np.array([2.0, 4.5, 11.0])
+        with pytest.raises(FittingError):
+            fit_two_phase_from_moments(moments)
+
+    def test_too_few_moments_rejected(self):
+        with pytest.raises(FittingError):
+            fit_two_phase_from_moments([1.0, 3.0])
+
+    def test_non_positive_moments_rejected(self):
+        with pytest.raises(FittingError):
+            fit_two_phase_from_moments([1.0, -3.0, 10.0])
+
+    def test_mean_scv_wrapper(self):
+        fitted = fit_two_phase_from_mean_and_scv(10.0, 4.0)
+        assert fitted.mean == pytest.approx(10.0)
+        assert fitted.scv == pytest.approx(4.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    alpha=st.floats(min_value=0.05, max_value=0.95),
+    rate1=st.floats(min_value=0.05, max_value=10.0),
+    ratio=st.floats(min_value=2.0, max_value=200.0),
+)
+def test_property_three_moment_fit_roundtrip(alpha, rate1, ratio):
+    """For any genuine 2-phase hyperexponential, the closed-form fit is exact."""
+    original = HyperExponential.two_phase(alpha1=alpha, rate1=rate1, rate2=rate1 / ratio)
+    report = fit_two_phase_from_moments(original.moments(3))
+    np.testing.assert_allclose(report.fitted_moments, report.target_moments, rtol=1e-6)

@@ -1,0 +1,164 @@
+"""Unit tests for the brute-force, iterative and EM fitting procedures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, HyperExponential
+from repro.exceptions import FittingError
+from repro.fitting import (
+    fit_gauss_seidel,
+    fit_hyperexponential_brute_force,
+    fit_hyperexponential_em,
+    fit_newton,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_like_distribution() -> HyperExponential:
+    return HyperExponential(weights=[0.7246, 0.2754], rates=[0.1663, 0.0091])
+
+
+class TestBruteForce:
+    def test_two_phase_fit_recovers_mean_and_scv(self, paper_like_distribution):
+        moments = paper_like_distribution.moments(3)
+        result = fit_hyperexponential_brute_force(moments, num_phases=2, grid_points=16)
+        assert result.distribution.mean == pytest.approx(paper_like_distribution.mean, rel=0.02)
+        assert result.distribution.scv == pytest.approx(paper_like_distribution.scv, rel=0.1)
+
+    def test_three_phase_fit_on_two_phase_data_flags_near_equal_rates(
+        self, paper_like_distribution
+    ):
+        """The paper observed that the 3-phase search returned two almost equal
+        rates, signalling that two phases suffice."""
+        moments = paper_like_distribution.moments(5)
+        result = fit_hyperexponential_brute_force(
+            moments, num_phases=3, grid_points=24, refinement_rounds=3
+        )
+        assert result.rates_nearly_equal
+
+    def test_objective_reported_and_small_for_exact_data(self, paper_like_distribution):
+        moments = paper_like_distribution.moments(3)
+        result = fit_hyperexponential_brute_force(moments, num_phases=2, grid_points=20)
+        assert result.objective >= 0.0
+        assert result.evaluations > 0
+
+    def test_insufficient_moments_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hyperexponential_brute_force([1.0, 2.0], num_phases=2)
+
+    def test_negative_moments_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hyperexponential_brute_force([1.0, -2.0, 3.0], num_phases=2)
+
+    def test_invalid_rate_bounds_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hyperexponential_brute_force(
+                [1.0, 3.0, 15.0], num_phases=2, rate_bounds=(2.0, 1.0)
+            )
+
+    def test_low_variability_data_cannot_be_matched(self):
+        # Deterministic-like moments (scv ~ 0.01): every hyperexponential has
+        # scv >= 1, so the best achievable fit keeps scv >= 1 and leaves a
+        # visible residual on the higher moments.
+        moments = np.array([2.0, 4.04, 8.24])
+        result = fit_hyperexponential_brute_force(moments, num_phases=2, grid_points=10)
+        assert result.distribution.scv >= 1.0 - 1e-9
+        assert result.objective > 0.01
+
+
+class TestNewton:
+    def test_two_phase_convergence_from_good_start(self, paper_like_distribution):
+        moments = paper_like_distribution.moments(3)
+        result = fit_newton(
+            moments,
+            num_phases=2,
+            initial=([0.7, 0.3], [0.2, 0.01]),
+        )
+        assert result.converged
+        assert result.distribution.mean == pytest.approx(paper_like_distribution.mean, rel=1e-6)
+        assert result.residual_norm < 1e-8
+
+    def test_newton_reports_iterations(self, paper_like_distribution):
+        moments = paper_like_distribution.moments(3)
+        result = fit_newton(moments, num_phases=2, initial=([0.7, 0.3], [0.2, 0.01]))
+        assert result.iterations >= 1
+
+    def test_newton_failure_raises_fitting_error(self):
+        """Newton fails on moments no hyperexponential can attain (the paper
+        reports such convergence failures for higher-phase fits)."""
+        # Erlang-2 moments have scv = 0.5 < 1, which is outside the
+        # hyperexponential family, so the iteration cannot converge.
+        from repro.distributions import Erlang
+
+        moments = Erlang(shape=2, rate=1.0).moments(5)
+        with pytest.raises(FittingError):
+            fit_newton(moments, num_phases=3, max_iterations=60)
+
+    def test_insufficient_moments_rejected(self):
+        with pytest.raises(FittingError):
+            fit_newton([1.0, 2.0], num_phases=2)
+
+    def test_bad_initial_shape_rejected(self, paper_like_distribution):
+        with pytest.raises(FittingError):
+            fit_newton(
+                paper_like_distribution.moments(3),
+                num_phases=2,
+                initial=([1.0], [0.5, 0.2]),
+            )
+
+
+class TestGaussSeidel:
+    def test_two_phase_convergence(self, paper_like_distribution):
+        """The paper notes Gauss-Seidel converges when re-run with n = 2."""
+        moments = paper_like_distribution.moments(3)
+        result = fit_gauss_seidel(moments, num_phases=2)
+        assert result.converged
+        assert result.distribution.mean == pytest.approx(paper_like_distribution.mean, rel=1e-4)
+        assert result.distribution.scv == pytest.approx(paper_like_distribution.scv, rel=1e-3)
+
+    def test_insufficient_moments_rejected(self):
+        with pytest.raises(FittingError):
+            fit_gauss_seidel([1.0], num_phases=2)
+
+    def test_exponential_data_fails(self):
+        with pytest.raises(FittingError):
+            fit_gauss_seidel(Exponential(rate=2.0).moments(3), num_phases=2, max_iterations=100)
+
+
+class TestEM:
+    def test_recovers_mixture_structure(self, rng, paper_like_distribution):
+        draws = paper_like_distribution.sample(rng, size=60_000)
+        result = fit_hyperexponential_em(draws, num_phases=2)
+        assert result.converged
+        fitted = result.distribution
+        assert fitted.mean == pytest.approx(paper_like_distribution.mean, rel=0.05)
+        # Rates sorted in decreasing order: fast phase near 0.1663, slow near 0.0091.
+        assert fitted.rates[0] == pytest.approx(0.1663, rel=0.2)
+        assert fitted.rates[1] == pytest.approx(0.0091, rel=0.2)
+
+    def test_log_likelihood_improves_over_exponential(self, rng, paper_like_distribution):
+        draws = paper_like_distribution.sample(rng, size=20_000)
+        result = fit_hyperexponential_em(draws, num_phases=2)
+        exponential_loglik = float(np.sum(np.log(Exponential.from_mean(np.mean(draws)).pdf(draws))))
+        assert result.log_likelihood > exponential_loglik
+
+    def test_single_phase_em_matches_sample_mean(self, rng):
+        draws = Exponential(rate=0.5).sample(rng, size=20_000)
+        result = fit_hyperexponential_em(draws, num_phases=1)
+        assert result.distribution.mean == pytest.approx(float(np.mean(draws)), rel=1e-6)
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hyperexponential_em([], num_phases=2)
+
+    def test_non_positive_observations_rejected(self):
+        with pytest.raises(FittingError):
+            fit_hyperexponential_em([1.0, 0.0, 2.0], num_phases=2)
+
+    def test_deterministic_given_seeded_rng(self, paper_like_distribution):
+        draws = paper_like_distribution.sample(np.random.default_rng(7), size=5_000)
+        first = fit_hyperexponential_em(draws, num_phases=2, rng=np.random.default_rng(3))
+        second = fit_hyperexponential_em(draws, num_phases=2, rng=np.random.default_rng(3))
+        np.testing.assert_allclose(first.distribution.rates, second.distribution.rates)

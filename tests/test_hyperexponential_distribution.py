@@ -1,0 +1,213 @@
+"""Unit tests for :class:`repro.distributions.HyperExponential`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    SUN_INOPERATIVE_FIT,
+    SUN_OPERATIVE_FIT,
+    Exponential,
+    HyperExponential,
+)
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_weights_and_rates_stored(self):
+        dist = HyperExponential(weights=[0.3, 0.7], rates=[1.0, 0.1])
+        np.testing.assert_allclose(dist.weights, [0.3, 0.7])
+        np.testing.assert_allclose(dist.rates, [1.0, 0.1])
+        assert dist.num_phases == 2
+
+    def test_two_phase_constructor(self):
+        dist = HyperExponential.two_phase(alpha1=0.25, rate1=2.0, rate2=0.5)
+        np.testing.assert_allclose(dist.weights, [0.25, 0.75])
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            HyperExponential(weights=[0.5, 0.4], rates=[1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ParameterError):
+            HyperExponential(weights=[-0.1, 1.1], rates=[1.0, 2.0])
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            HyperExponential(weights=[0.5, 0.5], rates=[1.0, 0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            HyperExponential(weights=[1.0], rates=[1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            HyperExponential(weights=[], rates=[])
+
+    def test_single_phase_reduces_to_exponential(self):
+        dist = HyperExponential(weights=[1.0], rates=[0.5])
+        reference = Exponential(rate=0.5)
+        assert dist.mean == pytest.approx(reference.mean)
+        assert dist.scv == pytest.approx(1.0)
+
+    def test_equality(self):
+        a = HyperExponential(weights=[0.5, 0.5], rates=[1.0, 2.0])
+        b = HyperExponential(weights=[0.5, 0.5], rates=[1.0, 2.0])
+        c = HyperExponential(weights=[0.4, 0.6], rates=[1.0, 2.0])
+        assert a == b
+        assert a != c
+
+    def test_phase_means(self):
+        dist = HyperExponential(weights=[0.5, 0.5], rates=[2.0, 0.25])
+        np.testing.assert_allclose(dist.phase_means, [0.5, 4.0])
+
+
+class TestPaperFit:
+    """Checks against the numbers quoted in Section 2 of the paper."""
+
+    def test_operative_fit_mean(self):
+        # 1/xi = alpha1/xi1 + alpha2/xi2 ~ 34.62 (Figure 6 caption: xi = 0.0289).
+        assert SUN_OPERATIVE_FIT.mean == pytest.approx(34.62, abs=0.05)
+        assert SUN_OPERATIVE_FIT.aggregate_rate == pytest.approx(0.0289, abs=0.0002)
+
+    def test_operative_fit_phase_means(self):
+        # ~72% of periods have mean ~6, ~28% have mean ~110.
+        means = SUN_OPERATIVE_FIT.phase_means
+        assert means[0] == pytest.approx(6.0, abs=0.05)
+        assert means[1] == pytest.approx(110.0, abs=1.0)
+
+    def test_operative_fit_scv_exceeds_one(self):
+        assert SUN_OPERATIVE_FIT.scv > 1.0
+
+    def test_inoperative_fit_mean(self):
+        # ~93% with mean 0.04 and ~7% with mean 0.61 -> overall ~0.08.
+        assert SUN_INOPERATIVE_FIT.mean == pytest.approx(0.08, abs=0.005)
+
+    def test_inoperative_fit_phase_means(self):
+        means = SUN_INOPERATIVE_FIT.phase_means
+        assert means[0] == pytest.approx(0.04, abs=0.001)
+        assert means[1] == pytest.approx(0.61, abs=0.01)
+
+
+class TestMoments:
+    def test_moment_formula(self):
+        dist = HyperExponential(weights=[0.4, 0.6], rates=[2.0, 0.5])
+        for k in range(1, 6):
+            expected = math.factorial(k) * (0.4 / 2.0**k + 0.6 / 0.5**k)
+            assert dist.moment(k) == pytest.approx(expected)
+
+    def test_scv_always_greater_than_one_for_distinct_rates(self):
+        dist = HyperExponential(weights=[0.5, 0.5], rates=[1.0, 0.01])
+        assert dist.scv > 1.0
+
+    def test_from_mean_and_scv_matches_targets(self):
+        dist = HyperExponential.from_mean_and_scv(34.62, 4.6)
+        assert dist.mean == pytest.approx(34.62, rel=1e-9)
+        assert dist.scv == pytest.approx(4.6, rel=1e-9)
+
+    def test_from_mean_and_scv_one_is_exponential_like(self):
+        dist = HyperExponential.from_mean_and_scv(5.0, 1.0)
+        assert dist.mean == pytest.approx(5.0)
+        assert dist.scv == pytest.approx(1.0)
+
+    def test_from_mean_and_scv_below_one_rejected(self):
+        with pytest.raises(ParameterError):
+            HyperExponential.from_mean_and_scv(5.0, 0.5)
+
+    def test_aggregate_rate_is_reciprocal_mean(self):
+        dist = HyperExponential(weights=[0.2, 0.8], rates=[3.0, 0.3])
+        assert dist.aggregate_rate == pytest.approx(1.0 / dist.mean)
+
+
+class TestDensities:
+    def test_pdf_is_mixture_of_exponentials(self):
+        dist = HyperExponential(weights=[0.3, 0.7], rates=[1.0, 0.2])
+        x = 2.0
+        expected = 0.3 * 1.0 * math.exp(-1.0 * x) + 0.7 * 0.2 * math.exp(-0.2 * x)
+        assert dist.pdf(x) == pytest.approx(expected)
+
+    def test_cdf_is_mixture(self):
+        dist = HyperExponential(weights=[0.3, 0.7], rates=[1.0, 0.2])
+        x = 3.0
+        expected = 0.3 * (1 - math.exp(-x)) + 0.7 * (1 - math.exp(-0.2 * x))
+        assert dist.cdf(x) == pytest.approx(expected)
+
+    def test_negative_arguments(self):
+        dist = SUN_OPERATIVE_FIT
+        assert dist.pdf(-1.0) == 0.0
+        assert dist.cdf(-1.0) == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        dist = HyperExponential(weights=[0.6, 0.4], rates=[1.0, 0.05])
+        xs = np.linspace(0.0, 400.0, 400_001)
+        assert np.trapezoid(dist.pdf(xs), xs) == pytest.approx(1.0, abs=1e-4)
+
+    def test_vectorised_cdf(self):
+        dist = SUN_OPERATIVE_FIT
+        xs = np.array([0.0, 1.0, 10.0, 100.0])
+        np.testing.assert_allclose(dist.cdf(xs), [dist.cdf(float(x)) for x in xs])
+
+
+class TestSamplingAndTransforms:
+    def test_sample_mean_converges(self, rng):
+        draws = SUN_OPERATIVE_FIT.sample(rng, size=300_000)
+        assert np.mean(draws) == pytest.approx(SUN_OPERATIVE_FIT.mean, rel=0.02)
+
+    def test_sample_scv_converges(self, rng):
+        dist = HyperExponential(weights=[0.7246, 0.2754], rates=[0.1663, 0.0091])
+        draws = dist.sample(rng, size=300_000)
+        scv = np.var(draws) / np.mean(draws) ** 2
+        assert scv == pytest.approx(dist.scv, rel=0.05)
+
+    def test_scalar_sample(self, rng):
+        value = SUN_INOPERATIVE_FIT.sample(rng)
+        assert isinstance(value, float)
+        assert value >= 0.0
+
+    def test_laplace_transform_at_zero(self):
+        assert SUN_OPERATIVE_FIT.laplace_transform(0.0) == pytest.approx(1.0)
+
+    def test_laplace_transform_is_mixture(self):
+        dist = HyperExponential(weights=[0.3, 0.7], rates=[1.0, 0.2])
+        s = 0.4
+        expected = 0.3 * 1.0 / (1.0 + s) + 0.7 * 0.2 / (0.2 + s)
+        assert dist.laplace_transform(s) == pytest.approx(expected)
+
+    def test_phase_type_view_matches_moments(self):
+        dist = HyperExponential(weights=[0.25, 0.75], rates=[2.0, 0.2])
+        ph = dist.to_phase_type()
+        for k in range(1, 4):
+            assert ph.moment(k) == pytest.approx(dist.moment(k), rel=1e-9)
+
+    def test_phase_sampling_probabilities_are_weights(self):
+        dist = HyperExponential(weights=[0.25, 0.75], rates=[2.0, 0.2])
+        np.testing.assert_allclose(dist.phase_sampling_probabilities(), [0.25, 0.75])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    alpha=st.floats(min_value=0.01, max_value=0.99),
+    rate1=st.floats(min_value=1e-2, max_value=1e2),
+    ratio=st.floats(min_value=1.1, max_value=100.0),
+)
+def test_property_scv_at_least_one(alpha, rate1, ratio):
+    """Every 2-phase hyperexponential has squared coefficient of variation >= 1."""
+    dist = HyperExponential.two_phase(alpha1=alpha, rate1=rate1, rate2=rate1 / ratio)
+    assert dist.scv >= 1.0 - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mean=st.floats(min_value=0.1, max_value=100.0),
+    scv=st.floats(min_value=1.0, max_value=50.0),
+)
+def test_property_mean_scv_roundtrip(mean, scv):
+    """from_mean_and_scv reproduces the requested first two moments exactly."""
+    dist = HyperExponential.from_mean_and_scv(mean, scv)
+    assert dist.mean == pytest.approx(mean, rel=1e-9)
+    assert dist.scv == pytest.approx(scv, rel=1e-6)

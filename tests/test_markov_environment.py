@@ -1,0 +1,216 @@
+"""Unit tests for the Markovian environment and the generic CTMC utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential, HyperExponential
+from repro.exceptions import ParameterError, SolverError
+from repro.markov import (
+    BreakdownEnvironment,
+    embedded_jump_chain,
+    expected_num_modes,
+    mean_holding_times,
+    steady_state_from_generator,
+    steady_state_sparse,
+    validate_generator,
+)
+
+import scipy.sparse
+
+
+@pytest.fixture
+def paper_environment() -> BreakdownEnvironment:
+    """The N=2, n=2, m=1 environment of the paper's worked example."""
+    return BreakdownEnvironment(
+        num_servers=2,
+        operative=HyperExponential(weights=[0.6, 0.4], rates=[0.5, 0.05]),
+        inoperative=Exponential(rate=2.0),
+    )
+
+
+class TestEnvironmentStructure:
+    def test_mode_count(self, paper_environment):
+        assert paper_environment.num_modes == 6
+
+    def test_phase_counts(self, paper_environment):
+        assert paper_environment.num_operative_phases == 2
+        assert paper_environment.num_inoperative_phases == 1
+
+    def test_operative_counts_per_mode(self, paper_environment):
+        np.testing.assert_allclose(
+            paper_environment.operative_counts, [0, 1, 1, 2, 2, 2]
+        )
+
+    def test_mode_lookup(self, paper_environment):
+        assert paper_environment.mode_of((0, 0), (2,)) == 0
+        assert paper_environment.mode_of((1, 1), (0,)) == 4
+
+    def test_mode_lookup_invalid(self, paper_environment):
+        with pytest.raises(ParameterError):
+            paper_environment.mode_of((3, 0), (0,))
+
+    def test_expected_num_modes_helper(self):
+        operative = HyperExponential(weights=[0.5, 0.5], rates=[1.0, 0.1])
+        assert expected_num_modes(10, operative, Exponential(rate=25.0)) == 66
+
+    def test_unsupported_distribution_rejected(self):
+        with pytest.raises(ParameterError):
+            BreakdownEnvironment(
+                num_servers=2,
+                operative=Deterministic(value=5.0),
+                inoperative=Exponential(rate=1.0),
+            )
+
+
+class TestTransitionMatrix:
+    def test_paper_matrix_a_structure(self):
+        """The matrix A of the worked example in Section 3.1.
+
+        With N=2 servers, operative phases (alpha_j, xi_j) and a single
+        exponential repair phase with rate eta, the example's matrix A is
+
+            [ 0        2 eta a1  2 eta a2  0      0        0     ]
+            [ xi1      0         0         eta a1 eta a2   0     ]
+            [ xi2      0         0         0      eta a1   eta a2]
+            [ 0        2 xi1     0         0      0        0     ]
+            [ 0        xi2       xi1       0      0        0     ]
+            [ 0        0         2 xi2     0      0        0     ]
+        """
+        alpha = np.array([0.6, 0.4])
+        xi = np.array([0.5, 0.05])
+        eta = 2.0
+        environment = BreakdownEnvironment(
+            num_servers=2,
+            operative=HyperExponential(weights=alpha, rates=xi),
+            inoperative=Exponential(rate=eta),
+        )
+        expected = np.array(
+            [
+                [0.0, 2 * eta * alpha[0], 2 * eta * alpha[1], 0.0, 0.0, 0.0],
+                [xi[0], 0.0, 0.0, eta * alpha[0], eta * alpha[1], 0.0],
+                [xi[1], 0.0, 0.0, 0.0, eta * alpha[0], eta * alpha[1]],
+                [0.0, 2 * xi[0], 0.0, 0.0, 0.0, 0.0],
+                [0.0, xi[1], xi[0], 0.0, 0.0, 0.0],
+                [0.0, 0.0, 2 * xi[1], 0.0, 0.0, 0.0],
+            ]
+        )
+        np.testing.assert_allclose(environment.transition_matrix, expected)
+
+    def test_diagonal_of_a_is_zero(self, paper_environment):
+        assert np.all(np.diag(paper_environment.transition_matrix) == 0.0)
+
+    def test_row_sum_matrix_is_diagonal_of_row_sums(self, paper_environment):
+        matrix = paper_environment.transition_matrix
+        expected = np.diag(matrix.sum(axis=1))
+        np.testing.assert_allclose(paper_environment.row_sum_matrix, expected)
+
+    def test_generator_rows_sum_to_zero(self, paper_environment):
+        generator = paper_environment.generator
+        np.testing.assert_allclose(generator.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_transitions_preserve_server_count(self, paper_environment):
+        modes = paper_environment.modes
+        for transition in paper_environment.transitions():
+            source_op, source_inop = modes[transition.source]
+            target_op, target_inop = modes[transition.target]
+            assert sum(source_op) + sum(source_inop) == 2
+            assert sum(target_op) + sum(target_inop) == 2
+            if transition.kind == "breakdown":
+                assert sum(target_op) == sum(source_op) - 1
+            else:
+                assert sum(target_op) == sum(source_op) + 1
+
+    def test_transition_rates_positive(self, paper_environment):
+        assert all(t.rate > 0.0 for t in paper_environment.transitions())
+
+
+class TestEnvironmentSteadyState:
+    def test_availability_formula(self, paper_environment):
+        operative_mean = paper_environment.mean_operative_period
+        inoperative_mean = paper_environment.mean_inoperative_period
+        expected = operative_mean / (operative_mean + inoperative_mean)
+        assert paper_environment.availability == pytest.approx(expected)
+
+    def test_mean_operative_period_eq10(self):
+        environment = BreakdownEnvironment(
+            num_servers=3,
+            operative=HyperExponential(weights=[0.7246, 0.2754], rates=[0.1663, 0.0091]),
+            inoperative=Exponential(rate=25.0),
+        )
+        assert environment.mean_operative_period == pytest.approx(34.62, abs=0.05)
+        assert environment.mean_inoperative_period == pytest.approx(0.04)
+
+    def test_steady_state_sums_to_one(self, paper_environment):
+        assert paper_environment.steady_state.sum() == pytest.approx(1.0)
+
+    def test_mean_operative_servers_consistency(self, paper_environment):
+        """N * eta/(xi+eta) equals the environment-chain expectation (Eq. 11 input)."""
+        assert paper_environment.mean_operative_servers == pytest.approx(
+            paper_environment.mean_operative_servers_from_steady_state, rel=1e-9
+        )
+
+    def test_exponential_periods_give_binomial_occupancy(self):
+        """With exponential periods, each server is independently up with
+        probability eta/(xi+eta), so the number of operative servers is
+        binomial."""
+        xi, eta = 0.5, 2.0
+        environment = BreakdownEnvironment(
+            num_servers=3,
+            operative=Exponential(rate=xi),
+            inoperative=Exponential(rate=eta),
+        )
+        availability = eta / (xi + eta)
+        steady = environment.steady_state
+        counts = environment.operative_counts
+        for up in range(4):
+            probability = sum(
+                steady[i] for i in range(environment.num_modes) if counts[i] == up
+            )
+            from math import comb
+
+            expected = comb(3, up) * availability**up * (1 - availability) ** (3 - up)
+            assert probability == pytest.approx(expected, rel=1e-8)
+
+
+class TestCTMCUtilities:
+    def test_steady_state_two_state_chain(self):
+        generator = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        pi = steady_state_from_generator(generator)
+        np.testing.assert_allclose(pi, [2.0 / 3.0, 1.0 / 3.0])
+
+    def test_steady_state_sparse_matches_dense(self):
+        generator = np.array(
+            [[-2.0, 1.0, 1.0], [0.5, -1.0, 0.5], [1.0, 1.0, -2.0]]
+        )
+        dense = steady_state_from_generator(generator)
+        sparse = steady_state_sparse(scipy.sparse.csr_matrix(generator))
+        np.testing.assert_allclose(dense, sparse, atol=1e-10)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SolverError):
+            steady_state_from_generator(np.ones((2, 3)))
+
+    def test_validate_generator_accepts_valid(self):
+        validate_generator(np.array([[-1.0, 1.0], [2.0, -2.0]]))
+
+    def test_validate_generator_rejects_positive_diagonal(self):
+        with pytest.raises(SolverError):
+            validate_generator(np.array([[1.0, -1.0], [2.0, -2.0]]))
+
+    def test_validate_generator_rejects_bad_row_sums(self):
+        with pytest.raises(SolverError):
+            validate_generator(np.array([[-1.0, 2.0], [2.0, -2.0]]))
+
+    def test_embedded_jump_chain(self):
+        generator = np.array([[-2.0, 2.0], [1.0, -1.0]])
+        jump = embedded_jump_chain(generator)
+        np.testing.assert_allclose(jump, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_mean_holding_times(self):
+        generator = np.array([[-2.0, 2.0], [4.0, -4.0]])
+        np.testing.assert_allclose(mean_holding_times(generator), [0.5, 0.25])
+
+    def test_single_state_chain(self):
+        np.testing.assert_allclose(steady_state_from_generator(np.array([[0.0]])), [1.0])

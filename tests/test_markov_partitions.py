@@ -1,0 +1,126 @@
+"""Unit tests for operational-mode enumeration (paper Eq. 12 and Section 3.1 example)."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.markov import (
+    compositions,
+    enumerate_modes,
+    mode_index_map,
+    num_modes,
+    operative_counts,
+)
+
+
+class TestNumModes:
+    def test_paper_example_two_servers(self):
+        """N=2, n=2, m=1 has 6 operational modes (Section 3.1)."""
+        assert num_modes(2, 2, 1) == 6
+
+    def test_paper_figure5_formula(self):
+        """With n=2, m=1 the paper states s = (N+2)(N+1)/2."""
+        for n_servers in range(1, 20):
+            assert num_modes(n_servers, 2, 1) == (n_servers + 2) * (n_servers + 1) // 2
+
+    def test_binomial_formula(self):
+        assert num_modes(5, 3, 2) == comb(5 + 3 + 2 - 1, 3 + 2 - 1)
+
+    def test_zero_servers(self):
+        assert num_modes(0, 2, 1) == 1
+
+    def test_single_phase_single_server(self):
+        assert num_modes(1, 1, 1) == 2
+
+    def test_invalid_phase_count_rejected(self):
+        with pytest.raises(ParameterError):
+            num_modes(2, 0, 1)
+
+    def test_negative_servers_rejected(self):
+        with pytest.raises(ParameterError):
+            num_modes(-1, 2, 1)
+
+
+class TestCompositions:
+    def test_total_two_parts(self):
+        assert compositions(2, 2) == [(2, 0), (1, 1), (0, 2)]
+
+    def test_single_part(self):
+        assert compositions(5, 1) == [(5,)]
+
+    def test_zero_total(self):
+        assert compositions(0, 3) == [(0, 0, 0)]
+
+    def test_count_matches_binomial(self):
+        assert len(compositions(4, 3)) == comb(4 + 2, 2)
+
+    def test_all_sum_to_total(self):
+        for parts in compositions(6, 4):
+            assert sum(parts) == 6
+
+    def test_no_duplicates(self):
+        result = compositions(5, 3)
+        assert len(result) == len(set(result))
+
+
+class TestEnumerateModes:
+    def test_paper_worked_example_order(self):
+        """The six modes of the N=2, n=2, m=1 example in the paper's order."""
+        modes = enumerate_modes(2, 2, 1)
+        assert modes == [
+            ((0, 0), (2,)),  # i=0: 2 inoperative
+            ((1, 0), (1,)),  # i=1: 1 operative phase 1, 1 inoperative
+            ((0, 1), (1,)),  # i=2: 1 operative phase 2, 1 inoperative
+            ((2, 0), (0,)),  # i=3: 2 operative phase 1
+            ((1, 1), (0,)),  # i=4: one in each operative phase
+            ((0, 2), (0,)),  # i=5: 2 operative phase 2
+        ]
+
+    def test_mode_count_matches_formula(self):
+        modes = enumerate_modes(4, 2, 2)
+        assert len(modes) == num_modes(4, 2, 2)
+
+    def test_all_modes_conserve_servers(self):
+        for operative, inoperative in enumerate_modes(5, 3, 2):
+            assert sum(operative) + sum(inoperative) == 5
+
+    def test_modes_are_unique(self):
+        modes = enumerate_modes(4, 2, 2)
+        assert len(modes) == len(set(modes))
+
+    def test_index_map_consistent(self):
+        modes = enumerate_modes(3, 2, 1)
+        index_map = mode_index_map(3, 2, 1)
+        for index, mode in enumerate(modes):
+            assert index_map[mode] == index
+
+    def test_operative_counts_in_mode_order(self):
+        counts = operative_counts(2, 2, 1)
+        assert counts == [0, 1, 1, 2, 2, 2]
+
+    def test_returned_list_is_a_copy(self):
+        first = enumerate_modes(2, 2, 1)
+        first.append("garbage")  # type: ignore[arg-type]
+        second = enumerate_modes(2, 2, 1)
+        assert len(second) == 6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_servers=st.integers(min_value=0, max_value=12),
+    operative_phases=st.integers(min_value=1, max_value=3),
+    inoperative_phases=st.integers(min_value=1, max_value=3),
+)
+def test_property_enumeration_matches_count(num_servers, operative_phases, inoperative_phases):
+    modes = enumerate_modes(num_servers, operative_phases, inoperative_phases)
+    assert len(modes) == num_modes(num_servers, operative_phases, inoperative_phases)
+    assert len(set(modes)) == len(modes)
+    for operative, inoperative in modes:
+        assert sum(operative) + sum(inoperative) == num_servers
+        assert len(operative) == operative_phases
+        assert len(inoperative) == inoperative_phases

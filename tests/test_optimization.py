@@ -1,0 +1,153 @@
+"""Unit tests for cost optimisation and capacity planning (Section 4, Eq. 22)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential, HyperExponential
+from repro.exceptions import ParameterError, SolverError
+from repro.optimization import (
+    cost_curve,
+    evaluate_cost,
+    minimum_servers_for_response_time,
+    minimum_stable_servers,
+    optimal_server_count,
+    response_time_curve,
+)
+from repro.queueing import UnreliableQueueModel
+
+
+@pytest.fixture
+def base_model() -> UnreliableQueueModel:
+    """A small fast model used for optimisation sweeps."""
+    return UnreliableQueueModel(
+        num_servers=3,
+        arrival_rate=2.0,
+        service_rate=1.0,
+        operative=HyperExponential(weights=[0.7, 0.3], rates=[0.25, 0.02]),
+        inoperative=Exponential(rate=4.0),
+    )
+
+
+class TestEvaluateCost:
+    def test_cost_formula_eq22(self, base_model):
+        point = evaluate_cost(base_model, holding_cost=4.0, server_cost=1.0)
+        assert point.cost == pytest.approx(4.0 * point.mean_queue_length + 1.0 * 3)
+        assert point.stable
+
+    def test_unstable_configuration_has_infinite_cost(self, base_model):
+        point = evaluate_cost(
+            base_model.with_servers(1), holding_cost=4.0, server_cost=1.0
+        )
+        assert not point.stable
+        assert math.isinf(point.cost)
+
+    def test_geometric_solver_option(self, base_model):
+        exact = evaluate_cost(base_model, 4.0, 1.0, solver="spectral")
+        approx = evaluate_cost(base_model, 4.0, 1.0, solver="geometric")
+        assert approx.num_servers == exact.num_servers
+        assert approx.cost != exact.cost  # the approximation differs at this load
+
+    def test_custom_callable_solver(self, base_model):
+        calls = []
+
+        def solver(model):
+            calls.append(model.num_servers)
+            return model.solve_geometric()
+
+        evaluate_cost(base_model, 1.0, 1.0, solver=solver)
+        assert calls == [3]
+
+    def test_unknown_solver_rejected(self, base_model):
+        with pytest.raises(ParameterError):
+            evaluate_cost(base_model, 1.0, 1.0, solver="mystery")
+
+    def test_negative_costs_rejected(self, base_model):
+        with pytest.raises(ParameterError):
+            evaluate_cost(base_model, -1.0, 1.0)
+
+
+class TestCostCurve:
+    def test_curve_points_sorted_by_servers(self, base_model):
+        curve = cost_curve(base_model, [5, 3, 4], holding_cost=4.0, server_cost=1.0)
+        assert [point.num_servers for point in curve.points] == [3, 4, 5]
+
+    def test_optimal_point_minimises_cost(self, base_model):
+        curve = cost_curve(base_model, range(3, 9), holding_cost=4.0, server_cost=1.0)
+        best = curve.optimal_point
+        assert best.cost == min(point.cost for point in curve.points if point.stable)
+        assert curve.optimal_servers == best.num_servers
+
+    def test_as_series(self, base_model):
+        curve = cost_curve(base_model, [3, 4], holding_cost=4.0, server_cost=1.0)
+        servers, costs = curve.as_series()
+        assert servers == [3, 4]
+        assert len(costs) == 2
+
+    def test_empty_server_counts_rejected(self, base_model):
+        with pytest.raises(ParameterError):
+            cost_curve(base_model, [], holding_cost=1.0, server_cost=1.0)
+
+    def test_high_server_cost_pushes_optimum_down(self, base_model):
+        cheap_servers = cost_curve(
+            base_model, range(3, 10), holding_cost=4.0, server_cost=0.1
+        )
+        expensive_servers = cost_curve(
+            base_model, range(3, 10), holding_cost=4.0, server_cost=10.0
+        )
+        assert expensive_servers.optimal_servers <= cheap_servers.optimal_servers
+
+
+class TestOptimalServerCount:
+    def test_walks_past_local_plateau(self, base_model):
+        result = optimal_server_count(
+            base_model, holding_cost=4.0, server_cost=1.0, solver="geometric"
+        )
+        # Cross-check against an explicit sweep.
+        sweep = cost_curve(
+            base_model, range(3, 15), holding_cost=4.0, server_cost=1.0, solver="geometric"
+        )
+        assert result.num_servers == sweep.optimal_servers
+        assert result.cost == pytest.approx(sweep.optimal_point.cost)
+
+    def test_minimum_stable_servers(self, base_model):
+        minimum = minimum_stable_servers(base_model)
+        assert base_model.with_servers(minimum).is_stable
+        assert minimum == 1 or not base_model.with_servers(minimum - 1).is_stable
+
+    def test_minimum_stable_servers_unreachable(self, base_model):
+        with pytest.raises(SolverError):
+            minimum_stable_servers(base_model.with_arrival_rate(50.0), max_servers=10)
+
+
+class TestSizing:
+    def test_response_time_curve_monotone(self, base_model):
+        points = response_time_curve(base_model, range(3, 8))
+        times = [point.mean_response_time for point in points]
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(times, times[1:]))
+
+    def test_unstable_points_reported_infinite(self, base_model):
+        points = response_time_curve(base_model, [1, 3])
+        assert math.isinf(points[0].mean_response_time)
+        assert math.isfinite(points[1].mean_response_time)
+
+    def test_minimum_servers_for_target(self, base_model):
+        result = minimum_servers_for_response_time(base_model, target_response_time=1.5)
+        final = result.evaluations[-1]
+        assert final.num_servers == result.required_servers
+        assert final.mean_response_time <= 1.5
+        # The previous candidate (if evaluated) must miss the target.
+        if len(result.evaluations) > 1:
+            assert result.evaluations[-2].mean_response_time > 1.5
+
+    def test_target_below_service_time_rejected(self, base_model):
+        with pytest.raises(SolverError):
+            minimum_servers_for_response_time(base_model, target_response_time=0.5)
+
+    def test_unreachable_target_raises(self, base_model):
+        with pytest.raises(SolverError):
+            minimum_servers_for_response_time(
+                base_model, target_response_time=1.0000001, max_servers=4
+            )

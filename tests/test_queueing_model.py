@@ -1,0 +1,188 @@
+"""Unit tests for the model front end, its stability condition and baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import Deterministic, Exponential, HyperExponential, SUN_OPERATIVE_FIT
+from repro.exceptions import ParameterError, UnstableQueueError
+from repro.queueing import (
+    MMcMetrics,
+    UnreliableQueueModel,
+    erlang_b,
+    erlang_c,
+    mm1_mean_queue_length,
+    mm1_queue_length_pmf,
+    mmc_metrics,
+    required_servers_erlang_c,
+    sun_fitted_model,
+)
+
+
+class TestModelConstruction:
+    def test_parameters_stored(self, paper_model):
+        assert paper_model.num_servers == 10
+        assert paper_model.arrival_rate == 7.0
+        assert paper_model.mean_service_time == 1.0
+
+    def test_invalid_servers_rejected(self):
+        with pytest.raises(ParameterError):
+            UnreliableQueueModel(
+                num_servers=0,
+                arrival_rate=1.0,
+                service_rate=1.0,
+                operative=Exponential(rate=1.0),
+                inoperative=Exponential(rate=1.0),
+            )
+
+    def test_invalid_arrival_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            UnreliableQueueModel(
+                num_servers=1,
+                arrival_rate=-1.0,
+                service_rate=1.0,
+                operative=Exponential(rate=1.0),
+                inoperative=Exponential(rate=1.0),
+            )
+
+    def test_sun_fitted_model_helper(self):
+        model = sun_fitted_model(num_servers=12, arrival_rate=8.0)
+        assert model.operative == SUN_OPERATIVE_FIT
+        assert isinstance(model.inoperative, Exponential)
+        assert model.inoperative.rate == pytest.approx(25.0)
+
+    def test_with_servers_returns_new_model(self, paper_model):
+        modified = paper_model.with_servers(12)
+        assert modified.num_servers == 12
+        assert paper_model.num_servers == 10
+
+    def test_with_arrival_rate(self, paper_model):
+        assert paper_model.with_arrival_rate(8.5).arrival_rate == 8.5
+
+    def test_with_periods(self, paper_model):
+        new_operative = Exponential(rate=0.0289)
+        modified = paper_model.with_periods(operative=new_operative)
+        assert modified.operative == new_operative
+        assert modified.inoperative == paper_model.inoperative
+
+
+class TestDerivedQuantities:
+    def test_offered_load(self, paper_model):
+        assert paper_model.offered_load == pytest.approx(7.0)
+
+    def test_availability_from_means(self, paper_model):
+        operative_mean = paper_model.operative.mean
+        expected = operative_mean / (operative_mean + 0.04)
+        assert paper_model.availability == pytest.approx(expected)
+
+    def test_mean_operative_servers(self, paper_model):
+        assert paper_model.mean_operative_servers == pytest.approx(
+            10 * paper_model.availability
+        )
+
+    def test_effective_load(self, paper_model):
+        assert paper_model.effective_load == pytest.approx(
+            7.0 / paper_model.mean_operative_servers
+        )
+
+    def test_num_modes_formula(self, paper_model):
+        """s = (N+2)(N+1)/2 for n=2, m=1 (paper Section 4)."""
+        assert paper_model.num_modes == 66
+
+    def test_markovian_flag(self, paper_model):
+        assert paper_model.is_markovian
+        non_markovian = paper_model.with_periods(operative=Deterministic(value=34.62))
+        assert not non_markovian.is_markovian
+
+    def test_environment_caching(self, paper_model):
+        assert paper_model.environment is paper_model.environment
+
+
+class TestStability:
+    def test_paper_condition_eq11(self):
+        """lambda/mu < N eta / (xi + eta)."""
+        model = sun_fitted_model(num_servers=10, arrival_rate=7.0)
+        capacity = 10 * model.availability
+        assert model.is_stable == (7.0 < capacity)
+
+    def test_borderline_unstable(self):
+        # availability ~ 0.99885 -> capacity with 8 servers ~ 7.99; 8.0 is unstable.
+        model = sun_fitted_model(num_servers=8, arrival_rate=8.0)
+        assert not model.is_stable
+        with pytest.raises(UnstableQueueError):
+            model.require_stable()
+
+    def test_stability_depends_only_on_means(self):
+        """Eq. 11 depends on the period means, not their distributions."""
+        mean_operative, mean_repair = 34.62, 0.04
+        hyper = UnreliableQueueModel(
+            num_servers=9,
+            arrival_rate=8.0,
+            service_rate=1.0,
+            operative=SUN_OPERATIVE_FIT,
+            inoperative=Exponential(rate=1.0 / mean_repair),
+        )
+        exponential = hyper.with_periods(operative=Exponential(rate=1.0 / mean_operative))
+        assert hyper.is_stable == exponential.is_stable
+        assert hyper.mean_operative_servers == pytest.approx(
+            exponential.mean_operative_servers, rel=1e-4
+        )
+
+    def test_unstable_error_carries_values(self):
+        model = sun_fitted_model(num_servers=2, arrival_rate=5.0)
+        with pytest.raises(UnstableQueueError) as excinfo:
+            model.require_stable()
+        assert excinfo.value.offered_load == pytest.approx(5.0)
+        assert excinfo.value.effective_servers < 2.0
+
+
+class TestErlangBaselines:
+    def test_erlang_c_single_server_equals_utilisation(self):
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_erlang_c_known_value(self):
+        # Classic tabulated value: c=5, a=3 Erlangs -> P(wait) ~ 0.23.
+        assert erlang_c(5, 3.0) == pytest.approx(0.2362, abs=1e-3)
+
+    def test_erlang_c_unstable_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            erlang_c(2, 2.5)
+
+    def test_erlang_b_recurrence(self):
+        # Known value: c=3, a=2 -> B = 0.2105...
+        assert erlang_b(3, 2.0) == pytest.approx(4.0 / 19.0, rel=1e-9)
+
+    def test_erlang_b_less_than_erlang_c(self):
+        assert erlang_b(5, 3.0) < erlang_c(5, 3.0)
+
+    def test_mmc_metrics_consistency(self):
+        metrics = mmc_metrics(4, 2.5, 1.0)
+        assert isinstance(metrics, MMcMetrics)
+        assert metrics.mean_queue_length == pytest.approx(
+            metrics.mean_jobs_waiting + 2.5, rel=1e-9
+        )
+        assert metrics.mean_response_time == pytest.approx(
+            metrics.mean_waiting_time + 1.0, rel=1e-9
+        )
+
+    def test_mm1_special_case_of_mmc(self):
+        single = mmc_metrics(1, 0.7, 1.0)
+        assert single.mean_queue_length == pytest.approx(mm1_mean_queue_length(0.7, 1.0))
+
+    def test_mm1_pmf_geometric(self):
+        assert mm1_queue_length_pmf(0.5, 1.0, 3) == pytest.approx(0.5 * 0.5**3)
+
+    def test_mm1_unstable_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            mm1_mean_queue_length(2.0, 1.0)
+
+    def test_required_servers_erlang_c(self):
+        servers = required_servers_erlang_c(8.0, 1.0, max_wait_probability=0.2)
+        assert erlang_c(servers, 8.0) <= 0.2
+        assert servers >= 9
+        if servers > 9:
+            assert erlang_c(servers - 1, 8.0) > 0.2
+
+    def test_required_servers_invalid_target(self):
+        with pytest.raises(ValueError):
+            required_servers_erlang_c(8.0, 1.0, max_wait_probability=1.5)

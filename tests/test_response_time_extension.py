@@ -1,0 +1,113 @@
+"""Tests for the response-time-distribution extension (the paper's open problem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError, UnstableQueueError
+from repro.extensions import (
+    ResponseTimeDistribution,
+    fcfs_exponential_capacity_bound,
+    simulated_response_time_distribution,
+)
+from repro.distributions import Exponential
+from repro.queueing import UnreliableQueueModel, sun_fitted_model
+
+
+@pytest.fixture(scope="module")
+def mm1_model() -> UnreliableQueueModel:
+    """A reliable single server: the response-time law is known in closed form."""
+    return UnreliableQueueModel(
+        num_servers=1,
+        arrival_rate=0.6,
+        service_rate=1.0,
+        operative=Exponential(rate=1e-8),
+        inoperative=Exponential(rate=1e3),
+    )
+
+
+@pytest.fixture(scope="module")
+def mm1_distribution(mm1_model) -> ResponseTimeDistribution:
+    return simulated_response_time_distribution(mm1_model, horizon=150_000.0, seed=3)
+
+
+class TestSimulatedDistribution:
+    def test_mean_matches_mm1_theory(self, mm1_distribution):
+        # M/M/1: W = 1 / (mu - lambda) = 2.5.
+        assert mm1_distribution.mean == pytest.approx(2.5, rel=0.05)
+
+    def test_quantiles_match_mm1_theory(self, mm1_distribution):
+        """In M/M/1 (FCFS) the response time is exponential with rate mu - lambda."""
+        rate = 1.0 - 0.6
+        for probability in (0.5, 0.9, 0.95):
+            expected = -np.log(1.0 - probability) / rate
+            assert mm1_distribution.quantile(probability) == pytest.approx(expected, rel=0.08)
+
+    def test_percentile_90_property(self, mm1_distribution):
+        assert mm1_distribution.percentile_90 == pytest.approx(
+            mm1_distribution.quantile(0.9)
+        )
+
+    def test_tail_probability_consistent_with_quantile(self, mm1_distribution):
+        q90 = mm1_distribution.quantile(0.9)
+        assert mm1_distribution.tail_probability(q90) == pytest.approx(0.1, abs=0.02)
+
+    def test_quantiles_monotone(self, mm1_distribution):
+        assert (
+            mm1_distribution.quantile(0.5)
+            < mm1_distribution.quantile(0.9)
+            < mm1_distribution.quantile(0.99)
+        )
+
+    def test_sample_count_reported(self, mm1_distribution):
+        assert mm1_distribution.num_samples > 10_000
+
+    def test_mean_consistent_with_spectral_solution(self):
+        """The simulated mean response time agrees with Little's law on the
+        exact solution for an unreliable-server configuration."""
+        model = sun_fitted_model(num_servers=5, arrival_rate=3.5)
+        distribution = simulated_response_time_distribution(
+            model, horizon=80_000.0, seed=11
+        )
+        exact = model.solve_spectral().mean_response_time
+        assert distribution.mean == pytest.approx(exact, rel=0.1)
+
+    def test_too_short_horizon_rejected(self, mm1_model):
+        with pytest.raises(SimulationError):
+            simulated_response_time_distribution(mm1_model, horizon=5.0)
+
+    def test_invalid_warmup_rejected(self, mm1_model):
+        with pytest.raises(SimulationError):
+            simulated_response_time_distribution(
+                mm1_model, horizon=1000.0, warmup_fraction=1.5
+            )
+
+
+class TestCapacityBound:
+    def test_quantile_formula(self):
+        model = sun_fitted_model(num_servers=10, arrival_rate=8.0)
+        capacity = model.service_rate * model.mean_operative_servers
+        expected = -np.log(0.1) / (capacity - 8.0)
+        assert fcfs_exponential_capacity_bound(model, 0.9) == pytest.approx(expected)
+
+    def test_estimate_is_accurate_in_heavy_traffic(self):
+        """At ~97% load the waiting time dominates and the aggregated-capacity
+        estimate lands close to the simulated 90th percentile."""
+        model = sun_fitted_model(num_servers=10, arrival_rate=9.7)
+        distribution = simulated_response_time_distribution(
+            model, horizon=60_000.0, seed=5
+        )
+        estimate = fcfs_exponential_capacity_bound(model, 0.9)
+        simulated = distribution.quantile(0.9)
+        assert estimate == pytest.approx(simulated, rel=0.5)
+
+    def test_unstable_model_rejected(self):
+        model = sun_fitted_model(num_servers=2, arrival_rate=5.0)
+        with pytest.raises(UnstableQueueError):
+            fcfs_exponential_capacity_bound(model, 0.9)
+
+    def test_invalid_probability_rejected(self):
+        model = sun_fitted_model(num_servers=10, arrival_rate=8.0)
+        with pytest.raises(Exception):
+            fcfs_exponential_capacity_bound(model, 1.0)

@@ -1,0 +1,197 @@
+"""Unit tests for the breakdown-trace data model, synthetic generator and CSV I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BreakdownEvent,
+    BreakdownTrace,
+    SyntheticTraceConfig,
+    generate_small_trace,
+    generate_sun_like_trace,
+    operative_periods_from_events,
+    read_trace_csv,
+    write_trace_csv,
+)
+from repro.distributions import SUN_INOPERATIVE_FIT, SUN_OPERATIVE_FIT
+from repro.exceptions import DataError
+
+
+class TestBreakdownEvent:
+    def test_operative_period_is_difference(self):
+        event = BreakdownEvent(server_id=1, outage_duration=0.5, time_between_events=10.0)
+        assert event.operative_period == pytest.approx(9.5)
+
+    def test_anomalous_detection(self):
+        good = BreakdownEvent(server_id=0, outage_duration=1.0, time_between_events=2.0)
+        bad = BreakdownEvent(server_id=0, outage_duration=2.0, time_between_events=1.0)
+        assert not good.is_anomalous
+        assert bad.is_anomalous
+
+    def test_equal_fields_not_anomalous(self):
+        boundary = BreakdownEvent(server_id=0, outage_duration=1.0, time_between_events=1.0)
+        assert not boundary.is_anomalous
+        assert boundary.operative_period == 0.0
+
+
+class TestBreakdownTrace:
+    def _trace(self):
+        return BreakdownTrace.from_arrays(
+            outage_durations=[0.5, 1.0, 2.0, 0.1],
+            times_between_events=[5.0, 0.5, 10.0, 3.0],
+            server_ids=[1, 1, 2, 3],
+        )
+
+    def test_lengths_and_servers(self):
+        trace = self._trace()
+        assert len(trace) == 4
+        assert trace.num_events == 4
+        assert trace.num_servers == 3
+
+    def test_anomaly_counting(self):
+        trace = self._trace()
+        assert trace.num_anomalous == 1  # second row: 0.5 < 1.0
+        assert trace.anomalous_fraction == pytest.approx(0.25)
+
+    def test_cleaning_removes_anomalies(self):
+        cleaned = self._trace().cleaned()
+        assert cleaned.num_events == 3
+        assert cleaned.num_anomalous == 0
+
+    def test_operative_periods_derivation(self):
+        trace = self._trace()
+        np.testing.assert_allclose(trace.operative_periods(), [4.5, 8.0, 2.9])
+
+    def test_inoperative_periods(self):
+        trace = self._trace()
+        np.testing.assert_allclose(trace.inoperative_periods(), [0.5, 2.0, 0.1])
+
+    def test_as_arrays_roundtrip(self):
+        trace = self._trace()
+        ids, outages, gaps = trace.as_arrays()
+        rebuilt = BreakdownTrace.from_arrays(outages, gaps, ids)
+        assert rebuilt.num_events == trace.num_events
+        np.testing.assert_allclose(rebuilt.operative_periods(), trace.operative_periods())
+
+    def test_summary_keys(self):
+        summary = self._trace().summary()
+        for key in (
+            "num_events",
+            "anomalous_fraction",
+            "operative_mean",
+            "operative_scv",
+            "inoperative_mean",
+            "inoperative_scv",
+        ):
+            assert key in summary
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(DataError):
+            BreakdownTrace.from_arrays([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError):
+            BreakdownTrace.from_arrays([1.0], [1.0, 2.0])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(DataError):
+            BreakdownTrace.from_arrays([-1.0], [2.0])
+
+    def test_cleaning_everything_rejected(self):
+        trace = BreakdownTrace.from_arrays([2.0], [1.0])
+        with pytest.raises(DataError):
+            trace.cleaned()
+
+    def test_helper_function(self):
+        periods = operative_periods_from_events([0.5, 2.0], [5.0, 1.0])
+        np.testing.assert_allclose(periods, [4.5])
+
+
+class TestSyntheticTrace:
+    def test_default_scale_matches_sun_data_set(self):
+        config = SyntheticTraceConfig(num_events=5000)
+        trace = generate_sun_like_trace(config)
+        assert trace.num_events == 5000
+
+    def test_anomalous_fraction_close_to_configured(self):
+        trace = generate_small_trace(num_events=20_000, anomalous_fraction=0.03)
+        assert trace.anomalous_fraction == pytest.approx(0.03, abs=0.005)
+
+    def test_operative_periods_match_fitted_distribution(self):
+        trace = generate_small_trace(num_events=50_000)
+        periods = trace.operative_periods()
+        assert np.mean(periods) == pytest.approx(SUN_OPERATIVE_FIT.mean, rel=0.05)
+        scv = np.var(periods) / np.mean(periods) ** 2
+        assert scv == pytest.approx(SUN_OPERATIVE_FIT.scv, rel=0.2)
+
+    def test_inoperative_periods_match_fitted_distribution(self):
+        trace = generate_small_trace(num_events=50_000)
+        outages = trace.inoperative_periods()
+        assert np.mean(outages) == pytest.approx(SUN_INOPERATIVE_FIT.mean, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        first = generate_small_trace(num_events=500, seed=5)
+        second = generate_small_trace(num_events=500, seed=5)
+        np.testing.assert_allclose(first.operative_periods(), second.operative_periods())
+
+    def test_different_seeds_differ(self):
+        first = generate_small_trace(num_events=500, seed=5)
+        second = generate_small_trace(num_events=500, seed=6)
+        assert not np.allclose(first.inoperative_periods(), second.inoperative_periods())
+
+    def test_invalid_anomalous_fraction_rejected(self):
+        with pytest.raises(Exception):
+            SyntheticTraceConfig(num_events=100, anomalous_fraction=0.8)
+
+    def test_zero_anomalies_possible(self):
+        trace = generate_small_trace(num_events=2000, anomalous_fraction=0.0)
+        assert trace.num_anomalous == 0
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        trace = generate_small_trace(num_events=200)
+        path = write_trace_csv(trace, tmp_path / "trace.csv")
+        loaded = read_trace_csv(path)
+        assert loaded.num_events == trace.num_events
+        np.testing.assert_allclose(loaded.operative_periods(), trace.operative_periods())
+        np.testing.assert_allclose(loaded.inoperative_periods(), trace.inoperative_periods())
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            read_trace_csv(tmp_path / "does_not_exist.csv")
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DataError):
+            read_trace_csv(path)
+
+    def test_non_numeric_values_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("server_id,outage_duration,time_between_events\n1,abc,2.0\n")
+        with pytest.raises(DataError):
+            read_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("server_id,outage_duration,time_between_events\n")
+        with pytest.raises(DataError):
+            read_trace_csv(path)
+
+    def test_server_column_optional(self, tmp_path):
+        path = tmp_path / "no_server.csv"
+        path.write_text("outage_duration,time_between_events\n0.5,5.0\n0.2,3.0\n")
+        trace = read_trace_csv(path)
+        assert trace.num_events == 2
+        assert trace.num_servers == 1
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text(
+            "server_id,outage_duration,time_between_events,site\n1,0.5,5.0,london\n"
+        )
+        trace = read_trace_csv(path)
+        assert trace.num_events == 1

@@ -1,0 +1,150 @@
+"""Tests of the shared validation helpers, the exception hierarchy and the public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import exceptions
+from repro._validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_positive_vector,
+    check_probability,
+    check_probability_vector,
+    check_same_length,
+)
+from repro.exceptions import ParameterError
+
+
+class TestScalarValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf"), "abc"])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ParameterError):
+            check_positive(value, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ParameterError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ParameterError):
+            check_probability(1.2, "p")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        assert check_positive_int(np.int64(4), "n") == 4
+        for bad in (0, -2, 2.5, True):
+            with pytest.raises(ParameterError):
+                check_positive_int(bad, "n")
+
+    def test_check_non_negative_int(self):
+        assert check_non_negative_int(0, "n") == 0
+        with pytest.raises(ParameterError):
+            check_non_negative_int(-1, "n")
+
+
+class TestVectorValidation:
+    def test_positive_vector(self):
+        np.testing.assert_allclose(check_positive_vector([1.0, 2.0], "v"), [1.0, 2.0])
+        for bad in ([], [1.0, 0.0], [1.0, -1.0], [[1.0]], [np.nan]):
+            with pytest.raises(ParameterError):
+                check_positive_vector(bad, "v")
+
+    def test_probability_vector(self):
+        np.testing.assert_allclose(
+            check_probability_vector([0.25, 0.75], "p"), [0.25, 0.75]
+        )
+        for bad in ([0.5, 0.4], [-0.1, 1.1], []):
+            with pytest.raises(ParameterError):
+                check_probability_vector(bad, "p")
+
+    def test_same_length(self):
+        check_same_length(np.zeros(3), np.ones(3), "a and b")
+        with pytest.raises(ParameterError):
+            check_same_length(np.zeros(3), np.ones(2), "a and b")
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ParameterError",
+            "UnstableQueueError",
+            "SolverError",
+            "FittingError",
+            "DataError",
+            "SimulationError",
+        ):
+            assert issubclass(getattr(exceptions, name), exceptions.ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(exceptions.ParameterError, ValueError)
+
+    def test_unstable_error_message(self):
+        error = exceptions.UnstableQueueError(8.0, 7.99)
+        assert "8" in str(error)
+        assert error.offered_load == 8.0
+        assert error.effective_servers == 7.99
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_subpackage_exports_resolvable(self):
+        import repro.data
+        import repro.distributions
+        import repro.experiments
+        import repro.extensions
+        import repro.fitting
+        import repro.markov
+        import repro.optimization
+        import repro.queueing
+        import repro.simulation
+        import repro.spectral
+        import repro.stats
+
+        for module in (
+            repro.distributions,
+            repro.stats,
+            repro.fitting,
+            repro.data,
+            repro.markov,
+            repro.spectral,
+            repro.queueing,
+            repro.simulation,
+            repro.optimization,
+            repro.experiments,
+            repro.extensions,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__} missing {name}"
+
+    def test_quickstart_flow(self):
+        """The README quickstart must keep working."""
+        from repro import UnreliableQueueModel
+        from repro.distributions import SUN_OPERATIVE_FIT, Exponential
+
+        model = UnreliableQueueModel(
+            num_servers=10,
+            arrival_rate=7.0,
+            service_rate=1.0,
+            operative=SUN_OPERATIVE_FIT,
+            inoperative=Exponential(rate=25.0),
+        )
+        solution = model.solve_spectral()
+        assert solution.mean_response_time > 1.0
+        assert model.solve_geometric().decay_rate < 1.0

@@ -1,0 +1,74 @@
+"""Benchmark: the parallel sweep engine against serial evaluation.
+
+The grid is twelve exact spectral solves around the paper's Figure-5 region
+(``N = 10..13`` at three arrival rates) — each solve is CPU-bound, which is
+exactly the workload the engine's process parallelism is for.  ``test_parallel_speedup`` measures both paths and asserts the parallel
+one wins on multi-core machines (it is skipped on single-CPU runners, where
+no speedup is physically possible; the two timed benchmarks still document
+the engine's overhead there).
+
+Run with ``pytest benchmarks/test_bench_sweep_engine.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.queueing import sun_fitted_model
+from repro.sweeps import SolverPolicy, SweepRunner, SweepSpec, default_max_workers
+
+
+def sweep_spec() -> SweepSpec:
+    """Twelve spectral solves over the Figure-5 neighbourhood."""
+    return SweepSpec(
+        base_model=sun_fitted_model(num_servers=10, arrival_rate=7.0),
+        axes=[("arrival_rate", (7.0, 8.0, 8.5)), ("num_servers", (10, 11, 12, 13))],
+        policy=SolverPolicy(order=("spectral",)),
+        name="bench-sweep",
+    )
+
+
+def test_bench_sweep_serial(run_once):
+    results = run_once(SweepRunner(parallel=False, cache=False).run, sweep_spec())
+    assert len(results) == 12
+    assert all(row.solver == "spectral" for row in results)
+
+
+def test_bench_sweep_parallel(run_once):
+    runner = SweepRunner(parallel=True, cache=False)
+    results = run_once(runner.run, sweep_spec())
+    assert len(results) == 12
+    assert all(row.solver == "spectral" for row in results)
+
+
+def test_parallel_speedup():
+    """Parallel evaluation beats serial when more than one CPU is usable."""
+    workers = default_max_workers()
+    spec = sweep_spec()
+
+    start = time.perf_counter()
+    serial = SweepRunner(parallel=False, cache=False).run(spec)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepRunner(parallel=True, cache=False).run(spec)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    print(
+        f"\nsweep of {len(serial)} points: serial {serial_seconds:.2f}s, "
+        f"parallel {parallel_seconds:.2f}s on {workers} worker(s) "
+        f"-> speedup {speedup:.2f}x"
+    )
+
+    # The engine guarantees identical results on both paths.
+    assert [row.metrics for row in parallel] == [row.metrics for row in serial]
+
+    if workers < 2:
+        pytest.skip("single usable CPU: parallel speedup is not measurable here")
+    assert parallel_seconds < serial_seconds, (
+        f"parallel path ({parallel_seconds:.2f}s) should beat serial "
+        f"({serial_seconds:.2f}s) on {workers} CPUs"
+    )

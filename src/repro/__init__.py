@@ -46,8 +46,10 @@ Subpackages
     Discrete-event simulation with batch-means output analysis.
 :mod:`repro.optimization`
     Cost optimisation and capacity planning.
+:mod:`repro.sweeps`
+    Declarative, parallel parameter sweeps with solver fallback and caching.
 :mod:`repro.experiments`
-    One driver per table/figure of the paper.
+    One driver per table/figure of the paper (built on :mod:`repro.sweeps`).
 """
 
 from .distributions import (

@@ -1,6 +1,6 @@
 """Command-line interface for the library.
 
-Three subcommands cover the everyday workflows:
+Four subcommands cover the everyday workflows:
 
 ``solve``
     Evaluate one model configuration (exact, approximate or both) and print
@@ -11,8 +11,13 @@ Three subcommands cover the everyday workflows:
     moment estimation, Kolmogorov–Smirnov tests and the hyperexponential fit.
 
 ``reproduce``
-    Run the paper's experiments (optionally the quick variants) and print the
-    consolidated report.
+    Run the paper's experiments (optionally the quick variants, optionally
+    in parallel) and print the consolidated report.
+
+``sweep``
+    Evaluate a user-defined parameter grid (server counts x arrival rates)
+    through the :mod:`repro.sweeps` engine, with solver fallback, optional
+    process parallelism and CSV/JSON export.
 
 The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
 ``repro`` console script when the package is installed with pip.
@@ -27,10 +32,11 @@ from collections.abc import Sequence
 from .data import read_trace_csv
 from .distributions import Exponential, HyperExponential
 from .exceptions import ReproError
-from .experiments import format_key_values, render_report, run_all_experiments
+from .experiments import format_key_values, format_table, render_report, run_all_experiments
 from .fitting import fit_exponential, fit_two_phase_from_moments
 from .queueing import UnreliableQueueModel
 from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
+from .sweeps import SolverPolicy, SweepRunner, SweepSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +92,53 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--skip-section2", action="store_true", help="skip the Section-2 trace analysis"
     )
+    reproduce.add_argument(
+        "--parallel", action="store_true", help="evaluate figure grids across worker processes"
+    )
+    reproduce.add_argument(
+        "--jobs", type=int, default=None, help="worker-process count (default: CPU count)"
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="evaluate a user-defined parameter grid over the model"
+    )
+    sweep.add_argument(
+        "--servers",
+        default="10",
+        help="comma-separated server counts (e.g. 8,10,12)",
+    )
+    sweep.add_argument(
+        "--arrival-rates",
+        required=True,
+        help="comma-separated Poisson arrival rates (e.g. 6.5,7.0,7.5)",
+    )
+    sweep.add_argument("--service-rate", type=float, default=1.0, help="per-server service rate")
+    sweep.add_argument(
+        "--operative-mean", type=float, default=34.62, help="mean operative period"
+    )
+    sweep.add_argument(
+        "--operative-scv",
+        type=float,
+        default=4.6,
+        help="squared coefficient of variation of operative periods (>= 1; 1 = exponential)",
+    )
+    sweep.add_argument(
+        "--repair-mean", type=float, default=0.04, help="mean inoperative (repair) period"
+    )
+    sweep.add_argument(
+        "--solvers",
+        default="spectral,geometric",
+        help="comma-separated solver order with fallback "
+        "(spectral, geometric, ctmc, simulate)",
+    )
+    sweep.add_argument(
+        "--parallel", action="store_true", help="evaluate grid points across worker processes"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, help="worker-process count (default: CPU count)"
+    )
+    sweep.add_argument("--csv", help="write the result rows to this CSV file")
+    sweep.add_argument("--json", help="write the result rows to this JSON file")
     return parser
 
 
@@ -201,9 +254,69 @@ def _command_fit(arguments: argparse.Namespace) -> int:
 
 def _command_reproduce(arguments: argparse.Namespace) -> int:
     reports = run_all_experiments(
-        include_section2=not arguments.skip_section2, quick=arguments.quick
+        include_section2=not arguments.skip_section2,
+        quick=arguments.quick,
+        parallel=arguments.parallel,
+        max_workers=arguments.jobs,
     )
     print(render_report(reports))
+    return 0
+
+
+def _parse_list(text: str, kind, name: str) -> tuple:
+    try:
+        values = tuple(kind(item.strip()) for item in text.split(",") if item.strip())
+    except ValueError as exc:
+        raise ReproError(f"could not parse {name} from {text!r}") from exc
+    if not values:
+        raise ReproError(f"{name} must contain at least one value")
+    return values
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    base_model = UnreliableQueueModel(
+        num_servers=1,
+        arrival_rate=1.0,
+        service_rate=arguments.service_rate,
+        operative=_operative_distribution(arguments.operative_mean, arguments.operative_scv),
+        inoperative=Exponential(rate=1.0 / arguments.repair_mean),
+    )
+    spec = SweepSpec(
+        base_model=base_model,
+        axes=[
+            ("num_servers", _parse_list(arguments.servers, int, "--servers")),
+            ("arrival_rate", _parse_list(arguments.arrival_rates, float, "--arrival-rates")),
+        ],
+        policy=SolverPolicy(order=_parse_list(arguments.solvers, str, "--solvers")),
+        name="cli-sweep",
+    )
+    runner = SweepRunner(parallel=arguments.parallel, max_workers=arguments.jobs)
+    results = runner.run(spec)
+
+    rows = [
+        (
+            row.parameters["num_servers"],
+            row.parameters["arrival_rate"],
+            row.solver or "-",
+            row.stable,
+            row.metrics.get("mean_queue_length", float("nan")),
+            row.metrics.get("mean_response_time", float("nan")),
+            row.error or "-",
+        )
+        for row in results
+    ]
+    print(
+        format_table(
+            ("N", "lambda", "solver", "stable", "mean jobs L", "response W", "error"),
+            rows,
+            title=f"Sweep over {results.axis_names} ({len(results)} points)",
+        )
+    )
+    if arguments.csv:
+        print(f"\nwrote {results.to_csv(arguments.csv)}")
+    if arguments.json:
+        results.to_json(arguments.json)
+        print(f"wrote {arguments.json}")
     return 0
 
 
@@ -218,6 +331,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_fit(arguments)
         if arguments.command == "reproduce":
             return _command_reproduce(arguments)
+        if arguments.command == "sweep":
+            return _command_sweep(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -1,5 +1,11 @@
 """Experiment harness: one driver per table/figure of the paper.
 
+Every Section-4 figure driver declares its grid as a
+:class:`repro.sweeps.SweepSpec` (see each module's ``sweep_spec`` function)
+and evaluates it through a shared :class:`repro.sweeps.SweepRunner`, so the
+whole suite can run serially or across worker processes
+(``run_all_experiments(parallel=True)``) with identical numbers.
+
 Public API
 ----------
 

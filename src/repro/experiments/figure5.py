@@ -6,14 +6,21 @@ with rate ``eta = 25``, service rate ``mu = 1`` and cost coefficients
 ``C = c1 L + c2 N`` against ``N`` for arrival rates 7.0, 8.0 and 8.5.  The
 reported optima are ``N = 11``, ``12`` and ``13`` respectively, and the
 heavier the load the larger the optimal ``N``.
+
+The grid is evaluated through the :mod:`repro.sweeps` engine: one spec over
+``(arrival_rate, num_servers)``; the cost is derived from the mean queue
+length of each row.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from ..optimization import CostCurve, cost_curve
+from .._validation import check_positive_int
+from ..optimization import CostCurve, CostPoint
 from ..queueing.model import UnreliableQueueModel
+from ..sweeps import SolverPolicy, SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 
@@ -72,13 +79,29 @@ def base_model(arrival_rate: float, num_servers: int = 10) -> UnreliableQueueMod
     )
 
 
+def sweep_spec(
+    arrival_rates: tuple[float, ...],
+    server_counts: tuple[int, ...],
+    solver: str = "spectral",
+) -> SweepSpec:
+    """The Figure-5 grid as a declarative sweep spec."""
+    counts = tuple(sorted({check_positive_int(count, "server count") for count in server_counts}))
+    return SweepSpec(
+        base_model=base_model(arrival_rates[0]),
+        axes=[("arrival_rate", arrival_rates), ("num_servers", counts)],
+        policy=SolverPolicy(order=(solver,)),
+        name="figure5",
+    )
+
+
 def run_figure5(
     *,
     arrival_rates: tuple[float, ...] = parameters.FIGURE5_ARRIVAL_RATES,
     server_counts: tuple[int, ...] = parameters.FIGURE5_SERVER_COUNTS,
     solver: str = "spectral",
+    runner: SweepRunner | None = None,
 ) -> Figure5Result:
-    """Evaluate the Figure-5 cost curves.
+    """Evaluate the Figure-5 cost curves through the sweep engine.
 
     Parameters
     ----------
@@ -89,16 +112,36 @@ def run_figure5(
     solver:
         ``"spectral"`` for the exact solution (default) or ``"geometric"``
         for the fast approximation (used by quick test runs).
+    runner:
+        The sweep runner to evaluate with (a fresh serial one when omitted);
+        pass a parallel runner to fan the grid out over worker processes.
     """
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(arrival_rates, server_counts, solver))
+    holding_cost = float(parameters.FIGURE5_HOLDING_COST)
+    server_cost = float(parameters.FIGURE5_SERVER_COST)
+
     curves: dict[float, CostCurve] = {}
     optima: dict[float, int] = {}
     for rate in arrival_rates:
-        curve = cost_curve(
-            base_model(rate),
-            server_counts,
-            holding_cost=parameters.FIGURE5_HOLDING_COST,
-            server_cost=parameters.FIGURE5_SERVER_COST,
-            solver=solver,
+        points = []
+        for row in results.select(arrival_rate=rate):
+            count = int(row.parameters["num_servers"])
+            mean_jobs = row.metric("mean_queue_length") if row.stable else math.inf
+            points.append(
+                CostPoint(
+                    num_servers=count,
+                    mean_queue_length=mean_jobs,
+                    cost=(
+                        holding_cost * mean_jobs + server_cost * count
+                        if row.stable
+                        else math.inf
+                    ),
+                    stable=row.stable,
+                )
+            )
+        curve = CostCurve(
+            points=tuple(points), holding_cost=holding_cost, server_cost=server_cost
         )
         curves[rate] = curve
         optima[rate] = curve.optimal_servers

@@ -16,10 +16,12 @@ queue at heavy load.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..distributions import Deterministic, Exponential, HyperExponential
 from ..queueing.model import UnreliableQueueModel
+from ..sweeps import SolverPolicy, SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 
@@ -92,14 +94,52 @@ def _model_for(arrival_rate: float, scv: float) -> UnreliableQueueModel:
     )
 
 
+def _grid_model(base: UnreliableQueueModel, params: Mapping[str, object]) -> UnreliableQueueModel:
+    """Sweep model factory: map an ``(arrival_rate, scv)`` cell to its model."""
+    return _model_for(float(params["arrival_rate"]), float(params["scv"]))
+
+
+def sweep_spec(
+    arrival_rates: tuple[float, ...],
+    scv_values: tuple[float, ...],
+    simulation_horizon: float,
+    simulation_seed: int,
+) -> SweepSpec:
+    """The Figure-6 grid as a declarative sweep spec.
+
+    The ``C^2 = 0`` cells carry a ``simulate`` policy (deterministic periods
+    have no Markovian environment); all other cells are solved exactly.
+    """
+    simulate = SolverPolicy(
+        order=("simulate",),
+        simulate_horizon=simulation_horizon,
+        simulate_seed=simulation_seed,
+        simulate_num_batches=10,
+    )
+    spectral = SolverPolicy(order=("spectral",))
+
+    def policy_for(params: Mapping[str, object]) -> SolverPolicy:
+        return simulate if float(params["scv"]) == 0.0 else spectral
+
+    return SweepSpec(
+        base_model=_model_for(arrival_rates[0], 1.0),
+        axes=[("arrival_rate", arrival_rates), ("scv", scv_values)],
+        policy=spectral,
+        model_factory=_grid_model,
+        point_policy=policy_for,
+        name="figure6",
+    )
+
+
 def run_figure6(
     *,
     arrival_rates: tuple[float, ...] = parameters.FIGURE6_ARRIVAL_RATES,
     scv_values: tuple[float, ...] = parameters.FIGURE6_SCV_VALUES,
     simulation_horizon: float = 200_000.0,
     simulation_seed: int = 61,
+    runner: SweepRunner | None = None,
 ) -> Figure6Result:
-    """Evaluate the Figure-6 curves.
+    """Evaluate the Figure-6 curves through the sweep engine.
 
     Parameters
     ----------
@@ -113,31 +153,22 @@ def run_figure6(
         loaded, so a long horizon is needed for a stable estimate).
     simulation_seed:
         Seed of the simulation run.
+    runner:
+        The sweep runner to evaluate with (a fresh serial one when omitted).
     """
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(
+        sweep_spec(arrival_rates, scv_values, simulation_horizon, simulation_seed)
+    )
     curves: dict[float, tuple[Figure6Point, ...]] = {}
     for rate in arrival_rates:
-        points: list[Figure6Point] = []
-        for scv in scv_values:
-            model = _model_for(rate, scv)
-            if scv == 0.0:
-                estimate = model.simulate(
-                    horizon=simulation_horizon, seed=simulation_seed, num_batches=10
-                )
-                points.append(
-                    Figure6Point(
-                        scv=scv,
-                        mean_queue_length=estimate.mean_queue_length.estimate,
-                        method="simulation",
-                    )
-                )
-            else:
-                solution = model.solve_spectral()
-                points.append(
-                    Figure6Point(
-                        scv=scv,
-                        mean_queue_length=solution.mean_queue_length,
-                        method="spectral",
-                    )
-                )
+        points = [
+            Figure6Point(
+                scv=float(row.parameters["scv"]),
+                mean_queue_length=row.metric("mean_queue_length"),
+                method="simulation" if row.solver == "simulate" else str(row.solver),
+            )
+            for row in results.select(arrival_rate=rate)
+        ]
         curves[rate] = tuple(points)
     return Figure6Result(curves=curves)

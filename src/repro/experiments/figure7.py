@@ -11,10 +11,12 @@ slower (``N = 10``, ``lambda = 8``, ``mu = 1``).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..distributions import Exponential
 from ..queueing.model import UnreliableQueueModel
+from ..sweeps import SolverPolicy, SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 
@@ -84,20 +86,53 @@ def _model_for(mean_repair_time: float, *, hyperexponential: bool) -> Unreliable
     )
 
 
+def _grid_model(base: UnreliableQueueModel, params: Mapping[str, object]) -> UnreliableQueueModel:
+    """Sweep model factory: an ``(mean_repair_time, operative_kind)`` cell."""
+    return _model_for(
+        float(params["mean_repair_time"]),
+        hyperexponential=params["operative_kind"] == "hyperexponential",
+    )
+
+
+def sweep_spec(mean_repair_times: tuple[float, ...]) -> SweepSpec:
+    """The Figure-7 grid as a declarative sweep spec.
+
+    The operative-period distribution is a categorical axis: the exponential
+    assumption against the fitted hyperexponential of the same mean.
+    """
+    return SweepSpec(
+        base_model=_model_for(mean_repair_times[0], hyperexponential=False),
+        axes=[
+            ("mean_repair_time", mean_repair_times),
+            ("operative_kind", ("exponential", "hyperexponential")),
+        ],
+        policy=SolverPolicy(order=("spectral",)),
+        model_factory=_grid_model,
+        name="figure7",
+    )
+
+
 def run_figure7(
     *,
     mean_repair_times: tuple[float, ...] = parameters.FIGURE7_MEAN_REPAIR_TIMES,
+    runner: SweepRunner | None = None,
 ) -> Figure7Result:
     """Evaluate the Figure-7 curves (exact spectral solution for both)."""
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(mean_repair_times))
     points: list[Figure7Point] = []
     for repair_time in mean_repair_times:
-        exponential_solution = _model_for(repair_time, hyperexponential=False).solve_spectral()
-        hyper_solution = _model_for(repair_time, hyperexponential=True).solve_spectral()
+        exponential_row = results.find(
+            mean_repair_time=repair_time, operative_kind="exponential"
+        )
+        hyper_row = results.find(
+            mean_repair_time=repair_time, operative_kind="hyperexponential"
+        )
         points.append(
             Figure7Point(
                 mean_repair_time=repair_time,
-                queue_length_exponential=exponential_solution.mean_queue_length,
-                queue_length_hyperexponential=hyper_solution.mean_queue_length,
+                queue_length_exponential=exponential_row.metric("mean_queue_length"),
+                queue_length_hyperexponential=hyper_row.metric("mean_queue_length"),
             )
         )
     return Figure7Result(points=tuple(points))

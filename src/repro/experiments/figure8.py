@@ -10,9 +10,11 @@ asymptotically exact in heavy traffic).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..queueing.model import UnreliableQueueModel
+from ..sweeps import SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 
@@ -91,22 +93,43 @@ def model_for_load(load: float, num_servers: int = parameters.FIGURE8_NUM_SERVER
     return template.with_arrival_rate(arrival_rate)
 
 
+def _grid_model(base: UnreliableQueueModel, params: Mapping[str, object]) -> UnreliableQueueModel:
+    """Sweep model factory: the model whose effective load equals the cell's."""
+    return model_for_load(float(params["load"]))
+
+
+def sweep_spec(loads: tuple[float, ...]) -> SweepSpec:
+    """The Figure-8 grid: each load solved exactly and approximately.
+
+    The reserved ``solver`` axis evaluates the same model with both methods;
+    the shared grid cell model is built once per load by the factory.
+    """
+    return SweepSpec(
+        base_model=model_for_load(loads[0]),
+        axes=[("load", loads), ("solver", ("spectral", "geometric"))],
+        model_factory=_grid_model,
+        name="figure8",
+    )
+
+
 def run_figure8(
     *,
     loads: tuple[float, ...] = parameters.FIGURE8_LOADS,
+    runner: SweepRunner | None = None,
 ) -> Figure8Result:
-    """Evaluate the Figure-8 comparison."""
+    """Evaluate the Figure-8 comparison through the sweep engine."""
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(loads))
     points: list[Figure8Point] = []
     for load in loads:
-        model = model_for_load(load)
-        exact = model.solve_spectral()
-        approximate = model.solve_geometric()
+        exact_row = results.find(load=load, solver="spectral")
+        approximate_row = results.find(load=load, solver="geometric")
         points.append(
             Figure8Point(
                 load=load,
-                arrival_rate=model.arrival_rate,
-                exact_queue_length=exact.mean_queue_length,
-                approximate_queue_length=approximate.mean_queue_length,
+                arrival_rate=model_for_load(load).arrival_rate,
+                exact_queue_length=exact_row.metric("mean_queue_length"),
+                approximate_queue_length=approximate_row.metric("mean_queue_length"),
             )
         )
     return Figure8Result(points=tuple(points))

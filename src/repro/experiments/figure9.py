@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..optimization import minimum_servers_for_response_time
 from ..queueing.model import UnreliableQueueModel
+from ..sweeps import SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 
@@ -88,22 +89,33 @@ def base_model(num_servers: int) -> UnreliableQueueModel:
     )
 
 
+def sweep_spec(server_counts: tuple[int, ...]) -> SweepSpec:
+    """The Figure-9 grid: each server count solved exactly and approximately."""
+    return SweepSpec(
+        base_model=base_model(server_counts[0]),
+        axes=[("num_servers", server_counts), ("solver", ("spectral", "geometric"))],
+        name="figure9",
+    )
+
+
 def run_figure9(
     *,
     server_counts: tuple[int, ...] = parameters.FIGURE9_SERVER_COUNTS,
     target_response_time: float = parameters.FIGURE9_RESPONSE_TIME_TARGET,
+    runner: SweepRunner | None = None,
 ) -> Figure9Result:
     """Evaluate the Figure-9 curves and the minimum-server question."""
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(server_counts))
     points: list[Figure9Point] = []
     for count in server_counts:
-        model = base_model(count)
-        exact = model.solve_spectral()
-        approximate = model.solve_geometric()
+        exact_row = results.find(num_servers=count, solver="spectral")
+        approximate_row = results.find(num_servers=count, solver="geometric")
         points.append(
             Figure9Point(
                 num_servers=count,
-                exact_response_time=exact.mean_response_time,
-                approximate_response_time=approximate.mean_response_time,
+                exact_response_time=exact_row.metric("mean_response_time"),
+                approximate_response_time=approximate_row.metric("mean_response_time"),
             )
         )
     sizing = minimum_servers_for_response_time(

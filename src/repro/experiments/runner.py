@@ -5,6 +5,11 @@ and the Section-4 numerical experiments (Figures 5–9).  It is used by the
 ``examples/reproduce_paper.py`` script and was used to generate
 ``EXPERIMENTS.md``.  Each experiment can also be run individually through its
 ``run_figureN`` function; the runner only orchestrates and concatenates.
+
+Every figure evaluates its grid through one shared
+:class:`~repro.sweeps.SweepRunner`, so configurations repeated across figures
+are solved once, and ``parallel=True`` fans all the grids out over worker
+processes.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from ..sweeps import SweepRunner
 from .figure5 import run_figure5
 from .figure6 import run_figure6
 from .figure7 import run_figure7
@@ -57,6 +63,8 @@ def run_all_experiments(
     section2_num_events: int | None = None,
     figure6_simulation_horizon: float = 200_000.0,
     quick: bool = False,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> list[ExperimentReport]:
     """Run every experiment and return one report per table/figure.
 
@@ -73,7 +81,13 @@ def run_all_experiments(
         When True, use reduced parameter grids so the whole suite finishes in
         a couple of minutes (used by smoke tests); the full grids reproduce
         the paper's figures point for point.
+    parallel:
+        Evaluate the figure grids across worker processes (same numbers,
+        less wall-clock time).
+    max_workers:
+        Worker-process count for the parallel path (defaults to CPU count).
     """
+    sweep_runner = SweepRunner(parallel=parallel, max_workers=max_workers)
     reports: list[ExperimentReport] = []
     if include_section2:
         reports.append(
@@ -89,7 +103,10 @@ def run_all_experiments(
             _run_one(
                 "figure5",
                 lambda: run_figure5(
-                    arrival_rates=(7.0,), server_counts=tuple(range(10, 14)), solver="geometric"
+                    arrival_rates=(7.0,),
+                    server_counts=tuple(range(10, 14)),
+                    solver="geometric",
+                    runner=sweep_runner,
                 ),
             )
         )
@@ -100,28 +117,38 @@ def run_all_experiments(
                     arrival_rates=(8.5,),
                     scv_values=(1.0, 4.0, 8.0),
                     simulation_horizon=20_000.0,
+                    runner=sweep_runner,
                 ),
             )
         )
         reports.append(
-            _run_one("figure7", lambda: run_figure7(mean_repair_times=(1.0, 3.0, 5.0)))
+            _run_one(
+                "figure7",
+                lambda: run_figure7(mean_repair_times=(1.0, 3.0, 5.0), runner=sweep_runner),
+            )
         )
-        reports.append(_run_one("figure8", lambda: run_figure8(loads=(0.90, 0.95, 0.99))))
         reports.append(
-            _run_one("figure9", lambda: run_figure9(server_counts=(9, 10, 11)))
+            _run_one("figure8", lambda: run_figure8(loads=(0.90, 0.95, 0.99), runner=sweep_runner))
+        )
+        reports.append(
+            _run_one(
+                "figure9", lambda: run_figure9(server_counts=(9, 10, 11), runner=sweep_runner)
+            )
         )
         return reports
 
-    reports.append(_run_one("figure5", run_figure5))
+    reports.append(_run_one("figure5", lambda: run_figure5(runner=sweep_runner)))
     reports.append(
         _run_one(
             "figure6",
-            lambda: run_figure6(simulation_horizon=figure6_simulation_horizon),
+            lambda: run_figure6(
+                simulation_horizon=figure6_simulation_horizon, runner=sweep_runner
+            ),
         )
     )
-    reports.append(_run_one("figure7", run_figure7))
-    reports.append(_run_one("figure8", run_figure8))
-    reports.append(_run_one("figure9", run_figure9))
+    reports.append(_run_one("figure7", lambda: run_figure7(runner=sweep_runner)))
+    reports.append(_run_one("figure8", lambda: run_figure8(runner=sweep_runner)))
+    reports.append(_run_one("figure9", lambda: run_figure9(runner=sweep_runner)))
     return reports
 
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import check_positive, check_probability
+from .._validation import check_non_negative, check_positive, check_probability
 from ..exceptions import SimulationError
 from ..queueing.model import UnreliableQueueModel
 from ..simulation.queue_sim import UnreliableQueueSimulator
@@ -53,8 +53,12 @@ class ResponseTimeDistribution:
         return float(np.quantile(self.samples, probability))
 
     def tail_probability(self, threshold: float) -> float:
-        """``P(response time > threshold)`` under the empirical distribution."""
-        threshold = check_positive(threshold, "threshold")
+        """``P(response time > threshold)`` under the empirical distribution.
+
+        ``threshold = 0.0`` is a legitimate query (response times are strictly
+        positive, so it returns 1), hence only negative thresholds are rejected.
+        """
+        threshold = check_non_negative(threshold, "threshold")
         return float(np.mean(self.samples > threshold))
 
     @property

@@ -7,11 +7,15 @@ equations of the resulting CTMC with sparse linear algebra.  For a stable
 queue and a sufficiently large ``J`` the truncation error is negligible, so
 the two solvers must agree — the integration tests rely on this.
 
-The truncation level is chosen automatically from the effective load: the
-queue-length tail decays at least geometrically with a rate no larger than
-the dominant eigenvalue, which itself is bounded above by the effective load
-for the heavily loaded regimes of interest, so ``J = N + log(eps) / log(rho)``
-captures all but a vanishing fraction of the probability mass.
+The truncation level is chosen automatically from the asymptotic decay rate
+of the queue-length tail: the tail decays geometrically with the dominant
+eigenvalue ``z_s`` of the spectral expansion, so ``J = N + log(eps) / log(z_s)``
+captures all but a vanishing fraction of the probability mass.  (The effective
+load ``rho`` is *not* a valid bound on ``z_s`` — with slow repairs the true
+decay rate can exceed ``rho`` substantially, which used to leave non-negligible
+mass at the truncation boundary.)  As a safety net, :func:`solve_truncated_ctmc`
+checks the realised boundary mass after solving and re-solves with a doubled
+level until the target tail mass is met or the hard cap is reached.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ import numpy as np
 import scipy.sparse
 
 from .._validation import check_positive_int
-from ..exceptions import SolverError
+from ..exceptions import ReproError, SolverError
 from ..markov import steady_state_sparse
 from .model import UnreliableQueueModel
 from .solution_base import QueueSolution
@@ -35,13 +39,37 @@ _MIN_EXTRA_LEVELS = 100
 _MAX_EXTRA_LEVELS = 40_000
 
 
+def _tail_decay_rate(model: UnreliableQueueModel) -> float:
+    """The asymptotic queue-length decay rate used to size the truncation.
+
+    The exact rate is the dominant eigenvalue ``z_s`` of the characteristic
+    polynomial, obtained by the robust spectral-abscissa root finder.  When it
+    cannot be computed (non-Markovian periods, critically loaded or otherwise
+    ill-conditioned configurations) the effective load is used instead — a
+    heuristic, not a bound, which is why the adaptive re-solve loop in
+    :func:`solve_truncated_ctmc` exists.
+    """
+    try:
+        from ..spectral.approximation import decay_rate_bisection
+        from ..spectral.qbd import ModulatedQueueMatrices
+
+        matrices = ModulatedQueueMatrices(
+            environment=model.environment,
+            arrival_rate=model.arrival_rate,
+            service_rate=model.service_rate,
+        )
+        return decay_rate_bisection(matrices)
+    except ReproError:
+        return model.effective_load
+
+
 def default_truncation_level(model: UnreliableQueueModel) -> int:
     """A truncation level that keeps the neglected tail mass below ~1e-10."""
-    load = min(model.effective_load, 0.999999)
-    if load <= 0.0:
+    decay = min(_tail_decay_rate(model), 0.999999)
+    if decay <= 0.0:
         extra = _MIN_EXTRA_LEVELS
     else:
-        extra = int(math.ceil(math.log(_DEFAULT_TAIL_MASS) / math.log(load)))
+        extra = int(math.ceil(math.log(_DEFAULT_TAIL_MASS) / math.log(decay)))
         extra = min(max(extra, _MIN_EXTRA_LEVELS), _MAX_EXTRA_LEVELS)
     return model.num_servers + extra
 
@@ -199,17 +227,37 @@ def solve_truncated_ctmc(
         The queueing model (must be stable; otherwise the truncated solution
         would silently misrepresent an unstable system).
     max_queue_length:
-        The truncation level ``J``.  Chosen automatically from the effective
-        load when omitted.
+        The truncation level ``J``.  When omitted it is chosen automatically
+        from the asymptotic decay rate, and the solve is *adaptive*: if the
+        realised boundary mass exceeds the ~1e-10 target the level is doubled
+        (up to the hard cap) and the chain re-solved.  An explicit level is
+        used as given, with no adaptation.
     """
     model.require_stable()
-    if max_queue_length is None:
-        max_queue_length = default_truncation_level(model)
-    if max_queue_length <= model.num_servers:
-        raise SolverError(
-            "max_queue_length must exceed the number of servers "
-            f"({max_queue_length} <= {model.num_servers})"
-        )
+    if max_queue_length is not None:
+        if max_queue_length <= model.num_servers:
+            raise SolverError(
+                "max_queue_length must exceed the number of servers "
+                f"({max_queue_length} <= {model.num_servers})"
+            )
+        return _solve_at_level(model, max_queue_length)
+
+    level = default_truncation_level(model)
+    solution = _solve_at_level(model, level)
+    while (
+        solution.truncation_mass() > _DEFAULT_TAIL_MASS
+        and level - model.num_servers < _MAX_EXTRA_LEVELS
+    ):
+        extra = min(2 * (level - model.num_servers), _MAX_EXTRA_LEVELS)
+        level = model.num_servers + extra
+        solution = _solve_at_level(model, level)
+    return solution
+
+
+def _solve_at_level(
+    model: UnreliableQueueModel, max_queue_length: int
+) -> TruncatedCTMCSolution:
+    """Solve the truncated chain at one fixed truncation level."""
     generator = build_truncated_generator(model, max_queue_length)
     stationary = steady_state_sparse(generator)
     probabilities = stationary.reshape(max_queue_length + 1, model.environment.num_modes)

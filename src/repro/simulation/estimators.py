@@ -10,6 +10,7 @@ observation, and a Student-t interval is formed across batches.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -91,6 +92,7 @@ class TimeWeightedAccumulator:
         self._last_time = float(initial_time)
         self._area = 0.0
         self._breakpoints: list[tuple[float, float, float]] = []  # (time, area so far, value)
+        self._breakpoint_times: list[float] = []  # kept parallel for O(log n) lookups
 
     @property
     def current_value(self) -> float:
@@ -105,6 +107,7 @@ class TimeWeightedAccumulator:
             )
         self._area += self._current_value * (time - self._last_time)
         self._breakpoints.append((time, self._area, self._current_value))
+        self._breakpoint_times.append(time)
         self._last_time = time
         self._current_value = float(new_value)
 
@@ -115,8 +118,7 @@ class TimeWeightedAccumulator:
         if time >= self._last_time:
             return self._area + self._current_value * (time - self._last_time)
         # Binary search over breakpoints for the last record before `time`.
-        times = [entry[0] for entry in self._breakpoints]
-        position = int(np.searchsorted(times, time, side="right"))
+        position = bisect.bisect_right(self._breakpoint_times, time)
         if position == 0:
             # Before the first recorded change: the initial value applied throughout.
             initial_value = self._breakpoints[0][2] if self._breakpoints else self._current_value

@@ -20,6 +20,7 @@ analytical solvers on hyperexponential configurations.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 
@@ -128,6 +129,15 @@ class UnreliableQueueSimulator:
         self._busy_accumulator = TimeWeightedAccumulator()
         self._completed_jobs: list[tuple[float, float]] = []  # (completion time, response time)
         self._started = False
+        # Incremental bookkeeping so event handling is O(log N), not O(N):
+        # counters for busy/operative servers, and a min-heap of the ids of
+        # idle operative servers (with a membership set for lazy deletion).
+        # The heap hands out the lowest idle id first, which reproduces the
+        # dispatch order of a linear scan over ``self._servers`` exactly.
+        self._num_busy = 0
+        self._num_operative = num_servers if start_operative else 0
+        self._idle_ids: set[int] = set(range(num_servers)) if start_operative else set()
+        self._idle_heap: list[int] = sorted(self._idle_ids)
 
     # ------------------------------------------------------------------ #
     # Public interface
@@ -146,12 +156,12 @@ class UnreliableQueueSimulator:
     @property
     def num_operative_servers(self) -> int:
         """The current number of operative servers."""
-        return sum(1 for server in self._servers if server.operative)
+        return self._num_operative
 
     @property
     def num_busy_servers(self) -> int:
         """The current number of servers actively serving a job."""
-        return sum(1 for server in self._servers if server.job is not None)
+        return self._num_busy
 
     def run(self, horizon: float) -> None:
         """Run (or continue) the simulation until the given absolute time."""
@@ -214,14 +224,19 @@ class UnreliableQueueSimulator:
         if not server.operative:  # pragma: no cover - defensive; should not happen
             return
         server.operative = False
+        self._num_operative -= 1
         if server.job is not None:
             self._preempt(server)
+        else:
+            self._mark_not_idle(server)
         self._schedule_repair(server)
 
     def _handle_repair(self, server: _Server) -> None:
         if server.operative:  # pragma: no cover - defensive; should not happen
             return
         server.operative = True
+        self._num_operative += 1
+        self._mark_idle(server)
         self._schedule_breakdown(server)
         self._dispatch_jobs()
 
@@ -231,7 +246,8 @@ class UnreliableQueueSimulator:
             return
         server.job = None
         server.completion_handle = None
-        self._record_busy_change()
+        self._mark_idle(server)
+        self._record_busy_change(-1)
         self._record_jobs_change(-1)
         self._completed_jobs.append((self.now, self.now - job.arrival_time))
         self._dispatch_jobs()
@@ -248,22 +264,45 @@ class UnreliableQueueSimulator:
         job.remaining_service = max(remaining, 0.0)
         server.job = None
         server.completion_handle = None
-        self._record_busy_change()
+        self._record_busy_change(-1)
         self._queue.appendleft(job)
 
     def _dispatch_jobs(self) -> None:
         """Assign waiting jobs to idle operative servers (work conservation)."""
-        for server in self._servers:
-            if not self._queue:
+        while self._queue:
+            server = self._pop_idle_server()
+            if server is None:
                 break
-            if server.operative and server.job is None:
-                job = self._queue.popleft()
-                server.job = job
-                server.service_start = self.now
-                server.completion_handle = self._scheduler.schedule(
-                    job.remaining_service, lambda srv=server: self._handle_completion(srv)
-                )
-                self._record_busy_change()
+            job = self._queue.popleft()
+            server.job = job
+            server.service_start = self.now
+            server.completion_handle = self._scheduler.schedule(
+                job.remaining_service, lambda srv=server: self._handle_completion(srv)
+            )
+            self._record_busy_change(+1)
+
+    # ------------------------------------------------------------------ #
+    # Idle-operative-server bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _mark_idle(self, server: _Server) -> None:
+        """Add a server to the idle-operative pool (stale heap entries allowed)."""
+        if server.identifier not in self._idle_ids:
+            self._idle_ids.add(server.identifier)
+            heapq.heappush(self._idle_heap, server.identifier)
+
+    def _mark_not_idle(self, server: _Server) -> None:
+        """Remove a server from the idle pool; its heap entry is dropped lazily."""
+        self._idle_ids.discard(server.identifier)
+
+    def _pop_idle_server(self) -> _Server | None:
+        """Pop the lowest-id idle operative server, skipping stale heap entries."""
+        while self._idle_heap:
+            identifier = heapq.heappop(self._idle_heap)
+            if identifier in self._idle_ids:
+                self._idle_ids.discard(identifier)
+                return self._servers[identifier]
+        return None
 
     # ------------------------------------------------------------------ #
     # Statistics plumbing
@@ -273,8 +312,9 @@ class UnreliableQueueSimulator:
         self._jobs_in_system += delta
         self._jobs_accumulator.record(self.now, float(self._jobs_in_system))
 
-    def _record_busy_change(self) -> None:
-        self._busy_accumulator.record(self.now, float(self.num_busy_servers))
+    def _record_busy_change(self, delta: int) -> None:
+        self._num_busy += delta
+        self._busy_accumulator.record(self.now, float(self._num_busy))
 
 
 def simulate_queue(

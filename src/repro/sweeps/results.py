@@ -1,0 +1,278 @@
+"""Structured sweep results with CSV/JSON export.
+
+Every grid cell evaluates to one :class:`SweepResult` row; the
+:class:`SweepResultSet` collects them in grid order and knows how to flatten
+itself for spreadsheets (:meth:`SweepResultSet.to_csv`) and how to round-trip
+losslessly through JSON (:meth:`SweepResultSet.to_json` /
+:meth:`SweepResultSet.from_json`) as long as the axis values are plain JSON
+scalars.  Non-scalar axis values (e.g. distribution objects) are exported as
+their ``repr`` — readable, but not reconstructible.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import ParameterError, SolverError
+
+#: Metric columns are emitted in this order (then alphabetically for extras).
+_PREFERRED_METRICS = ("mean_queue_length", "mean_response_time", "decay_rate", "utilisation")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The evaluated outcome of one grid cell.
+
+    Attributes
+    ----------
+    index:
+        Position in row-major grid order.
+    parameters:
+        The axis values of this cell.
+    solver:
+        Name of the solver that produced the metrics, or ``None`` when the
+        model was unstable or every solver in the policy failed.
+    stable:
+        Whether the model satisfied the stability condition.  Unstable cells
+        carry infinite queue-length/response-time metrics rather than an
+        error, mirroring how the cost optimiser treats them.
+    metrics:
+        Mapping of metric name to value (``mean_queue_length``,
+        ``mean_response_time``, plus solver-specific extras such as
+        ``decay_rate`` or ``utilisation``).
+    error:
+        Concatenated failure messages when no solver succeeded.
+    """
+
+    index: int
+    parameters: Mapping[str, object]
+    solver: str | None
+    stable: bool
+    metrics: Mapping[str, float]
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced usable metrics."""
+        return self.error is None
+
+    def metric(self, name: str) -> float:
+        """A single metric value (``inf`` for unstable cells).
+
+        A cell whose solvers all failed carries no metrics; asking it for one
+        re-raises the captured failure as a :class:`SolverError` so callers
+        (e.g. the figure drivers) surface the diagnostic instead of a bare
+        ``KeyError``.
+        """
+        try:
+            return float(self.metrics[name])
+        except KeyError:
+            if self.error is not None:
+                raise SolverError(
+                    f"sweep point {dict(self.parameters)} produced no {name!r}: "
+                    f"{self.error}"
+                ) from None
+            raise
+
+
+def _json_scalar(value: object) -> object:
+    """A JSON-representable stand-in for an axis value or metric."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    return repr(value)
+
+
+def _from_json_scalar(value: object) -> object:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value == "nan":
+        return math.nan
+    return value
+
+
+class SweepResultSet:
+    """The ordered rows of one sweep, with export helpers."""
+
+    def __init__(
+        self,
+        results: Sequence[SweepResult],
+        *,
+        axis_names: Sequence[str],
+        name: str = "sweep",
+    ) -> None:
+        self._results = tuple(sorted(results, key=lambda row: row.index))
+        self._axis_names = tuple(axis_names)
+        self._name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """The sweep label."""
+        return self._name
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """The axis names, in grid order."""
+        return self._axis_names
+
+    @property
+    def results(self) -> tuple[SweepResult, ...]:
+        """The rows in grid order."""
+        return self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[SweepResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index: int) -> SweepResult:
+        return self._results[index]
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    def metric_column(self, name: str) -> list[float]:
+        """One metric across all rows, in grid order."""
+        return [row.metric(name) for row in self._results]
+
+    def find(self, **parameters: object) -> SweepResult:
+        """The unique row whose parameters include every given item."""
+        matches = [
+            row
+            for row in self._results
+            if all(row.parameters.get(key) == value for key, value in parameters.items())
+        ]
+        if len(matches) != 1:
+            raise ParameterError(
+                f"expected exactly one row matching {parameters}, found {len(matches)}"
+            )
+        return matches[0]
+
+    def select(self, **parameters: object) -> list[SweepResult]:
+        """All rows whose parameters include every given item, in grid order."""
+        return [
+            row
+            for row in self._results
+            if all(row.parameters.get(key) == value for key, value in parameters.items())
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def metric_names(self) -> tuple[str, ...]:
+        """The union of metric keys across rows, preferred columns first."""
+        seen: set[str] = set()
+        for row in self._results:
+            seen.update(row.metrics)
+        ordered = [name for name in _PREFERRED_METRICS if name in seen]
+        ordered.extend(sorted(seen - set(_PREFERRED_METRICS)))
+        return tuple(ordered)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat dictionaries (one per grid cell), ready for CSV writers."""
+        metric_names = self.metric_names()
+        flat: list[dict[str, object]] = []
+        for row in self._results:
+            record: dict[str, object] = {"index": row.index}
+            for axis in self._axis_names:
+                record[axis] = _json_scalar(row.parameters.get(axis))
+            record["solver"] = row.solver
+            record["stable"] = row.stable
+            for name in metric_names:
+                value = row.metrics.get(name)
+                record[name] = _json_scalar(value) if value is not None else None
+            record["error"] = row.error
+            flat.append(record)
+        return flat
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the flattened rows to a CSV file and return its path."""
+        path = Path(path)
+        records = self.rows()
+        fieldnames = (
+            ["index", *self._axis_names, "solver", "stable", *self.metric_names(), "error"]
+            if records
+            else ["index"]
+        )
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(records)
+        return path
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise the result set to JSON; optionally write it to ``path``."""
+        payload = {
+            "name": self._name,
+            "axis_names": list(self._axis_names),
+            "results": [
+                {
+                    "index": row.index,
+                    "parameters": {
+                        key: _json_scalar(value) for key, value in row.parameters.items()
+                    },
+                    "solver": row.solver,
+                    "stable": row.stable,
+                    "metrics": {
+                        key: _json_scalar(value) for key, value in row.metrics.items()
+                    },
+                    "error": row.error,
+                }
+                for row in self._results
+            ],
+        }
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "SweepResultSet":
+        """Rebuild a result set from :meth:`to_json` output (text or path)."""
+        if isinstance(source, Path):
+            text = source.read_text()
+        else:
+            text = str(source)
+            if "\n" not in text and text.strip() and not text.lstrip().startswith("{"):
+                text = Path(text).read_text()
+        payload = json.loads(text)
+        results = [
+            SweepResult(
+                index=int(entry["index"]),
+                parameters={
+                    key: _from_json_scalar(value)
+                    for key, value in entry["parameters"].items()
+                },
+                solver=entry["solver"],
+                stable=bool(entry["stable"]),
+                metrics={
+                    key: float(_from_json_scalar(value))
+                    for key, value in entry["metrics"].items()
+                },
+                error=entry["error"],
+            )
+            for entry in payload["results"]
+        ]
+        return cls(results, axis_names=payload["axis_names"], name=payload["name"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SweepResultSet(name={self._name!r}, rows={len(self._results)})"

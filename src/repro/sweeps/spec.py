@@ -1,0 +1,232 @@
+"""Declarative description of a parameter sweep.
+
+A :class:`SweepSpec` is the single object the sweep engine consumes: a base
+:class:`~repro.queueing.model.UnreliableQueueModel`, a list of
+:class:`SweepAxis` grids over model parameters, and a :class:`SolverPolicy`
+describing which solver to try first and where to fall back when it fails.
+Expanding the spec yields one :class:`SweepPoint` per grid cell (Cartesian
+product, first axis slowest), each carrying the concrete model instance and
+the policy that will evaluate it.
+
+Axis names that match a model field (``num_servers``, ``arrival_rate``,
+``service_rate``, ``operative``, ``inoperative``) are applied to the base
+model directly with :func:`dataclasses.replace` semantics.  The name
+``solver`` is reserved: its values select the solver for that point,
+overriding the policy order.  Any other axis name requires a
+``model_factory`` — a callable ``(base_model, parameters) -> model`` that
+knows how to turn the axis values into a model (e.g. mapping an ``scv`` value
+to a fitted hyperexponential operative-period distribution).
+
+Factories and per-point policy callables run only in the parent process
+during expansion, so they may be closures; the objects shipped to worker
+processes (models, policies) are plain picklable dataclasses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+
+from .._validation import check_positive_int
+from ..exceptions import ParameterError
+from ..queueing.model import UnreliableQueueModel
+
+#: Solver names understood by the engine, in the order the library trusts
+#: them: exact first, then the fast approximation, then the finite-chain
+#: reference, then simulation (which accepts any period distributions).
+KNOWN_SOLVERS = ("spectral", "geometric", "ctmc", "simulate")
+
+#: Model fields an axis may target directly (applied via dataclasses.replace).
+MODEL_FIELDS = ("num_servers", "arrival_rate", "service_rate", "operative", "inoperative")
+
+#: Reserved axis name that selects the solver per grid point.
+SOLVER_AXIS = "solver"
+
+
+@dataclass(frozen=True)
+class SolverPolicy:
+    """Which solvers to try, in order, and how to configure the simulator.
+
+    Attributes
+    ----------
+    order:
+        Solver names tried left to right; the first one that succeeds
+        produces the point's metrics.  A solver failure
+        (:class:`~repro.exceptions.SolverError`, a
+        :class:`~repro.exceptions.ParameterError` from non-Markovian period
+        distributions, or a simulation error) falls through to the next name.
+    simulate_horizon, simulate_seed, simulate_num_batches,
+    simulate_warmup_fraction:
+        Options forwarded to :meth:`UnreliableQueueModel.simulate` when the
+        ``"simulate"`` solver runs.
+    """
+
+    order: tuple[str, ...] = ("spectral", "geometric")
+    simulate_horizon: float = 50_000.0
+    simulate_seed: int = 0
+    simulate_num_batches: int = 10
+    simulate_warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.order:
+            raise ParameterError("a solver policy needs at least one solver")
+        object.__setattr__(self, "order", tuple(self.order))
+        for name in self.order:
+            if name not in KNOWN_SOLVERS:
+                raise ParameterError(
+                    f"unknown solver {name!r}; expected one of {KNOWN_SOLVERS}"
+                )
+
+    def with_order(self, *order: str) -> "SolverPolicy":
+        """A copy of the policy with a different solver order."""
+        return replace(self, order=tuple(order))
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One dimension of the sweep grid: a parameter name and its values."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ParameterError(f"axis {self.name!r} has no values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: the concrete model to evaluate and how to evaluate it.
+
+    Attributes
+    ----------
+    index:
+        Position in row-major grid order (first axis slowest).
+    parameters:
+        Mapping from axis name to this cell's value.
+    model:
+        The concrete model instance for this cell.
+    policy:
+        The solver policy that will evaluate the model.
+    """
+
+    index: int
+    parameters: Mapping[str, object]
+    model: UnreliableQueueModel
+    policy: SolverPolicy
+
+
+def _normalise_axes(axes: Sequence) -> tuple[SweepAxis, ...]:
+    normalised: list[SweepAxis] = []
+    for axis in axes:
+        if isinstance(axis, SweepAxis):
+            normalised.append(axis)
+        else:
+            name, values = axis
+            normalised.append(SweepAxis(name=name, values=tuple(values)))
+    return tuple(normalised)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative parameter sweep over an unreliable-queue model.
+
+    Attributes
+    ----------
+    base_model:
+        The model every grid cell starts from.
+    axes:
+        The grid dimensions; accepts :class:`SweepAxis` instances or plain
+        ``(name, values)`` pairs.
+    policy:
+        Default solver policy (the reserved ``solver`` axis and
+        ``point_policy`` can override it per point).
+    model_factory:
+        Optional ``(base_model, parameters) -> model`` callable, required
+        when an axis name is not a model field.
+    point_policy:
+        Optional ``(parameters) -> SolverPolicy`` callable for heterogeneous
+        grids (e.g. simulate the ``C^2 = 0`` cell, solve the rest exactly).
+    name:
+        Label used in exports and progress reports.
+    """
+
+    base_model: UnreliableQueueModel
+    axes: tuple[SweepAxis, ...]
+    policy: SolverPolicy = field(default_factory=SolverPolicy)
+    model_factory: Callable[[UnreliableQueueModel, Mapping[str, object]], UnreliableQueueModel] | None = None
+    point_policy: Callable[[Mapping[str, object]], SolverPolicy] | None = None
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", _normalise_axes(self.axes))
+        if not self.axes:
+            raise ParameterError("a sweep needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate axis names in {names}")
+        if self.model_factory is None:
+            for axis in self.axes:
+                if axis.name not in MODEL_FIELDS and axis.name != SOLVER_AXIS:
+                    raise ParameterError(
+                        f"axis {axis.name!r} is not a model field "
+                        f"({MODEL_FIELDS}); provide a model_factory"
+                    )
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """The axis names, in grid order."""
+        return tuple(axis.name for axis in self.axes)
+
+    @property
+    def grid_size(self) -> int:
+        """The total number of grid cells."""
+        size = 1
+        for axis in self.axes:
+            size *= len(axis)
+        return size
+
+    def _build_model(self, parameters: Mapping[str, object]) -> UnreliableQueueModel:
+        if self.model_factory is not None:
+            return self.model_factory(self.base_model, parameters)
+        model = self.base_model
+        for name, value in parameters.items():
+            if name == SOLVER_AXIS:
+                continue
+            if name == "num_servers":
+                model = model.with_servers(check_positive_int(value, "num_servers"))
+            elif name == "arrival_rate":
+                model = model.with_arrival_rate(float(value))
+            elif name == "operative":
+                model = model.with_periods(operative=value)
+            elif name == "inoperative":
+                model = model.with_periods(inoperative=value)
+            else:  # service_rate
+                model = replace(model, service_rate=float(value))
+        return model
+
+    def _policy_for(self, parameters: Mapping[str, object]) -> SolverPolicy:
+        if self.point_policy is not None:
+            return self.point_policy(parameters)
+        solver = parameters.get(SOLVER_AXIS)
+        if solver is not None:
+            return self.policy.with_order(str(solver))
+        return self.policy
+
+    def expand(self):
+        """Yield every :class:`SweepPoint` of the grid in row-major order."""
+        for index, combination in enumerate(
+            itertools.product(*(axis.values for axis in self.axes))
+        ):
+            parameters = dict(zip(self.axis_names, combination))
+            yield SweepPoint(
+                index=index,
+                parameters=parameters,
+                model=self._build_model(parameters),
+                policy=self._policy_for(parameters),
+            )

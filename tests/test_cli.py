@@ -32,6 +32,17 @@ class TestParser:
         arguments = build_parser().parse_args(["reproduce", "--quick"])
         assert arguments.command == "reproduce"
         assert arguments.quick
+        assert not arguments.parallel
+
+    def test_sweep_arguments(self):
+        arguments = build_parser().parse_args(
+            ["sweep", "--servers", "8,10", "--arrival-rates", "6.5,7.0", "--parallel"]
+        )
+        assert arguments.command == "sweep"
+        assert arguments.servers == "8,10"
+        assert arguments.arrival_rates == "6.5,7.0"
+        assert arguments.parallel
+        assert arguments.solvers == "spectral,geometric"
 
 
 class TestSolveCommand:
@@ -113,3 +124,60 @@ class TestReproduceCommand:
         assert exit_code == 0
         for name in ("figure5", "figure6", "figure7", "figure8", "figure9"):
             assert name in output
+
+
+class TestSweepCommand:
+    def test_sweep_prints_table(self, capsys):
+        exit_code = main(
+            ["sweep", "--servers", "9,10", "--arrival-rates", "7.0", "--solvers", "geometric"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Sweep over" in output
+        assert "mean jobs L" in output
+
+    def test_sweep_writes_csv_and_json(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        exit_code = main(
+            [
+                "sweep",
+                "--servers", "10",
+                "--arrival-rates", "7.0",
+                "--solvers", "geometric",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        assert csv_path.exists() and json_path.exists()
+        assert "mean_queue_length" in csv_path.read_text()
+
+    def test_sweep_unstable_point_reported_not_fatal(self, capsys):
+        exit_code = main(
+            ["sweep", "--servers", "2", "--arrival-rates", "50", "--solvers", "geometric"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "no" in output  # the stable column
+
+    def test_sweep_tolerates_spaces_after_commas(self, capsys):
+        exit_code = main(
+            ["sweep", "--servers", "9, 10", "--arrival-rates", "7.0", "--solvers", "geometric, ctmc"]
+        )
+        assert exit_code == 0
+        assert "geometric" in capsys.readouterr().out
+
+    def test_sweep_bad_list_reports_error(self, capsys):
+        exit_code = main(["sweep", "--servers", "abc", "--arrival-rates", "7.0"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err
+
+    def test_sweep_unknown_solver_reports_error(self, capsys):
+        exit_code = main(
+            ["sweep", "--servers", "10", "--arrival-rates", "7.0", "--solvers", "magic"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err

@@ -110,6 +110,25 @@ class TestStabilityBoundary:
         assert decay_rates[-1] > 0.97
 
 
+class TestTruncationRegression:
+    def test_slow_repair_truncation_mass_regression(self):
+        """Pinned falsifying example of the old load-based truncation level.
+
+        With slow repairs the true tail decay rate (~0.899) substantially
+        exceeds the effective load (0.75), so sizing the truncation from the
+        load left ~4.2e-6 mass at the boundary.  The decay-rate-based,
+        adaptive solver must meet the 1e-10 target here.
+        """
+        base = _model(1, 1.0, 3.0, 5.0, 4.0)
+        model = base.with_arrival_rate(0.75 * base.mean_operative_servers)
+        spectral = model.solve_spectral()
+        reference = model.solve_ctmc()
+        assert reference.truncation_mass() < 1e-10
+        assert spectral.mean_queue_length == pytest.approx(
+            reference.mean_queue_length, rel=1e-4, abs=1e-8
+        )
+
+
 @settings(
     max_examples=12,
     deadline=None,

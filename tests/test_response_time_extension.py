@@ -53,6 +53,14 @@ class TestSimulatedDistribution:
         q90 = mm1_distribution.quantile(0.9)
         assert mm1_distribution.tail_probability(q90) == pytest.approx(0.1, abs=0.02)
 
+    def test_tail_probability_at_zero_threshold(self, mm1_distribution):
+        """P(T > 0) = 1: a zero threshold is a legitimate query, not an error."""
+        assert mm1_distribution.tail_probability(0.0) == 1.0
+
+    def test_tail_probability_negative_threshold_rejected(self, mm1_distribution):
+        with pytest.raises(Exception):
+            mm1_distribution.tail_probability(-1.0)
+
     def test_quantiles_monotone(self, mm1_distribution):
         assert (
             mm1_distribution.quantile(0.5)

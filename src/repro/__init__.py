@@ -46,8 +46,12 @@ Subpackages
     Discrete-event simulation with batch-means output analysis.
 :mod:`repro.optimization`
     Cost optimisation and capacity planning.
+:mod:`repro.solvers`
+    Unified solver dispatch: the registry of named backends, the
+    fallback-chain facade (:func:`repro.solvers.solve`) and the shared,
+    process-safe solution cache.
 :mod:`repro.sweeps`
-    Declarative, parallel parameter sweeps with solver fallback and caching.
+    Declarative, parallel parameter sweeps built on :mod:`repro.solvers`.
 :mod:`repro.experiments`
     One driver per table/figure of the paper (built on :mod:`repro.sweeps`).
 """
@@ -77,6 +81,8 @@ from .queueing import (
     UnreliableQueueModel,
     sun_fitted_model,
 )
+from .solvers import SolutionCache, SolveOutcome, Solver, SolverPolicy, register_solver
+from .solvers import solve as solve_model
 from .spectral import (
     GeometricSolution,
     SpectralSolution,
@@ -106,6 +112,13 @@ __all__ = [
     "solve_spectral",
     "GeometricSolution",
     "solve_geometric",
+    # solver registry and facade
+    "Solver",
+    "SolverPolicy",
+    "SolveOutcome",
+    "SolutionCache",
+    "register_solver",
+    "solve_model",
     # exceptions
     "ReproError",
     "ParameterError",

@@ -3,8 +3,10 @@
 Four subcommands cover the everyday workflows:
 
 ``solve``
-    Evaluate one model configuration (exact, approximate or both) and print
-    the headline performance metrics.
+    Evaluate one model configuration and print the headline performance
+    metrics.  ``--solver`` accepts any :mod:`repro.solvers` registry name
+    (``spectral``, ``geometric``, ``ctmc``, ``simulate``, or a third-party
+    registration) or ``both`` for the exact/approximate side-by-side view.
 
 ``fit``
     Run the Section-2 analysis pipeline on a breakdown-trace CSV: cleaning,
@@ -35,8 +37,9 @@ from .exceptions import ReproError
 from .experiments import format_key_values, format_table, render_report, run_all_experiments
 from .fitting import fit_exponential, fit_two_phase_from_moments
 from .queueing import UnreliableQueueModel
+from .solvers import SolverPolicy, solve as solve_model, solver_names
 from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
-from .sweeps import SolverPolicy, SweepRunner, SweepSpec
+from .sweeps import SweepRunner, SweepSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,10 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair-mean", type=float, default=0.04, help="mean inoperative (repair) period"
     )
     solve.add_argument(
+        "--solver",
         "--method",
-        choices=("spectral", "geometric", "both"),
+        dest="method",
+        choices=("both", *solver_names()),
         default="both",
-        help="which solution method to use",
+        help="which registered solver to use ('both' = spectral and geometric)",
     )
 
     fit = subparsers.add_parser(
@@ -129,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solvers",
         default="spectral,geometric",
         help="comma-separated solver order with fallback "
-        "(spectral, geometric, ctmc, simulate)",
+        "(any repro.solvers registry name: spectral, geometric, ctmc, simulate, ...)",
     )
     sweep.add_argument(
         "--parallel", action="store_true", help="evaluate grid points across worker processes"
@@ -203,6 +208,25 @@ def _command_solve(arguments: argparse.Namespace) -> int:
                     ("decay rate z_s", approximation.decay_rate),
                 ],
                 title="Geometric approximation",
+            )
+        )
+    if arguments.method not in ("spectral", "geometric", "both"):
+        outcome = solve_model(model, arguments.method)
+        if outcome.solver is None:
+            raise ReproError(outcome.error or "no solver succeeded")
+        print()
+        print(
+            format_key_values(
+                [
+                    ("mean jobs L", outcome.metrics["mean_queue_length"]),
+                    ("mean response time W", outcome.metrics["mean_response_time"]),
+                    *sorted(
+                        (name, value)
+                        for name, value in outcome.metrics.items()
+                        if name not in ("mean_queue_length", "mean_response_time")
+                    ),
+                ],
+                title=f"Solution ({outcome.solver})",
             )
         )
     return 0

@@ -142,6 +142,24 @@ class Distribution(abc.ABC):
         )
 
     # ------------------------------------------------------------------ #
+    # Cache identity
+    # ------------------------------------------------------------------ #
+
+    def parameter_key(self) -> tuple:
+        """A hashable tuple of the distribution's defining parameters.
+
+        Together with the type name this identifies the parameterisation
+        exactly; :func:`repro.solvers.distribution_key` uses it to build
+        solution-cache keys, so two distributions must share a key if and
+        only if they are the same distribution.  Every library distribution
+        implements it; third-party subclasses should too (the fallback key is
+        repr- and moment-based, which is weaker).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define parameter_key()"
+        )
+
+    # ------------------------------------------------------------------ #
     # Misc
     # ------------------------------------------------------------------ #
 

@@ -138,6 +138,10 @@ class Coxian(Distribution):
     def laplace_transform(self, s: float | complex) -> complex:
         return self._phase_type.laplace_transform(s)
 
+    def parameter_key(self) -> tuple:
+        """The defining parameters, for solution-cache keys."""
+        return (tuple(self._rates), tuple(self._continue_probs))
+
     def to_phase_type(self) -> PhaseType:
         return self._phase_type
 

@@ -72,6 +72,10 @@ class Deterministic(Distribution):
     # Misc
     # ------------------------------------------------------------------ #
 
+    def parameter_key(self) -> tuple:
+        """The defining parameters, for solution-cache keys."""
+        return (self._value,)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Deterministic):
             return NotImplemented

@@ -110,6 +110,10 @@ class Erlang(Distribution):
     # Misc
     # ------------------------------------------------------------------ #
 
+    def parameter_key(self) -> tuple:
+        """The defining parameters, for solution-cache keys."""
+        return (self._shape, self._rate)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Erlang):
             return NotImplemented

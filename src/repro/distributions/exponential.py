@@ -92,6 +92,10 @@ class Exponential(Distribution):
     # Misc
     # ------------------------------------------------------------------ #
 
+    def parameter_key(self) -> tuple:
+        """The defining parameters, for solution-cache keys."""
+        return (self._rate,)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Exponential):
             return NotImplemented

@@ -209,6 +209,10 @@ class HyperExponential(Distribution):
         """
         return self.weights
 
+    def parameter_key(self) -> tuple:
+        """The defining parameters, for solution-cache keys."""
+        return (tuple(self._weights), tuple(self._rates))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HyperExponential):
             return NotImplemented

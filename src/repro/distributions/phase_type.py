@@ -165,6 +165,10 @@ class PhaseType(Distribution):
         resolvent = np.linalg.inv(s * identity - self._generator)
         return complex(self._initial @ resolvent @ self._exit_rates)
 
+    def parameter_key(self) -> tuple:
+        """The defining parameters, for solution-cache keys."""
+        return (tuple(self._initial), tuple(map(tuple, self._generator)))
+
     def to_phase_type(self) -> "PhaseType":
         return self
 

@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from .._validation import check_positive_int
 from ..optimization import CostCurve, CostPoint
 from ..queueing.model import UnreliableQueueModel
-from ..sweeps import SolverPolicy, SweepRunner, SweepSpec
+from ..solvers import SolverPolicy
+from ..sweeps import SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 from ..distributions import Deterministic, Exponential, HyperExponential
 from ..queueing.model import UnreliableQueueModel
-from ..sweeps import SolverPolicy, SweepRunner, SweepSpec
+from ..solvers import SolverPolicy
+from ..sweeps import SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 
 from ..distributions import Exponential
 from ..queueing.model import UnreliableQueueModel
-from ..sweeps import SolverPolicy, SweepRunner, SweepSpec
+from ..solvers import SolverPolicy
+from ..sweeps import SweepRunner, SweepSpec
 from . import parameters
 from .reporting import format_table
 

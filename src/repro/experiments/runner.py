@@ -7,9 +7,10 @@ and the Section-4 numerical experiments (Figures 5–9).  It is used by the
 ``run_figureN`` function; the runner only orchestrates and concatenates.
 
 Every figure evaluates its grid through one shared
-:class:`~repro.sweeps.SweepRunner`, so configurations repeated across figures
-are solved once, and ``parallel=True`` fans all the grids out over worker
-processes.
+:class:`~repro.sweeps.SweepRunner` — and therefore one shared
+:class:`~repro.solvers.SolutionCache` — so configurations repeated across
+figures are solved once, and ``parallel=True`` fans all the grids out over
+worker processes (the cache deduplicates repeated points before fan-out).
 """
 
 from __future__ import annotations

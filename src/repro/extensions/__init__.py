@@ -7,6 +7,8 @@ time:
 * :func:`simulated_response_time_distribution`,
   :class:`ResponseTimeDistribution` — empirical response-time quantiles from
   the discrete-event simulator;
+* :func:`mean_response_time` — the analytic mean through the
+  :mod:`repro.solvers` registry/facade (fallback chain + shared cache);
 * :func:`fcfs_exponential_capacity_bound` — a closed-form heavy-traffic
   estimate of response-time quantiles.
 """
@@ -14,11 +16,13 @@ time:
 from .response_times import (
     ResponseTimeDistribution,
     fcfs_exponential_capacity_bound,
+    mean_response_time,
     simulated_response_time_distribution,
 )
 
 __all__ = [
     "ResponseTimeDistribution",
     "simulated_response_time_distribution",
+    "mean_response_time",
     "fcfs_exponential_capacity_bound",
 ]

@@ -26,9 +26,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import check_non_negative, check_positive, check_probability
-from ..exceptions import SimulationError
+from ..exceptions import SimulationError, SolverError
 from ..queueing.model import UnreliableQueueModel
 from ..simulation.queue_sim import UnreliableQueueSimulator
+from ..solvers import SolutionCache, SolverPolicy, solve
 from ..distributions import Exponential
 
 
@@ -72,12 +73,40 @@ class ResponseTimeDistribution:
         return int(self.samples.size)
 
 
+def mean_response_time(
+    model: UnreliableQueueModel,
+    policy: SolverPolicy | str | None = None,
+    *,
+    cache: SolutionCache | bool | None = None,
+) -> float:
+    """The mean response time ``W`` through the :mod:`repro.solvers` facade.
+
+    This is the analytic companion to the empirical distribution below: it
+    dispatches through the solver registry with the usual fallback chain
+    (spectral → geometric by default) and the shared solution cache, so the
+    exact mean used to sanity-check the simulated distribution is obtained
+    the same way every other consumer obtains it.
+
+    Raises
+    ------
+    SolverError
+        When the model is unstable or every solver in the policy fails.
+    """
+    outcome = solve(model, policy, cache=cache)
+    if not outcome.stable:
+        raise SolverError("the queue is unstable; the mean response time is infinite")
+    if outcome.solver is None:
+        raise SolverError(outcome.error or "no solver succeeded")
+    return float(outcome.metrics["mean_response_time"])
+
+
 def simulated_response_time_distribution(
     model: UnreliableQueueModel,
     *,
-    horizon: float,
-    warmup_fraction: float = 0.1,
-    seed: int = 0,
+    horizon: float | None = None,
+    warmup_fraction: float | None = None,
+    seed: int | None = None,
+    policy: SolverPolicy | None = None,
 ) -> ResponseTimeDistribution:
     """Estimate the response-time distribution of a model by simulation.
 
@@ -91,6 +120,10 @@ def simulated_response_time_distribution(
         Fraction of the horizon discarded before collecting response times.
     seed:
         Random seed of the simulation run.
+    policy:
+        Optional :class:`~repro.solvers.SolverPolicy` supplying defaults for
+        the three options above from its ``simulate_*`` fields, so a sweep
+        and a response-time study can share one simulation configuration.
 
     Raises
     ------
@@ -98,6 +131,12 @@ def simulated_response_time_distribution(
         If the horizon is too short to produce a usable number of completed
         jobs after the warm-up period.
     """
+    defaults = policy if policy is not None else SolverPolicy()
+    horizon = horizon if horizon is not None else defaults.simulate_horizon
+    warmup_fraction = (
+        warmup_fraction if warmup_fraction is not None else defaults.simulate_warmup_fraction
+    )
+    seed = seed if seed is not None else defaults.simulate_seed
     horizon = check_positive(horizon, "horizon")
     if not 0.0 <= warmup_fraction < 1.0:
         raise SimulationError("warmup_fraction must lie in [0, 1)")

@@ -29,7 +29,6 @@ from ..distributions import HyperExponential
 from ..exceptions import FittingError
 from .moment_matching import (
     hyperexponential_moments,
-    solve_weights_for_rates,
     weights_are_feasible,
 )
 

@@ -11,6 +11,13 @@ Public API
   sizing question.
 * :func:`minimum_stable_servers` — the smallest ``N`` satisfying the
   stability condition (Eq. 11).
+* :func:`solver_metrics` — the registry-dispatched metric helper behind all
+  of the above.
+
+Every ``solver`` argument accepts a :mod:`repro.solvers` registry name
+(including ``"simulate"`` and third-party registrations), a sequence of
+names forming a fallback chain, a :class:`~repro.solvers.SolverPolicy`, or a
+plain callable ``model -> solution``.
 """
 
 from .cost import (
@@ -20,6 +27,7 @@ from .cost import (
     evaluate_cost,
     minimum_stable_servers,
     optimal_server_count,
+    solver_metrics,
 )
 from .sizing import (
     SizingPoint,
@@ -35,6 +43,7 @@ __all__ = [
     "cost_curve",
     "optimal_server_count",
     "minimum_stable_servers",
+    "solver_metrics",
     "SizingPoint",
     "SizingResult",
     "response_time_curve",

@@ -15,8 +15,13 @@ where ``c_1`` is the cost per unit time of holding a job in the system (the
 ``N = 11`` for ``lambda = 7``, ``N = 12`` for ``lambda = 8`` and ``N = 13``
 for ``lambda = 8.5``.
 
-This module evaluates the cost curve and locates the optimum, using either
-the exact spectral solution or the geometric approximation.
+This module evaluates the cost curve and locates the optimum.  Solvers are
+named through the :mod:`repro.solvers` registry: anywhere a solver is
+accepted you may pass a registered name (``"spectral"``, ``"geometric"``,
+``"ctmc"``, ``"simulate"`` or a third-party registration), a sequence of
+names forming a fallback chain, a full
+:class:`~repro.solvers.SolverPolicy`, or a plain callable
+``model -> solution`` (which bypasses the registry and the shared cache).
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from .._validation import check_non_negative, check_positive_int
 from ..exceptions import ParameterError, SolverError, UnstableQueueError
 from ..queueing.model import UnreliableQueueModel
 from ..queueing.solution_base import QueueSolution
+from ..solvers import SolutionCache, SolverPolicy, as_policy, solve
 
 #: Type of the solver callables accepted by the optimisation helpers.
 SolverCallable = Callable[[UnreliableQueueModel], QueueSolution]
@@ -94,19 +100,39 @@ class CostCurve:
         )
 
 
-def _resolve_solver(solver: str | SolverCallable) -> SolverCallable:
-    """Turn a solver name into the corresponding solve function."""
-    if callable(solver):
-        return solver
-    if solver == "spectral":
-        return lambda model: model.solve_spectral()
-    if solver == "geometric":
-        return lambda model: model.solve_geometric()
-    if solver == "ctmc":
-        return lambda model: model.solve_ctmc()
-    raise ParameterError(
-        f"unknown solver {solver!r}; expected 'spectral', 'geometric', 'ctmc' or a callable"
-    )
+def solver_metrics(
+    model: UnreliableQueueModel,
+    solver: str | Sequence[str] | SolverPolicy | SolverCallable = "spectral",
+    *,
+    cache: SolutionCache | bool | None = None,
+) -> dict[str, float]:
+    """Steady-state metrics of a stable model under a solver specification.
+
+    Names, name sequences (fallback chains) and policies dispatch through the
+    :mod:`repro.solvers` registry and the shared solution cache — a bad name
+    raises :class:`~repro.exceptions.ParameterError` listing the registered
+    solvers.  Callables are invoked directly (no registry, no cache).
+
+    Raises
+    ------
+    UnstableQueueError
+        When the model violates the stability condition.
+    SolverError
+        When every solver in the chain fails.
+    """
+    if not isinstance(solver, (str, SolverPolicy)) and callable(solver):
+        model.require_stable()
+        solution = solver(model)
+        return {
+            "mean_queue_length": solution.mean_queue_length,
+            "mean_response_time": solution.mean_response_time,
+        }
+    outcome = solve(model, as_policy(solver), cache=cache)
+    if not outcome.stable:
+        raise UnstableQueueError(model.offered_load, model.mean_operative_servers)
+    if outcome.solver is None:
+        raise SolverError(outcome.error or "no solver succeeded")
+    return dict(outcome.metrics)
 
 
 def evaluate_cost(
@@ -114,12 +140,13 @@ def evaluate_cost(
     holding_cost: float,
     server_cost: float,
     *,
-    solver: str | SolverCallable = "spectral",
+    solver: str | Sequence[str] | SolverPolicy | SolverCallable = "spectral",
 ) -> CostPoint:
     """Evaluate the Eq.-22 cost of a single model configuration."""
     holding_cost = check_non_negative(holding_cost, "holding_cost")
     server_cost = check_non_negative(server_cost, "server_cost")
-    solve = _resolve_solver(solver)
+    if isinstance(solver, (str, SolverPolicy)) or not callable(solver):
+        solver = as_policy(solver)  # validate eagerly, before the stability check
     if not model.is_stable:
         return CostPoint(
             num_servers=model.num_servers,
@@ -127,8 +154,7 @@ def evaluate_cost(
             cost=math.inf,
             stable=False,
         )
-    solution = solve(model)
-    mean_jobs = solution.mean_queue_length
+    mean_jobs = solver_metrics(model, solver)["mean_queue_length"]
     return CostPoint(
         num_servers=model.num_servers,
         mean_queue_length=mean_jobs,
@@ -143,7 +169,7 @@ def cost_curve(
     holding_cost: float,
     server_cost: float,
     *,
-    solver: str | SolverCallable = "spectral",
+    solver: str | Sequence[str] | SolverPolicy | SolverCallable = "spectral",
 ) -> CostCurve:
     """Evaluate the cost function over a range of server counts (Figure 5)."""
     if not server_counts:
@@ -164,7 +190,7 @@ def optimal_server_count(
     holding_cost: float,
     server_cost: float,
     *,
-    solver: str | SolverCallable = "spectral",
+    solver: str | Sequence[str] | SolverPolicy | SolverCallable = "spectral",
     max_servers: int = 200,
 ) -> CostPoint:
     """Find the number of servers minimising the Eq.-22 cost.
@@ -177,7 +203,8 @@ def optimal_server_count(
     check_non_negative(holding_cost, "holding_cost")
     check_non_negative(server_cost, "server_cost")
     max_servers = check_positive_int(max_servers, "max_servers")
-    solve = _resolve_solver(solver)
+    if isinstance(solver, (str, SolverPolicy)) or not callable(solver):
+        solver = as_policy(solver)  # validate eagerly: a bad name must not be skipped
 
     start = minimum_stable_servers(base_model, max_servers=max_servers)
     best: CostPoint | None = None
@@ -186,13 +213,13 @@ def optimal_server_count(
     for count in range(start, max_servers + 1):
         model = base_model.with_servers(count)
         try:
-            solution = solve(model)
+            mean_jobs = solver_metrics(model, solver)["mean_queue_length"]
         except (UnstableQueueError, SolverError):
             continue
-        cost = holding_cost * solution.mean_queue_length + server_cost * count
+        cost = holding_cost * mean_jobs + server_cost * count
         point = CostPoint(
             num_servers=count,
-            mean_queue_length=solution.mean_queue_length,
+            mean_queue_length=mean_jobs,
             cost=cost,
             stable=True,
         )

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from .._validation import check_positive, check_positive_int
 from ..exceptions import SolverError, UnstableQueueError
 from ..queueing.model import UnreliableQueueModel
-from .cost import SolverCallable, _resolve_solver, minimum_stable_servers
+from ..solvers import SolverPolicy, as_policy
+from .cost import SolverCallable, minimum_stable_servers, solver_metrics
 
 
 @dataclass(frozen=True)
@@ -66,13 +67,16 @@ def response_time_curve(
     base_model: UnreliableQueueModel,
     server_counts: Sequence[int],
     *,
-    solver: str | SolverCallable = "spectral",
+    solver: str | Sequence[str] | SolverPolicy | SolverCallable = "spectral",
 ) -> list[SizingPoint]:
     """Mean response time as a function of the number of servers (Figure 9).
 
     Unstable configurations are reported with an infinite response time.
+    The solver is any :mod:`repro.solvers` registry name (including
+    ``"simulate"``), a fallback chain, a policy, or a callable.
     """
-    solve = _resolve_solver(solver)
+    if isinstance(solver, (str, SolverPolicy)) or not callable(solver):
+        solver = as_policy(solver)
     points: list[SizingPoint] = []
     for count in sorted({check_positive_int(count, "server count") for count in server_counts}):
         model = base_model.with_servers(count)
@@ -86,12 +90,12 @@ def response_time_curve(
                 )
             )
             continue
-        solution = solve(model)
+        metrics = solver_metrics(model, solver)
         points.append(
             SizingPoint(
                 num_servers=count,
-                mean_response_time=solution.mean_response_time,
-                mean_queue_length=solution.mean_queue_length,
+                mean_response_time=metrics["mean_response_time"],
+                mean_queue_length=metrics["mean_queue_length"],
                 meets_target=False,
             )
         )
@@ -102,7 +106,7 @@ def minimum_servers_for_response_time(
     base_model: UnreliableQueueModel,
     target_response_time: float,
     *,
-    solver: str | SolverCallable = "spectral",
+    solver: str | Sequence[str] | SolverPolicy | SolverCallable = "spectral",
     max_servers: int = 500,
 ) -> SizingResult:
     """The smallest number of servers whose mean response time meets a target.
@@ -123,22 +127,23 @@ def minimum_servers_for_response_time(
             "the target response time cannot be smaller than the mean service time "
             f"({target_response_time} <= {base_model.mean_service_time})"
         )
-    solve = _resolve_solver(solver)
+    if isinstance(solver, (str, SolverPolicy)) or not callable(solver):
+        solver = as_policy(solver)  # validate eagerly: a bad name must not be skipped
     evaluations: list[SizingPoint] = []
     start = minimum_stable_servers(base_model, max_servers=max_servers)
     for count in range(start, max_servers + 1):
         model = base_model.with_servers(count)
         try:
-            solution = solve(model)
+            metrics = solver_metrics(model, solver)
         except (UnstableQueueError, SolverError):
             continue
-        response_time = solution.mean_response_time
+        response_time = metrics["mean_response_time"]
         meets = response_time <= target_response_time
         evaluations.append(
             SizingPoint(
                 num_servers=count,
                 mean_response_time=response_time,
-                mean_queue_length=solution.mean_queue_length,
+                mean_queue_length=metrics["mean_queue_length"],
                 meets_target=meets,
             )
         )

@@ -1,0 +1,95 @@
+"""Unified solver dispatch: registry, fallback facade and shared cache.
+
+The paper's value is that four independent methods answer the same
+steady-state questions about the unreliable M/M/N queue:
+
+* ``spectral`` — exact spectral expansion (paper Section 3.1);
+* ``geometric`` — the heavy-load geometric approximation (Section 3.2);
+* ``ctmc`` — the truncated-CTMC reference used for validation;
+* ``simulate`` — discrete-event simulation, which also accepts
+  non-phase-type period distributions.
+
+This package is the single place where "pick a solver by name, fall back on
+failure" lives.  It provides:
+
+* the :class:`Solver` protocol and a :class:`SolverRegistry` with the four
+  built-in backends pre-registered; third parties plug in via
+  :func:`register_solver` or the ``repro.solvers`` entry-point group;
+* :class:`SolverPolicy` — the one vocabulary for naming solvers and fallback
+  chains, validated against the registry;
+* :func:`solve` / :func:`solve_many` — the facade implementing the
+  spectral → geometric → ctmc → simulate fallback chain exactly once, with a
+  shared, process-safe :class:`SolutionCache` and batch deduplication under
+  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out.
+
+Example
+-------
+
+>>> from repro.queueing import sun_fitted_model
+>>> from repro.solvers import solve, solver_names
+>>> solver_names()
+('spectral', 'geometric', 'ctmc', 'simulate')
+>>> outcome = solve(sun_fitted_model(num_servers=10, arrival_rate=7.0))
+>>> outcome.solver
+'spectral'
+>>> round(outcome.metrics["mean_queue_length"], 2)  # doctest: +SKIP
+9.2
+"""
+
+from .backends import (
+    BUILTIN_SOLVER_NAMES,
+    GeometricSolver,
+    SimulationSolver,
+    SpectralSolver,
+    TruncatedCTMCSolver,
+    builtin_solvers,
+)
+from .base import INFINITE_METRICS, SolveOutcome, Solver
+from .cache import SolutionCache, distribution_key, shared_cache, solution_cache_key
+from .facade import (
+    FALLBACK_EXCEPTIONS,
+    default_max_workers,
+    evaluate,
+    solve,
+    solve_many,
+)
+from .policy import SolverPolicy, as_policy
+from .registry import (
+    SolverRegistry,
+    default_registry,
+    get_solver,
+    load_entry_point_solvers,
+    register_solver,
+    solver_names,
+    unregister_solver,
+)
+
+__all__ = [
+    "BUILTIN_SOLVER_NAMES",
+    "FALLBACK_EXCEPTIONS",
+    "INFINITE_METRICS",
+    "GeometricSolver",
+    "SimulationSolver",
+    "SolutionCache",
+    "SolveOutcome",
+    "Solver",
+    "SolverPolicy",
+    "SolverRegistry",
+    "SpectralSolver",
+    "TruncatedCTMCSolver",
+    "as_policy",
+    "builtin_solvers",
+    "default_max_workers",
+    "default_registry",
+    "distribution_key",
+    "evaluate",
+    "get_solver",
+    "load_entry_point_solvers",
+    "register_solver",
+    "shared_cache",
+    "solution_cache_key",
+    "solve",
+    "solve_many",
+    "solver_names",
+    "unregister_solver",
+]

@@ -1,0 +1,126 @@
+"""The four built-in solver backends, wrapped behind the :class:`Solver` protocol.
+
+Each backend delegates to the corresponding method of
+:class:`~repro.queueing.model.UnreliableQueueModel` and normalises the native
+solution object into the flat metric mapping shared by every consumer (the
+sweep engine, the cost optimiser, the CLI).  The trusted fallback order —
+exact first, then the fast approximation, then the finite-chain reference,
+then simulation — is encoded once, in :data:`BUILTIN_SOLVER_NAMES`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import SIMULATE_DEFAULTS, Solver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..queueing.model import UnreliableQueueModel
+    from .policy import SolverPolicy
+
+
+class _MarkovianSolver(Solver):
+    """Base for the analytical backends, which need a Markovian environment."""
+
+    def supports(self, model: "UnreliableQueueModel") -> bool:
+        return model.is_markovian
+
+    def unsupported_reason(self, model: "UnreliableQueueModel") -> str:
+        return (
+            f"the {self.name!r} solver requires exponential or hyperexponential "
+            f"period distributions, got {type(model.operative).__name__}/"
+            f"{type(model.inoperative).__name__}"
+        )
+
+
+class SpectralSolver(_MarkovianSolver):
+    """Exact spectral-expansion solution (paper Section 3.1)."""
+
+    name = "spectral"
+
+    def solve(self, model: "UnreliableQueueModel", **options):
+        return model.solve_spectral(**options)
+
+    def metrics(self, solution) -> dict[str, float]:
+        return {
+            "mean_queue_length": solution.mean_queue_length,
+            "mean_response_time": solution.mean_response_time,
+            "decay_rate": solution.decay_rate,
+        }
+
+
+class GeometricSolver(_MarkovianSolver):
+    """Heavy-load geometric approximation (paper Section 3.2)."""
+
+    name = "geometric"
+
+    def solve(self, model: "UnreliableQueueModel", **options):
+        return model.solve_geometric(**options)
+
+    def metrics(self, solution) -> dict[str, float]:
+        return {
+            "mean_queue_length": solution.mean_queue_length,
+            "mean_response_time": solution.mean_response_time,
+            "decay_rate": solution.decay_rate,
+        }
+
+
+class TruncatedCTMCSolver(_MarkovianSolver):
+    """Truncated-CTMC reference solution used for validation."""
+
+    name = "ctmc"
+
+    def solve(self, model: "UnreliableQueueModel", **options):
+        return model.solve_ctmc(**options)
+
+    def metrics(self, solution) -> dict[str, float]:
+        return {
+            "mean_queue_length": solution.mean_queue_length,
+            "mean_response_time": solution.mean_response_time,
+        }
+
+
+class SimulationSolver(Solver):
+    """Discrete-event simulation; accepts arbitrary period distributions."""
+
+    name = "simulate"
+
+    def solve(
+        self,
+        model: "UnreliableQueueModel",
+        *,
+        horizon: float = SIMULATE_DEFAULTS["horizon"],
+        warmup_fraction: float = SIMULATE_DEFAULTS["warmup_fraction"],
+        num_batches: int = SIMULATE_DEFAULTS["num_batches"],
+        seed: int = SIMULATE_DEFAULTS["seed"],
+    ):
+        return model.simulate(
+            horizon=horizon,
+            warmup_fraction=warmup_fraction,
+            num_batches=num_batches,
+            seed=seed,
+        )
+
+    def metrics(self, estimate) -> dict[str, float]:
+        return {
+            "mean_queue_length": estimate.mean_queue_length.estimate,
+            "mean_response_time": estimate.mean_response_time.estimate,
+            "utilisation": estimate.utilisation,
+        }
+
+    def options_from_policy(self, policy: "SolverPolicy") -> dict[str, object]:
+        return {
+            "horizon": policy.simulate_horizon,
+            "warmup_fraction": policy.simulate_warmup_fraction,
+            "num_batches": policy.simulate_num_batches,
+            "seed": policy.simulate_seed,
+        }
+
+
+def builtin_solvers() -> tuple[Solver, ...]:
+    """Fresh instances of the four built-in backends, in trusted order."""
+    return (SpectralSolver(), GeometricSolver(), TruncatedCTMCSolver(), SimulationSolver())
+
+
+#: The built-in solver names in the order the library trusts them.
+BUILTIN_SOLVER_NAMES = ("spectral", "geometric", "ctmc", "simulate")

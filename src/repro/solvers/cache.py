@@ -1,0 +1,181 @@
+"""The shared solution cache, keyed by full model parameterisation + policy.
+
+One :class:`SolutionCache` can back every call site that evaluates models —
+the :func:`repro.solvers.solve` facade, :func:`repro.solvers.solve_many`
+batches, :class:`~repro.sweeps.SweepRunner` instances and the optimisation
+helpers — so a configuration solved anywhere is never solved again.
+
+Process safety
+--------------
+The cache is *parent-owned*: worker processes never see it.  During parallel
+fan-out, :func:`~repro.solvers.facade.solve_many` deduplicates pending work
+by cache key before submitting tasks, workers return picklable
+:class:`~repro.solvers.base.SolveOutcome` records, and the parent merges them
+back into the cache.  Repeated grid points therefore cost one solve even when
+the batch is spread over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+A :class:`threading.Lock` additionally makes the cache safe to share between
+threads in the parent.
+
+Keys
+----
+:func:`distribution_key` turns a period distribution into a hashable,
+*value-based* stand-in.  Library distributions implement
+:meth:`~repro.distributions.base.Distribution.parameter_key`, so the key is
+``(type name, parameter tuple)`` — two distributions of different types, or
+of the same type with different parameters, never share a key (the old
+``repr``-based fallback collided for distinct parameterisations with equal
+mean and SCV).  Unknown third-party distributions fall back to the instance
+itself when hashable, else to a type-qualified repr fortified with the first
+three moments.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
+
+from .base import SolveOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..queueing.model import UnreliableQueueModel
+    from .policy import SolverPolicy
+
+#: A cache key: hashable tuple identifying one (model, policy) evaluation.
+CacheKey = tuple
+
+
+def distribution_key(distribution: object) -> object:
+    """A hashable, value-based stand-in for a period distribution."""
+    key_method = getattr(distribution, "parameter_key", None)
+    if key_method is not None:
+        try:
+            return (type(distribution).__qualname__, tuple(key_method()))
+        except NotImplementedError:
+            pass
+    try:
+        hash(distribution)
+    except TypeError:
+        # Unhashable and without a parameter_key: a bare repr can collide for
+        # distinct parameterisations (the default Distribution repr shows only
+        # mean and SCV), so fortify the key with the first three moments.
+        moments = tuple(distribution.moment(k) for k in (1, 2, 3))
+        return (type(distribution).__qualname__, repr(distribution), moments)
+    return distribution
+
+
+def solution_cache_key(model: "UnreliableQueueModel", policy: "SolverPolicy") -> CacheKey:
+    """The memoisation key of one evaluation: full model parameters + policy."""
+    return (
+        model.num_servers,
+        model.arrival_rate,
+        model.service_rate,
+        distribution_key(model.operative),
+        distribution_key(model.inoperative),
+        policy,
+    )
+
+
+class SolutionCache:
+    """A thread-safe memo of :class:`SolveOutcome` records.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled cache keeps counting lookups (every one a miss) but never
+        stores anything; it exists so callers can switch memoisation off
+        without changing their control flow.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._data: dict[CacheKey, SolveOutcome] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._solves = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores outcomes at all."""
+        return self._enabled
+
+    def key(self, model: "UnreliableQueueModel", policy: "SolverPolicy") -> CacheKey:
+        """The cache key of one ``(model, policy)`` evaluation."""
+        return solution_cache_key(model, policy)
+
+    @staticmethod
+    def _isolated(outcome: SolveOutcome) -> SolveOutcome:
+        """A copy whose metrics dict is private to the receiver.
+
+        Outcomes are handed to many independent callers; without this, one
+        caller mutating ``outcome.metrics`` (e.g. annotating a result) would
+        silently rewrite the cached entry for everyone else.
+        """
+        return outcome._replace(metrics=dict(outcome.metrics))
+
+    def lookup(self, key: CacheKey) -> SolveOutcome | None:
+        """The cached outcome for ``key``, counting a hit or a miss."""
+        with self._lock:
+            outcome = self._data.get(key) if self._enabled else None
+            if outcome is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            return self._isolated(outcome)
+
+    def store(self, key: CacheKey, outcome: SolveOutcome) -> None:
+        """Memoise one outcome (no-op when disabled)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._data[key] = self._isolated(outcome)
+
+    def merge(self, outcomes: Mapping[CacheKey, SolveOutcome]) -> None:
+        """Merge worker-computed outcomes back into the parent cache."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._data.update(
+                (key, self._isolated(outcome)) for key, outcome in outcomes.items()
+            )
+
+    def record_solves(self, count: int) -> None:
+        """Record that ``count`` actual solver evaluations were performed."""
+        with self._lock:
+            self._solves += count
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/solve counters and the current number of cached outcomes."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._data),
+                "solves": self._solves,
+            }
+
+    def clear(self) -> None:
+        """Drop all memoised outcomes and reset every counter."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+            self._solves = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._data
+
+
+#: The process-wide cache used by the facade when no cache is passed.
+_SHARED_CACHE = SolutionCache()
+
+
+def shared_cache() -> SolutionCache:
+    """The process-wide :class:`SolutionCache` shared across call sites."""
+    return _SHARED_CACHE

@@ -1,0 +1,284 @@
+"""The solve facade: the library's single solver-fallback implementation.
+
+:func:`evaluate` is the **only** place the spectral → geometric → ctmc →
+simulate fallback chain exists; :func:`solve` adds shared-cache memoisation
+on top, and :func:`solve_many` adds batch deduplication and process
+parallelism.  Every consumer — the sweep engine, the cost optimiser, the
+sizing helpers, the CLI and the experiment drivers — dispatches through this
+module, so fallback semantics cannot drift between call sites.
+
+Parallel fan-out is parent-owned: pending work is deduplicated by cache key
+*before* tasks are submitted, worker processes evaluate pure
+``(model, policy)`` functions and return picklable outcomes, and the parent
+merges the results back into the cache.  Repeated grid points are therefore
+never solved twice, serial or parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from ..exceptions import ParameterError, SimulationError, SolverError
+from .base import INFINITE_METRICS, SolveOutcome
+from .cache import CacheKey, SolutionCache, shared_cache
+from .policy import SolverPolicy, as_policy
+from .registry import SolverRegistry, default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..queueing.model import UnreliableQueueModel
+
+#: Exception types that make one solver fall through to the next in a policy.
+FALLBACK_EXCEPTIONS = (SolverError, ParameterError, SimulationError, NotImplementedError)
+
+
+def evaluate(
+    model: "UnreliableQueueModel",
+    policy: SolverPolicy | None = None,
+    *,
+    registry: SolverRegistry | None = None,
+) -> SolveOutcome:
+    """Evaluate one model under a policy; a pure function of its arguments.
+
+    Unstable models are not errors: they yield ``stable=False`` with infinite
+    queue-length/response-time metrics (what cost curves over a server-count
+    axis expect).  Each solver in the policy order is tried in turn; a failed
+    capability check or a :data:`FALLBACK_EXCEPTIONS` failure falls through
+    to the next name, and a row with every solver failed carries the
+    concatenated diagnostics.
+    """
+    policy = as_policy(policy, registry=registry)
+    registry = registry if registry is not None else default_registry()
+    if not model.is_stable:
+        return SolveOutcome(None, False, dict(INFINITE_METRICS), None)
+    failures: list[str] = []
+    for name in policy.order:
+        try:
+            solver = registry.get(name)
+            if not solver.supports(model):
+                failures.append(f"{name}: {solver.unsupported_reason(model)}")
+                continue
+            solution = solver.solve(model, **solver.options_from_policy(policy))
+            metrics = dict(solver.metrics(solution))
+        except FALLBACK_EXCEPTIONS as exc:
+            failures.append(f"{name}: {exc}")
+            continue
+        return SolveOutcome(name, True, metrics, None)
+    return SolveOutcome(None, True, {}, "; ".join(failures) or "no solver succeeded")
+
+
+def _resolve_cache(cache: SolutionCache | bool | None) -> SolutionCache | None:
+    """Map the user-facing ``cache`` argument onto a cache instance.
+
+    ``None`` selects the process-wide shared cache, ``False`` disables
+    caching entirely, ``True`` is an explicit alias for the shared cache, and
+    a :class:`SolutionCache` instance is used as-is.
+    """
+    if cache is None or cache is True:
+        return shared_cache()
+    if cache is False:
+        return None
+    return cache
+
+
+def solve(
+    model: "UnreliableQueueModel",
+    policy: SolverPolicy | str | Sequence[str] | None = None,
+    *,
+    cache: SolutionCache | bool | None = None,
+    registry: SolverRegistry | None = None,
+) -> SolveOutcome:
+    """Solve one model through the registry, memoising in the shared cache.
+
+    Parameters
+    ----------
+    model:
+        The queueing model to evaluate.
+    policy:
+        A :class:`SolverPolicy`, a solver name, or a sequence of names
+        forming a fallback chain (default: spectral → geometric).
+    cache:
+        ``None`` (default) uses the process-wide shared cache, ``False``
+        disables memoisation, and an explicit :class:`SolutionCache` scopes
+        it (what :class:`~repro.sweeps.SweepRunner` does).
+    registry:
+        An alternative solver registry (default: the global one).
+    """
+    policy = as_policy(policy, registry=registry)
+    cache_obj = _resolve_cache(cache)
+    if cache_obj is None:
+        return evaluate(model, policy, registry=registry)
+    key = cache_obj.key(model, policy)
+    cached = cache_obj.lookup(key)
+    if cached is not None:
+        return cached
+    outcome = evaluate(model, policy, registry=registry)
+    cache_obj.record_solves(1)
+    cache_obj.store(key, outcome)
+    return outcome
+
+
+def _broadcast_policies(
+    policy: object, count: int, registry: SolverRegistry | None
+) -> list[SolverPolicy]:
+    """One policy per model: broadcast a scalar spec, validate a sequence."""
+    if (
+        policy is not None
+        and not isinstance(policy, (str, SolverPolicy))
+        and isinstance(policy, Iterable)
+    ):
+        items = list(policy)
+        if items and all(isinstance(item, SolverPolicy) for item in items):
+            if len(items) != count:
+                raise ParameterError(
+                    f"got {len(items)} policies for {count} models; "
+                    "pass one policy per model or a single shared policy"
+                )
+            return items
+        # Anything else iterable is a fallback chain shared by all models.
+        policy = tuple(items)
+    return [as_policy(policy, registry=registry)] * count
+
+
+def _solve_task(task: tuple[int, "UnreliableQueueModel", SolverPolicy]):
+    """Worker entry point: evaluate one model and tag it with its index."""
+    index, model, policy = task
+    return index, evaluate(model, policy)
+
+
+def _pool_probe() -> bool:
+    """Trivial task used to check that worker processes can start at all."""
+    return True
+
+
+def default_max_workers() -> int:
+    """The default worker count: the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def _execute_parallel(tasks, max_workers: int, registry: SolverRegistry | None):
+    workers = min(max_workers, len(tasks))
+    chunksize = max(1, len(tasks) // (4 * workers))
+    # Probe the pool with a trivial task first: environments where worker
+    # processes cannot start at all (no /dev/shm, forbidden fork) fail here
+    # and degrade to the serial path.  The probe deliberately does NOT guard
+    # the real map below — a worker crashing on an actual grid point (e.g.
+    # OOM on a pathological configuration) is a genuine error that must
+    # propagate, not be silently replayed serially in-process.
+    executor = None
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        executor.submit(_pool_probe).result()
+    except (OSError, RuntimeError):  # pragma: no cover - sandboxed envs
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        warnings.warn(
+            "worker processes are unavailable; evaluating the batch serially",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        # The degraded path runs in-process, so unlike real workers it can —
+        # and must — honour the caller's registry.
+        return [
+            (index, evaluate(model, policy, registry=registry))
+            for index, model, policy in tasks
+        ]
+    with executor:
+        return list(executor.map(_solve_task, tasks, chunksize=chunksize))
+
+
+def solve_many(
+    models: Iterable["UnreliableQueueModel"],
+    policy: object = None,
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    cache: SolutionCache | bool | None = None,
+    registry: SolverRegistry | None = None,
+) -> list[SolveOutcome]:
+    """Solve a batch of models, deduplicated and optionally in parallel.
+
+    Parameters
+    ----------
+    models:
+        The models to evaluate; the result list is aligned with their order.
+    policy:
+        A single policy specification shared by all models (anything
+        :func:`~repro.solvers.policy.as_policy` accepts), or a sequence of
+        :class:`SolverPolicy` instances, one per model.
+    parallel:
+        Fan the batch out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        Results are identical to the serial path; only wall-clock changes.
+    max_workers:
+        Worker-process count (defaults to the usable CPU count).
+    cache:
+        As in :func:`solve`.  With an enabled cache, models sharing a cache
+        key are solved **once** per batch — duplicates are resolved from the
+        in-flight result, serial or parallel.
+    registry:
+        An alternative registry for the serial path.  Worker processes always
+        dispatch through their own process-global registry, so parallel
+        batches require solvers registered at import time.
+    """
+    models = list(models)
+    policies = _broadcast_policies(policy, len(models), registry)
+    if max_workers is None:
+        max_workers = default_max_workers()
+    if max_workers < 1:
+        raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
+    cache_obj = _resolve_cache(cache)
+
+    outcomes: dict[int, SolveOutcome] = {}
+    keys: dict[int, CacheKey] = {}
+    pending: list[int] = []
+    if cache_obj is not None:
+        for index, (model, item_policy) in enumerate(zip(models, policies)):
+            keys[index] = cache_obj.key(model, item_policy)
+            cached = cache_obj.lookup(keys[index])
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(models)))
+
+    if pending:
+        # Deduplicate by cache key so repeated configurations are solved once
+        # per batch (a disabled cache means "no memoisation", so it opts out).
+        deduplicate = cache_obj is not None and cache_obj.enabled
+        groups: dict[CacheKey, list[int]] = {}
+        if deduplicate:
+            for index in pending:
+                groups.setdefault(keys[index], []).append(index)
+            unique = [indices[0] for indices in groups.values()]
+        else:
+            unique = pending
+
+        tasks = [(index, models[index], policies[index]) for index in unique]
+        if parallel and len(tasks) > 1 and max_workers > 1:
+            solved = _execute_parallel(tasks, max_workers, registry)
+        else:
+            solved = (
+                (index, evaluate(model, item_policy, registry=registry))
+                for index, model, item_policy in tasks
+            )
+        count = 0
+        for index, outcome in solved:
+            count += 1
+            outcomes[index] = outcome
+            if cache_obj is not None:
+                cache_obj.store(keys[index], outcome)
+        if cache_obj is not None:
+            cache_obj.record_solves(count)
+        if deduplicate:
+            for key, indices in groups.items():
+                for duplicate in indices[1:]:
+                    outcomes[duplicate] = outcomes[indices[0]]
+
+    return [outcomes[index] for index in range(len(models))]

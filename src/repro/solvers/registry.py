@@ -1,0 +1,170 @@
+"""The solver registry: name-based dispatch with third-party registration.
+
+The library ships four backends (see :mod:`repro.solvers.backends`); the
+registry maps their names to :class:`~repro.solvers.base.Solver` instances
+and lets downstream packages plug in additional backends, either imperatively
+(:func:`register_solver`) or declaratively through the ``repro.solvers``
+entry-point group (:func:`load_entry_point_solvers`):
+
+.. code-block:: toml
+
+    # pyproject.toml of a plugin package
+    [project.entry-points."repro.solvers"]
+    my-solver = "my_package.solvers:MySolver"
+
+Solver policies (:class:`~repro.solvers.policy.SolverPolicy`) validate their
+names against the default registry, so a registered third-party solver
+participates in fallback chains exactly like a built-in one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import ParameterError
+from .backends import BUILTIN_SOLVER_NAMES, builtin_solvers
+from .base import Solver
+
+
+class SolverRegistry:
+    """A mapping from solver name to :class:`Solver` instance.
+
+    The registry preserves insertion order, which is the order
+    :meth:`names` reports and the order documentation presents the
+    backends in; it does not affect fallback order (that is the policy's
+    job).
+    """
+
+    def __init__(self, solvers: Iterable[Solver] = ()) -> None:
+        self._solvers: dict[str, Solver] = {}
+        for solver in solvers:
+            self.register(solver)
+
+    def register(self, solver: Solver, *, replace: bool = False) -> Solver:
+        """Add a solver under its :attr:`~Solver.name`.
+
+        Parameters
+        ----------
+        solver:
+            The solver instance to register.
+        replace:
+            Allow overwriting an existing registration of the same name
+            (default: registering a duplicate name is an error).
+        """
+        name = getattr(solver, "name", "")
+        if not isinstance(name, str) or not name:
+            raise ParameterError(
+                f"solver {solver!r} has no usable name; set a non-empty `name` attribute"
+            )
+        if not replace and name in self._solvers:
+            raise ParameterError(
+                f"a solver named {name!r} is already registered; "
+                "pass replace=True to overwrite it"
+            )
+        self._solvers[name] = solver
+        return solver
+
+    def unregister(self, name: str) -> Solver:
+        """Remove and return the solver registered under ``name``."""
+        try:
+            return self._solvers.pop(name)
+        except KeyError:
+            raise ParameterError(
+                f"no solver named {name!r} is registered; "
+                f"registered solvers: {', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def get(self, name: str) -> Solver:
+        """The solver registered under ``name``.
+
+        Raises
+        ------
+        ParameterError
+            With the list of registered names, when ``name`` is unknown.
+        """
+        try:
+            return self._solvers[name]
+        except KeyError:
+            raise ParameterError(
+                f"unknown solver {name!r}; registered solvers: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """The registered solver names, in registration order."""
+        return tuple(self._solvers)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._solvers
+
+    def __iter__(self) -> Iterator[Solver]:
+        return iter(self._solvers.values())
+
+    def __len__(self) -> int:
+        return len(self._solvers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SolverRegistry({', '.join(self.names())})"
+
+
+#: The process-wide default registry, pre-populated with the built-ins.
+_DEFAULT_REGISTRY = SolverRegistry(builtin_solvers())
+
+
+def default_registry() -> SolverRegistry:
+    """The process-wide registry used when no explicit registry is passed."""
+    return _DEFAULT_REGISTRY
+
+
+def register_solver(solver: Solver, *, replace: bool = False) -> Solver:
+    """Register a solver with the default registry (third-party hook)."""
+    return _DEFAULT_REGISTRY.register(solver, replace=replace)
+
+
+def unregister_solver(name: str) -> Solver:
+    """Remove a solver from the default registry (mostly for tests)."""
+    return _DEFAULT_REGISTRY.unregister(name)
+
+
+def get_solver(name: str) -> Solver:
+    """Look up a solver by name in the default registry."""
+    return _DEFAULT_REGISTRY.get(name)
+
+
+def solver_names() -> tuple[str, ...]:
+    """The names registered with the default registry."""
+    return _DEFAULT_REGISTRY.names()
+
+
+def load_entry_point_solvers(
+    group: str = "repro.solvers", *, registry: SolverRegistry | None = None
+) -> int:
+    """Load and register solvers advertised via package entry points.
+
+    Each entry point in ``group`` must resolve to a :class:`Solver` subclass
+    (instantiated with no arguments) or a ready-made instance.  Returns the
+    number of solvers registered.  Already-registered names are replaced, so
+    calling this twice is idempotent.
+    """
+    from importlib import metadata
+
+    target = registry if registry is not None else _DEFAULT_REGISTRY
+    count = 0
+    for entry_point in metadata.entry_points(group=group):
+        loaded = entry_point.load()
+        solver = loaded() if isinstance(loaded, type) else loaded
+        target.register(solver, replace=True)
+        count += 1
+    return count
+
+
+__all__ = [
+    "BUILTIN_SOLVER_NAMES",
+    "SolverRegistry",
+    "default_registry",
+    "get_solver",
+    "load_entry_point_solvers",
+    "register_solver",
+    "solver_names",
+    "unregister_solver",
+]

@@ -9,9 +9,11 @@ the one engine behind all of them (and behind user-defined grids via the
 * :class:`SweepSpec` — a grid over model parameters plus a solver policy;
 * :class:`SolverPolicy` — which solver to try first (``spectral`` by
   default) and the fallback order on failure (``geometric``, ``ctmc``,
-  ``simulate``);
+  ``simulate``); this is :class:`repro.solvers.SolverPolicy`, re-exported —
+  dispatch, fallback and caching all live in :mod:`repro.solvers`;
 * :class:`SweepRunner` — evaluates the grid serially or across worker
-  processes, memoising each distinct configuration;
+  processes through :func:`repro.solvers.solve_many`, memoising each
+  distinct configuration in a :class:`~repro.solvers.SolutionCache`;
 * :class:`SweepResultSet` / :class:`SweepResult` — structured rows with
   CSV/JSON export.
 

@@ -1,22 +1,26 @@
 """Evaluation engine for parameter sweeps.
 
 The :class:`SweepRunner` turns a :class:`~repro.sweeps.spec.SweepSpec` into a
-:class:`~repro.sweeps.results.SweepResultSet`:
+:class:`~repro.sweeps.results.SweepResultSet`.  All evaluation semantics —
+the spectral → geometric → ctmc → simulate solver fallback, memoisation and
+process-parallel fan-out — live in :mod:`repro.solvers`; the runner's job is
+purely to expand the grid, push the batch through
+:func:`repro.solvers.solve_many` with its :class:`~repro.solvers.SolutionCache`,
+and shape the outcomes into result rows:
 
 * **solver fallback** — each point is evaluated with the first solver of its
-  policy that succeeds; :class:`~repro.exceptions.SolverError` (numerical
-  failure), :class:`~repro.exceptions.ParameterError` (e.g. non-Markovian
-  period distributions handed to an analytical solver) and simulation errors
-  fall through to the next solver in the policy order;
+  policy that succeeds (see :func:`repro.solvers.evaluate`);
 * **process parallelism** — grid points are independent, so with
   ``parallel=True`` they are fanned out over a
-  :class:`concurrent.futures.ProcessPoolExecutor` (workers default to the CPU
-  count); the serial path evaluates in-process and is byte-for-byte
-  deterministic with the parallel one because every evaluation is a pure
-  function of ``(model, policy)``;
-* **caching** — outcomes are memoised per runner, keyed by the full model
-  parameterisation and the policy, so repeated grid points (across sweeps run
-  through the same runner, e.g. the experiment suite) are solved once.
+  :class:`concurrent.futures.ProcessPoolExecutor`; the serial path is
+  byte-for-byte deterministic with the parallel one because every evaluation
+  is a pure function of ``(model, policy)``;
+* **caching** — outcomes are memoised in a :class:`~repro.solvers.SolutionCache`
+  keyed by the full model parameterisation and the policy.  Repeated grid
+  points are solved exactly once per batch — the cache deduplicates pending
+  work *before* parallel fan-out, so duplicates never reach the worker pool —
+  and a runner (or cache) shared across sweeps solves each distinct
+  configuration once globally.
 
 Unstable models are not errors: they produce rows with ``stable=False`` and
 infinite queue-length/response-time metrics, which is what cost curves over a
@@ -25,116 +29,37 @@ server-count axis expect.
 
 from __future__ import annotations
 
-import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from collections.abc import Mapping
-
-from ..exceptions import ParameterError, SimulationError, SolverError
+from ..exceptions import ParameterError
 from ..queueing.model import UnreliableQueueModel
+from ..solvers import (
+    SolutionCache,
+    SolveOutcome,
+    SolverPolicy,
+    default_max_workers,
+    evaluate,
+    solution_cache_key,
+    solve_many,
+)
 from .results import SweepResult, SweepResultSet
-from .spec import SolverPolicy, SweepSpec
+from .spec import SweepSpec
 
-#: Outcome tuple cached per (model parameters, policy) key:
-#: (solver, stable, metrics, error).
-_Outcome = tuple  # noqa: UP040 - documented alias, not a type statement
-
-_INFINITE_METRICS: Mapping[str, float] = {
-    "mean_queue_length": float("inf"),
-    "mean_response_time": float("inf"),
-}
-
-
-def _distribution_key(distribution: object) -> object:
-    """A hashable stand-in for a period distribution."""
-    try:
-        hash(distribution)
-    except TypeError:
-        return repr(distribution)
-    return distribution
+#: Outcome record cached per (model parameters, policy) key; kept as an alias
+#: for backwards compatibility (it unpacks as (solver, stable, metrics, error)).
+_Outcome = SolveOutcome
 
 
 def cache_key(model: UnreliableQueueModel, policy: SolverPolicy) -> tuple:
     """The memoisation key of one evaluation: full model parameters + policy."""
-    return (
-        model.num_servers,
-        model.arrival_rate,
-        model.service_rate,
-        _distribution_key(model.operative),
-        _distribution_key(model.inoperative),
-        policy,
-    )
+    return solution_cache_key(model, policy)
 
 
-def _solve_one(model: UnreliableQueueModel, solver: str, policy: SolverPolicy) -> dict[str, float]:
-    """Run one named solver and normalise its output into a metrics dict."""
-    if solver == "spectral":
-        solution = model.solve_spectral()
-        return {
-            "mean_queue_length": solution.mean_queue_length,
-            "mean_response_time": solution.mean_response_time,
-            "decay_rate": solution.decay_rate,
-        }
-    if solver == "geometric":
-        solution = model.solve_geometric()
-        return {
-            "mean_queue_length": solution.mean_queue_length,
-            "mean_response_time": solution.mean_response_time,
-            "decay_rate": solution.decay_rate,
-        }
-    if solver == "ctmc":
-        solution = model.solve_ctmc()
-        return {
-            "mean_queue_length": solution.mean_queue_length,
-            "mean_response_time": solution.mean_response_time,
-        }
-    if solver == "simulate":
-        estimate = model.simulate(
-            horizon=policy.simulate_horizon,
-            warmup_fraction=policy.simulate_warmup_fraction,
-            num_batches=policy.simulate_num_batches,
-            seed=policy.simulate_seed,
-        )
-        return {
-            "mean_queue_length": estimate.mean_queue_length.estimate,
-            "mean_response_time": estimate.mean_response_time.estimate,
-            "utilisation": estimate.utilisation,
-        }
-    raise ParameterError(f"unknown solver {solver!r}")
+def evaluate_point(model: UnreliableQueueModel, policy: SolverPolicy) -> SolveOutcome:
+    """Evaluate one model under a policy; pure function of its arguments.
 
-
-def evaluate_point(model: UnreliableQueueModel, policy: SolverPolicy) -> _Outcome:
-    """Evaluate one model under a policy; pure function of its arguments."""
-    if not model.is_stable:
-        return (None, False, dict(_INFINITE_METRICS), None)
-    failures: list[str] = []
-    for solver in policy.order:
-        try:
-            metrics = _solve_one(model, solver, policy)
-        except (SolverError, ParameterError, SimulationError, NotImplementedError) as exc:
-            failures.append(f"{solver}: {exc}")
-            continue
-        return (solver, True, metrics, None)
-    return (None, True, {}, "; ".join(failures) or "no solver succeeded")
-
-
-def _evaluate_task(task: tuple[int, UnreliableQueueModel, SolverPolicy]):
-    """Worker entry point: evaluate one point and tag it with its index."""
-    index, model, policy = task
-    return index, evaluate_point(model, policy)
-
-
-def _pool_probe() -> bool:
-    """Trivial task used to check that worker processes can start at all."""
-    return True
-
-
-def default_max_workers() -> int:
-    """The default worker count: the CPUs this process may actually use."""
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return max(1, os.cpu_count() or 1)
+    Thin alias of :func:`repro.solvers.evaluate`, kept because the sweep
+    engine exposed it first.
+    """
+    return evaluate(model, policy)
 
 
 class SweepRunner:
@@ -148,8 +73,11 @@ class SweepRunner:
     max_workers:
         Worker-process count (defaults to the usable CPU count).
     cache:
-        Memoise outcomes keyed by model parameters and policy.  A runner
-        shared across sweeps solves each distinct configuration once.
+        ``True`` (default) memoises outcomes in a runner-private
+        :class:`~repro.solvers.SolutionCache`; ``False`` disables
+        memoisation; an explicit :class:`~repro.solvers.SolutionCache`
+        instance is used as-is, so several runners (or other call sites using
+        :func:`repro.solvers.solve`) can share one cache.
     """
 
     def __init__(
@@ -157,16 +85,16 @@ class SweepRunner:
         *,
         parallel: bool = False,
         max_workers: int | None = None,
-        cache: bool = True,
+        cache: bool | SolutionCache = True,
     ) -> None:
         self._parallel = bool(parallel)
         self._max_workers = max_workers if max_workers is not None else default_max_workers()
         if self._max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
-        self._cache_enabled = bool(cache)
-        self._cache: dict[tuple, _Outcome] = {}
-        self._cache_hits = 0
-        self._cache_misses = 0
+        if isinstance(cache, SolutionCache):
+            self._cache = cache
+        else:
+            self._cache = SolutionCache(enabled=bool(cache))
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -182,19 +110,19 @@ class SweepRunner:
         """The worker-process count used when parallel."""
         return self._max_workers
 
+    @property
+    def cache(self) -> SolutionCache:
+        """The solution cache backing this runner (possibly disabled)."""
+        return self._cache
+
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and the current number of cached outcomes."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._cache),
-        }
+        stats = self._cache.stats()
+        return {"hits": stats["hits"], "misses": stats["misses"], "size": stats["size"]}
 
     def clear_cache(self) -> None:
         """Drop all memoised outcomes (counters are reset too)."""
         self._cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -203,67 +131,25 @@ class SweepRunner:
     def run(self, spec: SweepSpec) -> SweepResultSet:
         """Evaluate every grid point of ``spec`` and return the result set."""
         points = list(spec.expand())
-        outcomes: dict[int, _Outcome] = {}
-        pending: list[tuple[int, UnreliableQueueModel, SolverPolicy]] = []
-        keys: dict[int, tuple] = {}
-
-        for point in points:
-            key = cache_key(point.model, point.policy)
-            keys[point.index] = key
-            if self._cache_enabled and key in self._cache:
-                self._cache_hits += 1
-                outcomes[point.index] = self._cache[key]
-            else:
-                self._cache_misses += 1
-                pending.append((point.index, point.model, point.policy))
-
-        if pending:
-            if self._parallel and len(pending) > 1 and self._max_workers > 1:
-                evaluated = self._run_parallel(pending)
-            else:
-                evaluated = (_evaluate_task(task) for task in pending)
-            for index, outcome in evaluated:
-                outcomes[index] = outcome
-                if self._cache_enabled:
-                    self._cache[keys[index]] = outcome
-
+        outcomes = solve_many(
+            (point.model for point in points),
+            [point.policy for point in points],
+            parallel=self._parallel,
+            max_workers=self._max_workers,
+            cache=self._cache,
+        )
         results = [
             SweepResult(
                 index=point.index,
                 parameters=dict(point.parameters),
-                solver=outcomes[point.index][0],
-                stable=outcomes[point.index][1],
-                metrics=dict(outcomes[point.index][2]),
-                error=outcomes[point.index][3],
+                solver=outcome.solver,
+                stable=outcome.stable,
+                metrics=dict(outcome.metrics),
+                error=outcome.error,
             )
-            for point in points
+            for point, outcome in zip(points, outcomes)
         ]
         return SweepResultSet(results, axis_names=spec.axis_names, name=spec.name)
-
-    def _run_parallel(self, pending):
-        workers = min(self._max_workers, len(pending))
-        chunksize = max(1, len(pending) // (4 * workers))
-        # Probe the pool with a trivial task first: environments where worker
-        # processes cannot start at all (no /dev/shm, forbidden fork) fail
-        # here and degrade to the serial path.  The probe deliberately does
-        # NOT guard the real map below — a worker crashing on an actual grid
-        # point (e.g. OOM on a pathological configuration) is a genuine error
-        # that must propagate, not be silently replayed serially in-process.
-        executor = None
-        try:
-            executor = ProcessPoolExecutor(max_workers=workers)
-            executor.submit(_pool_probe).result()
-        except (OSError, RuntimeError):  # pragma: no cover - sandboxed envs
-            if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
-            warnings.warn(
-                "worker processes are unavailable; evaluating the sweep serially",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return [_evaluate_task(task) for task in pending]
-        with executor:
-            return list(executor.map(_evaluate_task, pending, chunksize=chunksize))
 
 
 def run_sweep(

@@ -31,56 +31,18 @@ from dataclasses import dataclass, field, replace
 from .._validation import check_positive_int
 from ..exceptions import ParameterError
 from ..queueing.model import UnreliableQueueModel
+from ..solvers import BUILTIN_SOLVER_NAMES, SolverPolicy
 
-#: Solver names understood by the engine, in the order the library trusts
-#: them: exact first, then the fast approximation, then the finite-chain
-#: reference, then simulation (which accepts any period distributions).
-KNOWN_SOLVERS = ("spectral", "geometric", "ctmc", "simulate")
+#: Built-in solver names in the order the library trusts them (kept as an
+#: alias for backwards compatibility; policies accept any name registered
+#: with :mod:`repro.solvers`).
+KNOWN_SOLVERS = BUILTIN_SOLVER_NAMES
 
 #: Model fields an axis may target directly (applied via dataclasses.replace).
 MODEL_FIELDS = ("num_servers", "arrival_rate", "service_rate", "operative", "inoperative")
 
 #: Reserved axis name that selects the solver per grid point.
 SOLVER_AXIS = "solver"
-
-
-@dataclass(frozen=True)
-class SolverPolicy:
-    """Which solvers to try, in order, and how to configure the simulator.
-
-    Attributes
-    ----------
-    order:
-        Solver names tried left to right; the first one that succeeds
-        produces the point's metrics.  A solver failure
-        (:class:`~repro.exceptions.SolverError`, a
-        :class:`~repro.exceptions.ParameterError` from non-Markovian period
-        distributions, or a simulation error) falls through to the next name.
-    simulate_horizon, simulate_seed, simulate_num_batches,
-    simulate_warmup_fraction:
-        Options forwarded to :meth:`UnreliableQueueModel.simulate` when the
-        ``"simulate"`` solver runs.
-    """
-
-    order: tuple[str, ...] = ("spectral", "geometric")
-    simulate_horizon: float = 50_000.0
-    simulate_seed: int = 0
-    simulate_num_batches: int = 10
-    simulate_warmup_fraction: float = 0.1
-
-    def __post_init__(self) -> None:
-        if not self.order:
-            raise ParameterError("a solver policy needs at least one solver")
-        object.__setattr__(self, "order", tuple(self.order))
-        for name in self.order:
-            if name not in KNOWN_SOLVERS:
-                raise ParameterError(
-                    f"unknown solver {name!r}; expected one of {KNOWN_SOLVERS}"
-                )
-
-    def with_order(self, *order: str) -> "SolverPolicy":
-        """A copy of the policy with a different solver order."""
-        return replace(self, order=tuple(order))
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.distributions import Exponential, HyperExponential
+from repro.distributions import Deterministic, Exponential, HyperExponential
 from repro.exceptions import ParameterError, SolverError
 from repro.optimization import (
     cost_curve,
@@ -15,8 +15,10 @@ from repro.optimization import (
     minimum_stable_servers,
     optimal_server_count,
     response_time_curve,
+    solver_metrics,
 )
 from repro.queueing import UnreliableQueueModel
+from repro.solvers import SolverPolicy
 
 
 @pytest.fixture
@@ -60,9 +62,31 @@ class TestEvaluateCost:
         evaluate_cost(base_model, 1.0, 1.0, solver=solver)
         assert calls == [3]
 
-    def test_unknown_solver_rejected(self, base_model):
-        with pytest.raises(ParameterError):
+    def test_unknown_solver_rejected_listing_registered_names(self, base_model):
+        with pytest.raises(ParameterError, match="spectral.*geometric.*ctmc.*simulate"):
             evaluate_cost(base_model, 1.0, 1.0, solver="mystery")
+
+    def test_simulate_solver_accepted(self, base_model):
+        policy = SolverPolicy(order=("simulate",), simulate_horizon=2_000.0)
+        point = evaluate_cost(base_model, 4.0, 1.0, solver=policy)
+        assert point.stable
+        assert point.cost == pytest.approx(4.0 * point.mean_queue_length + 1.0 * 3)
+
+    def test_fallback_chain_accepted(self, base_model):
+        """A non-Markovian model walks the chain down to the simulator."""
+        model = base_model.with_periods(operative=Deterministic(value=30.0))
+        policy = SolverPolicy(
+            order=("spectral", "geometric", "simulate"), simulate_horizon=2_000.0
+        )
+        point = evaluate_cost(model, 4.0, 1.0, solver=policy)
+        assert point.stable and point.mean_queue_length > 0.0
+
+    def test_sequence_of_names_is_a_fallback_chain(self, base_model):
+        point = evaluate_cost(
+            base_model, 4.0, 1.0, solver=("spectral", "geometric")
+        )
+        exact = evaluate_cost(base_model, 4.0, 1.0, solver="spectral")
+        assert point == exact
 
     def test_negative_costs_rejected(self, base_model):
         with pytest.raises(ParameterError):
@@ -151,3 +175,46 @@ class TestSizing:
             minimum_servers_for_response_time(
                 base_model, target_response_time=1.0000001, max_servers=4
             )
+
+    def test_sizing_accepts_simulate_policy(self, base_model):
+        policy = SolverPolicy(order=("simulate",), simulate_horizon=2_000.0)
+        points = response_time_curve(base_model, [3, 4], solver=policy)
+        assert all(point.mean_response_time > 0.0 for point in points)
+
+    def test_sizing_rejects_unknown_solver_name(self, base_model):
+        with pytest.raises(ParameterError, match="registered solvers"):
+            response_time_curve(base_model, [3], solver="mystery")
+        with pytest.raises(ParameterError, match="registered solvers"):
+            minimum_servers_for_response_time(
+                base_model, target_response_time=1.5, solver="mystery"
+            )
+
+
+class TestSolverMetricsHelper:
+    def test_metrics_by_name_match_direct_solve(self, base_model):
+        metrics = solver_metrics(base_model, "spectral")
+        solution = base_model.solve_spectral()
+        assert metrics["mean_queue_length"] == pytest.approx(solution.mean_queue_length)
+        assert metrics["mean_response_time"] == pytest.approx(solution.mean_response_time)
+
+    def test_unstable_model_raises(self, base_model):
+        from repro.exceptions import UnstableQueueError
+
+        with pytest.raises(UnstableQueueError):
+            solver_metrics(base_model.with_servers(1), "spectral")
+
+    def test_all_solvers_failing_raises_solver_error(self, base_model):
+        model = base_model.with_periods(operative=Deterministic(value=30.0))
+        with pytest.raises(SolverError, match="spectral"):
+            solver_metrics(model, ("spectral", "geometric"))
+
+    def test_callable_bypasses_registry(self, base_model):
+        calls = []
+
+        def backend(model):
+            calls.append(model.num_servers)
+            return model.solve_geometric()
+
+        metrics = solver_metrics(base_model, backend)
+        assert calls == [3]
+        assert metrics["mean_queue_length"] > 0.0

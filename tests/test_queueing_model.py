@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.distributions import Deterministic, Exponential, HyperExponential, SUN_OPERATIVE_FIT
+from repro.distributions import Deterministic, Exponential, SUN_OPERATIVE_FIT
 from repro.exceptions import ParameterError, UnstableQueueError
 from repro.queueing import (
     MMcMetrics,

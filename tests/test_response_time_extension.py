@@ -5,14 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import SimulationError, UnstableQueueError
+from repro.exceptions import SimulationError, SolverError, UnstableQueueError
 from repro.extensions import (
     ResponseTimeDistribution,
     fcfs_exponential_capacity_bound,
+    mean_response_time,
     simulated_response_time_distribution,
 )
 from repro.distributions import Exponential
 from repro.queueing import UnreliableQueueModel, sun_fitted_model
+from repro.solvers import SolverPolicy
 
 
 @pytest.fixture(scope="module")
@@ -119,3 +121,31 @@ class TestCapacityBound:
         model = sun_fitted_model(num_servers=10, arrival_rate=8.0)
         with pytest.raises(Exception):
             fcfs_exponential_capacity_bound(model, 1.0)
+
+
+class TestSolverFacadeIntegration:
+    def test_mean_response_time_matches_spectral(self):
+        model = sun_fitted_model(num_servers=5, arrival_rate=3.5)
+        assert mean_response_time(model) == pytest.approx(
+            model.solve_spectral().mean_response_time
+        )
+
+    def test_mean_response_time_respects_policy(self):
+        model = sun_fitted_model(num_servers=5, arrival_rate=3.5)
+        geometric = mean_response_time(model, "geometric")
+        assert geometric == pytest.approx(
+            model.solve_geometric().mean_response_time
+        )
+
+    def test_mean_response_time_unstable_raises(self):
+        with pytest.raises(SolverError, match="unstable"):
+            mean_response_time(sun_fitted_model(num_servers=2, arrival_rate=5.0))
+
+    def test_simulation_defaults_come_from_policy(self, mm1_model):
+        policy = SolverPolicy(simulate_horizon=20_000.0, simulate_seed=3)
+        from_policy = simulated_response_time_distribution(mm1_model, policy=policy)
+        explicit = simulated_response_time_distribution(
+            mm1_model, horizon=20_000.0, seed=3
+        )
+        assert from_policy.num_samples == explicit.num_samples
+        assert from_policy.mean == pytest.approx(explicit.mean)

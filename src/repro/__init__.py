@@ -50,6 +50,9 @@ Subpackages
     Unified solver dispatch: the registry of named backends, the
     fallback-chain facade (:func:`repro.solvers.solve`) and the shared,
     process-safe solution cache.
+:mod:`repro.scenarios`
+    The scenario library: heterogeneous server groups, limited repair
+    crews and named presets, solved by the scenario-aware backends.
 :mod:`repro.sweeps`
     Declarative, parallel parameter sweeps built on :mod:`repro.solvers`.
 :mod:`repro.experiments`
@@ -74,12 +77,19 @@ from .exceptions import (
     SimulationError,
     SolverError,
     UnstableQueueError,
+    UnsupportedScenarioError,
 )
 from .queueing import (
     PerformanceSummary,
     QueueSolution,
     UnreliableQueueModel,
     sun_fitted_model,
+)
+from .scenarios import (
+    ScenarioModel,
+    ServerGroup,
+    preset_names,
+    scenario_preset,
 )
 from .solvers import SolutionCache, SolveOutcome, Solver, SolverPolicy, register_solver
 from .solvers import solve as solve_model
@@ -112,6 +122,11 @@ __all__ = [
     "solve_spectral",
     "GeometricSolution",
     "solve_geometric",
+    # scenario library
+    "ScenarioModel",
+    "ServerGroup",
+    "scenario_preset",
+    "preset_names",
     # solver registry and facade
     "Solver",
     "SolverPolicy",
@@ -124,6 +139,7 @@ __all__ = [
     "ParameterError",
     "UnstableQueueError",
     "SolverError",
+    "UnsupportedScenarioError",
     "FittingError",
     "DataError",
     "SimulationError",

@@ -21,6 +21,12 @@ Four subcommands cover the everyday workflows:
     through the :mod:`repro.sweeps` engine, with solver fallback, optional
     process parallelism and CSV/JSON export.
 
+``scenario``
+    Evaluate a named preset from the :mod:`repro.scenarios` library —
+    heterogeneous server groups and limited repair crews — through the
+    scenario-capable solvers (``ctmc``, ``simulate``), with optional load
+    and crew-size overrides.  ``--list`` prints the preset gallery.
+
 The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
 ``repro`` console script when the package is installed with pip.
 """
@@ -37,6 +43,7 @@ from .exceptions import ReproError
 from .experiments import format_key_values, format_table, render_report, run_all_experiments
 from .fitting import fit_exponential, fit_two_phase_from_moments
 from .queueing import UnreliableQueueModel
+from .scenarios import preset_description, preset_names, scenario_preset
 from .solvers import SolverPolicy, solve as solve_model, solver_names
 from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
 from .sweeps import SweepRunner, SweepSpec
@@ -144,6 +151,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--csv", help="write the result rows to this CSV file")
     sweep.add_argument("--json", help="write the result rows to this JSON file")
+
+    scenario = subparsers.add_parser(
+        "scenario", help="evaluate a named scenario preset (server groups, repair crews)"
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list the available scenario presets and exit"
+    )
+    scenario.add_argument(
+        "--preset",
+        choices=preset_names(),
+        help="which scenario preset to evaluate",
+    )
+    scenario.add_argument(
+        "--arrival-rate", type=float, default=None, help="override the preset's arrival rate"
+    )
+    scenario.add_argument(
+        "--repair-capacity",
+        type=int,
+        default=None,
+        help="override the preset's repair-crew size R",
+    )
+    scenario.add_argument(
+        "--solvers",
+        default="ctmc,simulate",
+        help="comma-separated solver order with fallback (scenario-capable: ctmc, simulate)",
+    )
+    scenario.add_argument(
+        "--horizon",
+        type=float,
+        default=50_000.0,
+        help="simulation horizon used when the 'simulate' solver runs",
+    )
     return parser
 
 
@@ -344,6 +383,78 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenario(arguments: argparse.Namespace) -> int:
+    if arguments.list:
+        rows = [(name, preset_description(name)) for name in preset_names()]
+        print(format_table(("preset", "description"), rows, title="Scenario presets"))
+        return 0
+    if arguments.preset is None:
+        raise ReproError("choose a preset with --preset, or use --list to see them")
+    scenario = scenario_preset(
+        arguments.preset,
+        arrival_rate=arguments.arrival_rate,
+        repair_capacity=arguments.repair_capacity,
+    )
+    group_rows = [
+        (
+            group.name,
+            group.size,
+            group.service_rate,
+            round(group.operative.mean, 4),
+            round(group.inoperative.mean, 4),
+        )
+        for group in scenario.groups
+    ]
+    print(
+        format_table(
+            ("group", "size", "mu", "operative mean", "repair mean"),
+            group_rows,
+            title=f"Scenario {scenario.name!r}",
+        )
+    )
+    print()
+    print(
+        format_key_values(
+            [
+                ("servers", scenario.num_servers),
+                ("repair capacity R", scenario.effective_repair_capacity),
+                ("arrival rate", scenario.arrival_rate),
+                ("operational modes", scenario.num_modes),
+                ("mean service capacity", scenario.mean_service_capacity),
+                ("effective load", scenario.effective_load),
+                ("stable", scenario.is_stable),
+            ],
+            title="Model",
+        )
+    )
+    if not scenario.is_stable:
+        print("\nThe scenario is unstable; add capacity or reduce the load.")
+        return 1
+    policy = SolverPolicy(
+        order=_parse_list(arguments.solvers, str, "--solvers"),
+        simulate_horizon=arguments.horizon,
+    )
+    outcome = solve_model(scenario, policy)
+    if outcome.solver is None:
+        raise ReproError(outcome.error or "no solver succeeded")
+    print()
+    print(
+        format_key_values(
+            [
+                ("mean jobs L", outcome.metrics["mean_queue_length"]),
+                ("mean response time W", outcome.metrics["mean_response_time"]),
+                *sorted(
+                    (name, value)
+                    for name, value in outcome.metrics.items()
+                    if name not in ("mean_queue_length", "mean_response_time")
+                ),
+            ],
+            title=f"Solution ({outcome.solver})",
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` command-line interface."""
     parser = build_parser()
@@ -357,6 +468,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_reproduce(arguments)
         if arguments.command == "sweep":
             return _command_sweep(arguments)
+        if arguments.command == "scenario":
+            return _command_scenario(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

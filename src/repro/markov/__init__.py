@@ -11,6 +11,10 @@ Public API
   :func:`expected_num_modes` — the Markovian environment modulating the
   queue: matrices ``A`` and ``D^A``, operative-server counts, availability
   and the environment steady state.
+* :class:`ScenarioEnvironment`, :func:`expected_num_scenario_modes` — the
+  generalised environment of the scenario library: heterogeneous server
+  groups (product mode space, per-group capacity vector) and a limited
+  repair crew (completion rates scaled by ``min(broken, R) / broken``).
 * :func:`steady_state_from_generator`, :func:`steady_state_sparse`,
   :func:`validate_generator`, :func:`embedded_jump_chain`,
   :func:`mean_holding_times` — generic CTMC utilities.
@@ -24,6 +28,7 @@ from .ctmc import (
     validate_generator,
 )
 from .environment import BreakdownEnvironment, ModeTransition, expected_num_modes
+from .scenario_env import ScenarioEnvironment, expected_num_scenario_modes
 from .partitions import (
     compositions,
     enumerate_modes,
@@ -40,7 +45,9 @@ __all__ = [
     "operative_counts",
     "BreakdownEnvironment",
     "ModeTransition",
+    "ScenarioEnvironment",
     "expected_num_modes",
+    "expected_num_scenario_modes",
     "steady_state_from_generator",
     "steady_state_sparse",
     "validate_generator",

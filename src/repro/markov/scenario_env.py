@@ -1,0 +1,308 @@
+"""Markovian environment for heterogeneous server groups with a shared repair crew.
+
+The paper's environment (:mod:`repro.markov.environment`) tracks one
+homogeneous pool of ``N`` servers.  This module generalises it along the two
+axes of the scenario library:
+
+* **heterogeneous server groups** — ``K`` groups, each with its own size and
+  its own operative/inoperative period distributions.  A global operational
+  mode is the tuple of per-group occupancy pairs ``(X_g, Y_g)``, so the mode
+  space is the Cartesian product of the per-group partitions and the scalar
+  operative count of the paper becomes a per-group *capacity vector*;
+* **limited repair crew** — at most ``R`` servers can be under repair
+  concurrently.  Following the classical machine-repairman construction, the
+  repair crew is shared equally among the broken servers, so every
+  inoperative completion rate is scaled by ``min(broken, R) / broken``.  At
+  ``R = N`` (the default) the scaling factor is identically one and the
+  product environment with ``K = 1`` reduces *exactly* to
+  :class:`~repro.markov.environment.BreakdownEnvironment`.
+
+Both the truncated-CTMC scenario solver and the scenario stability condition
+are built on the quantities exposed here (generator, stationary distribution,
+per-group operative counts).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..distributions import Distribution
+from ..exceptions import ParameterError
+from .ctmc import steady_state_from_generator
+from .environment import ModeTransition, _as_phase_mixture
+from .partitions import enumerate_modes, num_modes
+
+
+@dataclass(frozen=True)
+class _GroupPhases:
+    """Phase parameters of one server group (internal)."""
+
+    size: int
+    alpha: np.ndarray  # operative-phase entry probabilities
+    xi: np.ndarray  # operative-phase rates
+    beta: np.ndarray  # inoperative-phase entry probabilities
+    eta: np.ndarray  # inoperative-phase rates
+
+
+class ScenarioEnvironment:
+    """The Markov-modulating environment of ``K`` server groups and ``R`` repairers.
+
+    Parameters
+    ----------
+    groups:
+        A sequence of ``(size, operative, inoperative)`` triples, one per
+        group.  Period distributions must be exponential or hyperexponential
+        (the analytical restriction of the paper); general distributions are
+        handled by the scenario simulator instead.
+    repair_capacity:
+        The number of servers that can be repaired concurrently, ``R``.
+        ``None`` means an unlimited crew (``R = N``), which recovers the
+        paper's model.
+
+    Examples
+    --------
+    One group with the paper's worked-example parameters reproduces the
+    six-mode homogeneous environment:
+
+    >>> from repro.distributions import HyperExponential, Exponential
+    >>> env = ScenarioEnvironment(
+    ...     groups=[
+    ...         (2, HyperExponential(weights=[0.5, 0.5], rates=[1.0, 0.1]), Exponential(rate=2.0)),
+    ...     ],
+    ... )
+    >>> env.num_modes
+    6
+    """
+
+    def __init__(
+        self,
+        groups: list[tuple[int, Distribution, Distribution]],
+        *,
+        repair_capacity: int | None = None,
+    ) -> None:
+        if not groups:
+            raise ParameterError("a scenario environment needs at least one server group")
+        phases: list[_GroupPhases] = []
+        for position, (size, operative, inoperative) in enumerate(groups):
+            size = check_positive_int(size, f"groups[{position}].size")
+            alpha, xi = _as_phase_mixture(operative, f"groups[{position}].operative")
+            beta, eta = _as_phase_mixture(inoperative, f"groups[{position}].inoperative")
+            phases.append(_GroupPhases(size=size, alpha=alpha, xi=xi, beta=beta, eta=eta))
+        self._groups = tuple(phases)
+        self._num_servers = sum(group.size for group in self._groups)
+        if repair_capacity is None:
+            repair_capacity = self._num_servers
+        repair_capacity = check_positive_int(repair_capacity, "repair_capacity")
+        self._repair_capacity = min(repair_capacity, self._num_servers)
+
+        # Per-group local mode lists and index maps; the global mode space is
+        # their Cartesian product with group 0 varying slowest, so a single
+        # group enumerates exactly like the homogeneous environment.
+        self._local_modes = [
+            enumerate_modes(group.size, group.alpha.size, group.beta.size)
+            for group in self._groups
+        ]
+        self._local_index = [
+            {mode: index for index, mode in enumerate(modes)} for modes in self._local_modes
+        ]
+        self._modes = list(itertools.product(*self._local_modes))
+        self._mode_index = {mode: index for index, mode in enumerate(self._modes)}
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_groups(self) -> int:
+        """The number of server groups ``K``."""
+        return len(self._groups)
+
+    @property
+    def num_servers(self) -> int:
+        """The total number of servers ``N`` across all groups."""
+        return self._num_servers
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        """The per-group server counts."""
+        return tuple(group.size for group in self._groups)
+
+    @property
+    def repair_capacity(self) -> int:
+        """The repair-crew size ``R`` (at most ``N``)."""
+        return self._repair_capacity
+
+    @property
+    def num_modes(self) -> int:
+        """The number of global modes (product of the per-group mode counts)."""
+        return len(self._modes)
+
+    @property
+    def modes(self) -> list[tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]]:
+        """The global modes as tuples of per-group ``(X, Y)`` occupancy pairs."""
+        return list(self._modes)
+
+    def mode_of(self, mode: tuple) -> int:
+        """Return the index of the mode with the given per-group occupancies."""
+        key = tuple((tuple(operative), tuple(inoperative)) for operative, inoperative in mode)
+        if key not in self._mode_index:
+            raise ParameterError(f"no such mode: {key!r}")
+        return self._mode_index[key]
+
+    @cached_property
+    def operative_counts_by_group(self) -> np.ndarray:
+        """Array of shape ``(num_modes, K)``: operative servers per group and mode."""
+        counts = np.zeros((len(self._modes), len(self._groups)))
+        for index, mode in enumerate(self._modes):
+            for position, (operative, _) in enumerate(mode):
+                counts[index, position] = sum(operative)
+        return counts
+
+    @cached_property
+    def operative_counts(self) -> np.ndarray:
+        """The total number of operative servers in each mode, in mode order."""
+        return self.operative_counts_by_group.sum(axis=1)
+
+    @cached_property
+    def broken_counts(self) -> np.ndarray:
+        """The total number of inoperative servers in each mode, in mode order."""
+        return float(self._num_servers) - self.operative_counts
+
+    def repair_share(self, broken: float) -> float:
+        """The crew-sharing factor ``min(broken, R) / broken`` (1 when nothing is broken)."""
+        if broken <= 0:
+            return 1.0
+        return min(float(broken), float(self._repair_capacity)) / float(broken)
+
+    # ------------------------------------------------------------------ #
+    # Transition structure
+    # ------------------------------------------------------------------ #
+
+    def transitions(self) -> list[ModeTransition]:
+        """Enumerate all mode-changing transitions with their rates.
+
+        Breakdowns in group ``g`` move one server from operative phase ``j``
+        to inoperative phase ``k`` at rate ``x_gj xi_gj beta_gk`` (as in the
+        homogeneous environment, per group).  Repairs are additionally scaled
+        by the crew-sharing factor ``min(broken, R) / broken`` of the source
+        mode, so at most ``R`` servers make repair progress concurrently.
+        """
+        result: list[ModeTransition] = []
+        for index, mode in enumerate(self._modes):
+            broken = float(self.broken_counts[index])
+            share = self.repair_share(broken)
+            for position, group in enumerate(self._groups):
+                operative, inoperative = mode[position]
+                for j in range(group.alpha.size):
+                    if operative[j] == 0:
+                        continue
+                    for k in range(group.beta.size):
+                        rate = operative[j] * group.xi[j] * group.beta[k]
+                        if rate == 0.0:
+                            continue
+                        new_operative = list(operative)
+                        new_operative[j] -= 1
+                        new_inoperative = list(inoperative)
+                        new_inoperative[k] += 1
+                        target = self._target_index(
+                            index, position, (tuple(new_operative), tuple(new_inoperative))
+                        )
+                        result.append(
+                            ModeTransition(
+                                source=index, target=target, rate=rate, kind="breakdown"
+                            )
+                        )
+                for k in range(group.beta.size):
+                    if inoperative[k] == 0:
+                        continue
+                    for j in range(group.alpha.size):
+                        rate = inoperative[k] * group.eta[k] * group.alpha[j] * share
+                        if rate == 0.0:
+                            continue
+                        new_operative = list(operative)
+                        new_operative[j] += 1
+                        new_inoperative = list(inoperative)
+                        new_inoperative[k] -= 1
+                        target = self._target_index(
+                            index, position, (tuple(new_operative), tuple(new_inoperative))
+                        )
+                        result.append(
+                            ModeTransition(source=index, target=target, rate=rate, kind="repair")
+                        )
+        return result
+
+    def _target_index(self, source: int, position: int, local_mode: tuple) -> int:
+        """Index of the mode equal to ``source`` with group ``position`` replaced."""
+        mode = list(self._modes[source])
+        mode[position] = local_mode
+        return self._mode_index[tuple(mode)]
+
+    @cached_property
+    def transition_matrix(self) -> np.ndarray:
+        """The matrix of mode-changing transition rates (zero diagonal)."""
+        matrix = np.zeros((self.num_modes, self.num_modes))
+        for transition in self.transitions():
+            matrix[transition.source, transition.target] += transition.rate
+        return matrix
+
+    @cached_property
+    def generator(self) -> np.ndarray:
+        """The environment's own CTMC generator."""
+        matrix = self.transition_matrix
+        return matrix - np.diag(matrix.sum(axis=1))
+
+    # ------------------------------------------------------------------ #
+    # Steady-state quantities
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def steady_state(self) -> np.ndarray:
+        """The stationary distribution of the environment over its modes.
+
+        With a limited repair crew the per-server availability is *not*
+        product-form, so — unlike the homogeneous environment — every
+        steady-state quantity must come from this distribution.
+        """
+        return steady_state_from_generator(self.generator)
+
+    @cached_property
+    def mean_operative_servers(self) -> float:
+        """The steady-state average number of operative servers."""
+        return float(self.steady_state @ self.operative_counts)
+
+    @property
+    def availability(self) -> float:
+        """The long-run fraction of servers that are operative."""
+        return self.mean_operative_servers / self._num_servers
+
+    def service_capacities(self, service_rates) -> np.ndarray:
+        """Per-mode full-utilisation service capacity ``sum_g x_g(m) mu_g``."""
+        rates = np.asarray(service_rates, dtype=float)
+        if rates.shape != (self.num_groups,):
+            raise ParameterError(
+                f"expected {self.num_groups} per-group service rates, got shape {rates.shape}"
+            )
+        return self.operative_counts_by_group @ rates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScenarioEnvironment(groups={self.group_sizes}, "
+            f"R={self._repair_capacity}, modes={self.num_modes})"
+        )
+
+
+def expected_num_scenario_modes(
+    groups: list[tuple[int, Distribution, Distribution]],
+) -> int:
+    """The global mode count without building the environment."""
+    total = 1
+    for position, (size, operative, inoperative) in enumerate(groups):
+        alpha, _ = _as_phase_mixture(operative, f"groups[{position}].operative")
+        beta, _ = _as_phase_mixture(inoperative, f"groups[{position}].inoperative")
+        total *= num_modes(size, alpha.size, beta.size)
+    return total

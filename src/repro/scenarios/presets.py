@@ -1,0 +1,206 @@
+"""Named scenario presets: the declarative scenario gallery.
+
+Each preset is a ready-made :class:`~repro.scenarios.ScenarioModel` exposing
+one feature combination of the scenario library.  Presets are deliberately
+small (a handful of servers) so every one of them can be cross-validated —
+truncated-CTMC mean queue length against simulation confidence intervals —
+inside the ordinary test-suite, and solved interactively from the
+``repro scenario`` CLI in well under a second.
+
+The registry is the single source of truth for preset names: the CLI, the
+example gallery, the benchmarks and the cross-validation tests all iterate
+:func:`preset_names`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..distributions import SUN_OPERATIVE_FIT, Exponential, HyperExponential
+from ..exceptions import ParameterError
+from .model import ScenarioModel, ServerGroup
+
+
+@dataclass(frozen=True)
+class ScenarioPreset:
+    """A named, documented scenario factory."""
+
+    name: str
+    description: str
+    build: Callable[[], ScenarioModel]
+
+
+def _legacy_homogeneous() -> ScenarioModel:
+    """The paper's homogeneous pool, expressed as a one-group scenario.
+
+    Four servers with the fitted Sun operative periods and fast exponential
+    repairs; ``K = 1`` and an unlimited crew, so the scenario CTMC must agree
+    with the homogeneous spectral solver to solver precision.
+    """
+    return ScenarioModel(
+        groups=(
+            ServerGroup(
+                name="servers",
+                size=4,
+                service_rate=1.0,
+                operative=SUN_OPERATIVE_FIT,
+                inoperative=Exponential(rate=25.0),
+            ),
+        ),
+        arrival_rate=2.2,
+        name="legacy-homogeneous",
+    )
+
+
+def _two_speed_cluster() -> ScenarioModel:
+    """Two machine generations sharing one queue.
+
+    Two fast current-generation servers and two slower previous-generation
+    ones; the older machines also break down more often and take longer to
+    repair.  Unlimited repair crew.
+    """
+    return ScenarioModel(
+        groups=(
+            ServerGroup(
+                name="fast",
+                size=2,
+                service_rate=1.5,
+                operative=HyperExponential(weights=[0.7, 0.3], rates=[0.1, 0.02]),
+                inoperative=Exponential(rate=10.0),
+            ),
+            ServerGroup(
+                name="slow",
+                size=2,
+                service_rate=0.75,
+                operative=Exponential(rate=0.08),
+                inoperative=Exponential(rate=4.0),
+            ),
+        ),
+        arrival_rate=2.4,
+        name="two-speed-cluster",
+    )
+
+
+def _single_repairman() -> ScenarioModel:
+    """A homogeneous pool whose repairs queue behind one repair crew.
+
+    Three servers with exponential periods and ``R = 1``: when several
+    servers are broken they share the single repairman, so repair completion
+    rates scale with ``min(broken, 1)`` instead of the broken count.
+    """
+    return ScenarioModel(
+        groups=(
+            ServerGroup(
+                name="servers",
+                size=3,
+                service_rate=1.0,
+                operative=Exponential(rate=0.2),
+                inoperative=Exponential(rate=1.0),
+            ),
+        ),
+        arrival_rate=1.1,
+        repair_capacity=1,
+        name="single-repairman",
+    )
+
+
+def _repair_starved_two_speed() -> ScenarioModel:
+    """Both generalisations at once: two server speeds and a single repairman.
+
+    The composition exercise: heterogeneous groups *and* crew contention in
+    one model, which only the scenario CTMC and the scenario simulator can
+    evaluate.
+    """
+    return ScenarioModel(
+        groups=(
+            ServerGroup(
+                name="fast",
+                size=2,
+                service_rate=1.25,
+                operative=Exponential(rate=0.1),
+                inoperative=Exponential(rate=2.0),
+            ),
+            ServerGroup(
+                name="slow",
+                size=2,
+                service_rate=0.6,
+                operative=HyperExponential(weights=[0.6, 0.4], rates=[0.25, 0.05]),
+                inoperative=Exponential(rate=1.5),
+            ),
+        ),
+        arrival_rate=1.5,
+        repair_capacity=1,
+        name="repair-starved-two-speed",
+    )
+
+
+#: The preset registry, in gallery order.
+SCENARIO_PRESETS: dict[str, ScenarioPreset] = {
+    preset.name: preset
+    for preset in (
+        ScenarioPreset(
+            name="legacy-homogeneous",
+            description="the paper's homogeneous pool as a one-group scenario (K=1, R=N)",
+            build=_legacy_homogeneous,
+        ),
+        ScenarioPreset(
+            name="two-speed-cluster",
+            description="fast and slow machine generations sharing one queue",
+            build=_two_speed_cluster,
+        ),
+        ScenarioPreset(
+            name="single-repairman",
+            description="homogeneous pool with a single shared repair crew (R=1)",
+            build=_single_repairman,
+        ),
+        ScenarioPreset(
+            name="repair-starved-two-speed",
+            description="two server speeds AND a single repairman (both extensions at once)",
+            build=_repair_starved_two_speed,
+        ),
+    )
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    """The registered preset names, in gallery order."""
+    return tuple(SCENARIO_PRESETS)
+
+
+def preset_description(name: str) -> str:
+    """The one-line description of a preset."""
+    return _get(name).description
+
+
+def scenario_preset(
+    name: str,
+    *,
+    arrival_rate: float | None = None,
+    repair_capacity: int | None = None,
+) -> ScenarioModel:
+    """Build a preset scenario, optionally overriding load and crew size.
+
+    Parameters
+    ----------
+    name:
+        A registered preset name (see :func:`preset_names`).
+    arrival_rate:
+        Optional replacement arrival rate.
+    repair_capacity:
+        Optional replacement repair-crew size.
+    """
+    scenario = _get(name).build()
+    if arrival_rate is not None:
+        scenario = scenario.with_arrival_rate(arrival_rate)
+    if repair_capacity is not None:
+        scenario = scenario.with_repair_capacity(repair_capacity)
+    return scenario
+
+
+def _get(name: str) -> ScenarioPreset:
+    if name not in SCENARIO_PRESETS:
+        raise ParameterError(
+            f"unknown scenario preset {name!r}; available: {', '.join(preset_names())}"
+        )
+    return SCENARIO_PRESETS[name]

@@ -7,6 +7,9 @@ Public API
   period/service distributions, preemptive-resume breakdowns).
 * :func:`simulate_queue`, :class:`SimulationEstimate` — one-call estimation of
   the headline metrics with batch-means confidence intervals.
+* :class:`ScenarioSimulator`, :func:`simulate_scenario` — the scenario-model
+  simulator: per-group service rates (fastest-server-first dispatch with
+  migration) and repair-slot contention for limited repair crews.
 * :class:`EventScheduler`, :class:`EventHandle` — the underlying simulation
   engine (reusable for extension studies).
 * :class:`TimeWeightedAccumulator`, :func:`batch_means_interval`,
@@ -16,6 +19,7 @@ Public API
 from .engine import EventHandle, EventScheduler
 from .estimators import ConfidenceInterval, TimeWeightedAccumulator, batch_means_interval
 from .queue_sim import SimulationEstimate, UnreliableQueueSimulator, simulate_queue
+from .scenario_sim import ScenarioSimulator, simulate_scenario
 
 __all__ = [
     "EventScheduler",
@@ -26,4 +30,6 @@ __all__ = [
     "UnreliableQueueSimulator",
     "simulate_queue",
     "SimulationEstimate",
+    "ScenarioSimulator",
+    "simulate_scenario",
 ]

@@ -12,11 +12,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..exceptions import UnsupportedScenarioError
 from .base import SIMULATE_DEFAULTS, Solver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..queueing.model import UnreliableQueueModel
     from .policy import SolverPolicy
+
+
+def is_scenario_model(model: object) -> bool:
+    """Whether ``model`` is a scenario (duck-typed to avoid an import cycle)."""
+    return bool(getattr(model, "is_scenario", False))
 
 
 class _MarkovianSolver(Solver):
@@ -26,6 +32,11 @@ class _MarkovianSolver(Solver):
         return model.is_markovian
 
     def unsupported_reason(self, model: "UnreliableQueueModel") -> str:
+        if is_scenario_model(model):
+            return (
+                f"the {self.name!r} solver requires exponential or hyperexponential "
+                "period distributions in every server group"
+            )
         return (
             f"the {self.name!r} solver requires exponential or hyperexponential "
             f"period distributions, got {type(model.operative).__name__}/"
@@ -33,12 +44,40 @@ class _MarkovianSolver(Solver):
         )
 
 
-class SpectralSolver(_MarkovianSolver):
+class _HomogeneousOnlySolver(_MarkovianSolver):
+    """Analytical backends derived for the paper's homogeneous pool only.
+
+    Scenario models (heterogeneous groups, limited repair crews) fall outside
+    the spectral state-space structure, so these backends report them as
+    unsupported and raise :class:`UnsupportedScenarioError` — a
+    :class:`~repro.exceptions.SolverError` subclass, so fallback chains skip
+    to the scenario-capable ``ctmc`` and ``simulate`` backends.
+    """
+
+    def supports(self, model: "UnreliableQueueModel") -> bool:
+        return not is_scenario_model(model) and super().supports(model)
+
+    def unsupported_reason(self, model: "UnreliableQueueModel") -> str:
+        if is_scenario_model(model):
+            return (
+                f"the {self.name!r} solver handles only the homogeneous model; "
+                "scenario models (server groups, repair crews) need 'ctmc' or "
+                "'simulate' — or ScenarioModel.as_homogeneous() for K=1, R=N"
+            )
+        return super().unsupported_reason(model)
+
+    def _reject_scenarios(self, model: "UnreliableQueueModel") -> None:
+        if is_scenario_model(model):
+            raise UnsupportedScenarioError(self.unsupported_reason(model))
+
+
+class SpectralSolver(_HomogeneousOnlySolver):
     """Exact spectral-expansion solution (paper Section 3.1)."""
 
     name = "spectral"
 
     def solve(self, model: "UnreliableQueueModel", **options):
+        self._reject_scenarios(model)
         return model.solve_spectral(**options)
 
     def metrics(self, solution) -> dict[str, float]:
@@ -49,12 +88,13 @@ class SpectralSolver(_MarkovianSolver):
         }
 
 
-class GeometricSolver(_MarkovianSolver):
+class GeometricSolver(_HomogeneousOnlySolver):
     """Heavy-load geometric approximation (paper Section 3.2)."""
 
     name = "geometric"
 
     def solve(self, model: "UnreliableQueueModel", **options):
+        self._reject_scenarios(model)
         return model.solve_geometric(**options)
 
     def metrics(self, solution) -> dict[str, float]:
@@ -66,7 +106,11 @@ class GeometricSolver(_MarkovianSolver):
 
 
 class TruncatedCTMCSolver(_MarkovianSolver):
-    """Truncated-CTMC reference solution used for validation."""
+    """Truncated-CTMC reference solution used for validation.
+
+    Accepts scenario models as well as the homogeneous model: both expose
+    ``solve_ctmc`` with the same signature.
+    """
 
     name = "ctmc"
 
@@ -74,14 +118,24 @@ class TruncatedCTMCSolver(_MarkovianSolver):
         return model.solve_ctmc(**options)
 
     def metrics(self, solution) -> dict[str, float]:
-        return {
+        metrics = {
             "mean_queue_length": solution.mean_queue_length,
             "mean_response_time": solution.mean_response_time,
         }
+        # Scenario solutions report their utilisation so CTMC rows are
+        # directly comparable to simulation estimates in cross-validation.
+        utilisation = getattr(solution, "utilisation", None)
+        if utilisation is not None:
+            metrics["utilisation"] = float(utilisation)
+        return metrics
 
 
 class SimulationSolver(Solver):
-    """Discrete-event simulation; accepts arbitrary period distributions."""
+    """Discrete-event simulation; accepts arbitrary period distributions.
+
+    Dispatches through ``model.simulate``, so homogeneous models and scenario
+    models (which route to the scenario simulator) are both supported.
+    """
 
     name = "simulate"
 

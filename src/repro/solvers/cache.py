@@ -65,7 +65,16 @@ def distribution_key(distribution: object) -> object:
 
 
 def solution_cache_key(model: "UnreliableQueueModel", policy: "SolverPolicy") -> CacheKey:
-    """The memoisation key of one evaluation: full model parameters + policy."""
+    """The memoisation key of one evaluation: full model parameters + policy.
+
+    Models that define ``solution_key()`` (e.g.
+    :class:`~repro.scenarios.ScenarioModel`, whose parameterisation is a group
+    structure rather than the homogeneous field set) provide their own
+    value-based key; the homogeneous model is keyed by its five fields.
+    """
+    key_method = getattr(model, "solution_key", None)
+    if key_method is not None:
+        return (*key_method(), policy)
     return (
         model.num_servers,
         model.arrival_rate,

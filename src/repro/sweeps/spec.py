@@ -17,6 +17,13 @@ overriding the policy order.  Any other axis name requires a
 knows how to turn the axis values into a model (e.g. mapping an ``scv`` value
 to a fitted hyperexponential operative-period distribution).
 
+A :class:`~repro.scenarios.ScenarioModel` base model sweeps over scenario
+parameters instead: ``arrival_rate`` and ``repair_capacity`` apply to the
+scenario itself, and dotted names of the form ``"<group>.<field>"`` (with
+``field`` one of ``size``, ``service_rate``, ``operative``, ``inoperative``)
+target the named server group — e.g. ``("slow.service_rate", (0.5, 0.75, 1.0))``
+or ``("fast.size", (1, 2, 3))``.
+
 Factories and per-point policy callables run only in the parent process
 during expansion, so they may be closures; the objects shipped to worker
 processes (models, policies) are plain picklable dataclasses.
@@ -40,6 +47,13 @@ KNOWN_SOLVERS = BUILTIN_SOLVER_NAMES
 
 #: Model fields an axis may target directly (applied via dataclasses.replace).
 MODEL_FIELDS = ("num_servers", "arrival_rate", "service_rate", "operative", "inoperative")
+
+#: Scenario-level fields an axis may target when the base model is a
+#: :class:`~repro.scenarios.ScenarioModel`.
+SCENARIO_FIELDS = ("arrival_rate", "repair_capacity")
+
+#: Per-group fields addressable through dotted ``"<group>.<field>"`` axes.
+GROUP_FIELDS = ("size", "service_rate", "operative", "inoperative")
 
 #: Reserved axis name that selects the solver per grid point.
 SOLVER_AXIS = "solver"
@@ -96,12 +110,15 @@ def _normalise_axes(axes: Sequence) -> tuple[SweepAxis, ...]:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A declarative parameter sweep over an unreliable-queue model.
+    """A declarative parameter sweep over an unreliable-queue or scenario model.
 
     Attributes
     ----------
     base_model:
-        The model every grid cell starts from.
+        The model every grid cell starts from — an
+        :class:`~repro.queueing.model.UnreliableQueueModel` or a
+        :class:`~repro.scenarios.ScenarioModel` (which switches the accepted
+        axis names to scenario/group parameters).
     axes:
         The grid dimensions; accepts :class:`SweepAxis` instances or plain
         ``(name, values)`` pairs.
@@ -130,15 +147,50 @@ class SweepSpec:
         if not self.axes:
             raise ParameterError("a sweep needs at least one axis")
         names = [axis.name for axis in self.axes]
-        if len(set(names)) != len(names):
-            raise ParameterError(f"duplicate axis names in {names}")
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ParameterError(
+                f"duplicate sweep axis name(s): {', '.join(duplicates)}; "
+                "each axis name must appear exactly once"
+            )
         if self.model_factory is None:
-            for axis in self.axes:
-                if axis.name not in MODEL_FIELDS and axis.name != SOLVER_AXIS:
-                    raise ParameterError(
-                        f"axis {axis.name!r} is not a model field "
-                        f"({MODEL_FIELDS}); provide a model_factory"
-                    )
+            if self._is_scenario_base:
+                for axis in self.axes:
+                    self._validate_scenario_axis(axis.name)
+            else:
+                for axis in self.axes:
+                    if axis.name not in MODEL_FIELDS and axis.name != SOLVER_AXIS:
+                        raise ParameterError(
+                            f"axis {axis.name!r} is not a model field "
+                            f"({MODEL_FIELDS}); provide a model_factory"
+                        )
+
+    @property
+    def _is_scenario_base(self) -> bool:
+        return bool(getattr(self.base_model, "is_scenario", False))
+
+    def _validate_scenario_axis(self, name: str) -> None:
+        """Reject axis names a scenario base model cannot apply."""
+        if name in SCENARIO_FIELDS or name == SOLVER_AXIS:
+            return
+        if "." in name:
+            group_name, field_name = name.split(".", 1)
+            group_names = [group.name for group in self.base_model.groups]
+            if group_name not in group_names:
+                raise ParameterError(
+                    f"axis {name!r} names unknown server group {group_name!r}; "
+                    f"groups: {', '.join(group_names)}"
+                )
+            if field_name not in GROUP_FIELDS:
+                raise ParameterError(
+                    f"axis {name!r} names unknown group field {field_name!r}; "
+                    f"expected one of {GROUP_FIELDS}"
+                )
+            return
+        raise ParameterError(
+            f"axis {name!r} is not a scenario field ({SCENARIO_FIELDS}) or a "
+            "'<group>.<field>' group axis; provide a model_factory"
+        )
 
     @property
     def axis_names(self) -> tuple[str, ...]:
@@ -156,6 +208,8 @@ class SweepSpec:
     def _build_model(self, parameters: Mapping[str, object]) -> UnreliableQueueModel:
         if self.model_factory is not None:
             return self.model_factory(self.base_model, parameters)
+        if self._is_scenario_base:
+            return self._build_scenario(parameters)
         model = self.base_model
         for name, value in parameters.items():
             if name == SOLVER_AXIS:
@@ -171,6 +225,26 @@ class SweepSpec:
             else:  # service_rate
                 model = replace(model, service_rate=float(value))
         return model
+
+    def _build_scenario(self, parameters: Mapping[str, object]):
+        """Apply scenario and dotted group axes to a scenario base model."""
+        scenario = self.base_model
+        for name, value in parameters.items():
+            if name == SOLVER_AXIS:
+                continue
+            if name == "arrival_rate":
+                scenario = scenario.with_arrival_rate(float(value))
+            elif name == "repair_capacity":
+                capacity = None if value is None else check_positive_int(value, name)
+                scenario = scenario.with_repair_capacity(capacity)
+            else:
+                group_name, field_name = name.split(".", 1)
+                if field_name == "size":
+                    value = check_positive_int(value, name)
+                elif field_name == "service_rate":
+                    value = float(value)
+                scenario = scenario.with_group(group_name, **{field_name: value})
+        return scenario
 
     def _policy_for(self, parameters: Mapping[str, object]) -> SolverPolicy:
         if self.point_policy is not None:

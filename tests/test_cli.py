@@ -181,3 +181,56 @@ class TestSweepCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "error" in captured.err
+
+
+class TestScenarioCommand:
+    def test_scenario_arguments(self):
+        arguments = build_parser().parse_args(
+            ["scenario", "--preset", "two-speed-cluster", "--repair-capacity", "1"]
+        )
+        assert arguments.command == "scenario"
+        assert arguments.preset == "two-speed-cluster"
+        assert arguments.repair_capacity == 1
+        assert arguments.solvers == "ctmc,simulate"
+
+    def test_list_prints_gallery(self, capsys):
+        exit_code = main(["scenario", "--list"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("two-speed-cluster", "single-repairman", "legacy-homogeneous"):
+            assert name in output
+
+    def test_preset_solved_via_ctmc(self, capsys):
+        exit_code = main(["scenario", "--preset", "single-repairman"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "repair capacity R" in output
+        assert "Solution (ctmc)" in output
+        assert "mean jobs L" in output
+
+    def test_overrides_change_the_model(self, capsys):
+        exit_code = main(
+            [
+                "scenario",
+                "--preset", "two-speed-cluster",
+                "--repair-capacity", "1",
+                "--arrival-rate", "1.0",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "repair capacity R      1" in output
+
+    def test_missing_preset_reports_error(self, capsys):
+        exit_code = main(["scenario"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "choose a preset" in captured.err
+
+    def test_unstable_override_reports_and_exits_one(self, capsys):
+        exit_code = main(
+            ["scenario", "--preset", "single-repairman", "--arrival-rate", "50"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "unstable" in output

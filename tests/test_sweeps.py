@@ -73,8 +73,20 @@ class TestSpecExpansion:
         assert points[1].model.arrival_rate == pytest.approx(14.0)
 
     def test_duplicate_axis_names_rejected(self):
-        with pytest.raises(ParameterError):
+        with pytest.raises(ParameterError) as excinfo:
             _spec(axes=[("num_servers", (1,)), ("num_servers", (2,))])
+        # The error must name the offending axis, not just echo the list
+        # (regression guard: duplicates used to be easy to miss).
+        assert "duplicate sweep axis name(s): num_servers" in str(excinfo.value)
+
+    def test_duplicate_axis_names_rejected_for_scenarios(self):
+        from repro.scenarios import scenario_preset
+
+        with pytest.raises(ParameterError, match="duplicate sweep axis name"):
+            SweepSpec(
+                base_model=scenario_preset("two-speed-cluster"),
+                axes=[("repair_capacity", (1,)), ("repair_capacity", (2,))],
+            )
 
     def test_empty_axis_rejected(self):
         with pytest.raises(ParameterError):
@@ -283,3 +295,76 @@ class TestFigureParity:
             ).solve_spectral()
             assert point.queue_length_exponential == exponential.mean_queue_length
             assert point.queue_length_hyperexponential == hyper.mean_queue_length
+
+
+class TestScenarioSweeps:
+    """Sweep axes over scenario parameters and server-group fields."""
+
+    def _scenario(self):
+        from repro.scenarios import scenario_preset
+
+        return scenario_preset("two-speed-cluster")
+
+    def test_scenario_axes_build_concrete_scenarios(self):
+        spec = SweepSpec(
+            base_model=self._scenario(),
+            axes=[
+                ("repair_capacity", (1, 4)),
+                ("slow.service_rate", (0.5, 0.75)),
+                ("arrival_rate", (1.0,)),
+            ],
+            policy=SolverPolicy(order=("ctmc",)),
+        )
+        points = list(spec.expand())
+        assert len(points) == 4
+        first = points[0].model
+        assert first.effective_repair_capacity == 1
+        assert first.group("slow").service_rate == 0.5
+        assert first.arrival_rate == 1.0
+        assert points[0].model.group("fast") == self._scenario().group("fast")
+
+    def test_group_size_axis(self):
+        spec = SweepSpec(
+            base_model=self._scenario(),
+            axes=[("fast.size", (1, 2, 3))],
+            policy=SolverPolicy(order=("ctmc",)),
+        )
+        sizes = [point.model.group("fast").size for point in spec.expand()]
+        assert sizes == [1, 2, 3]
+
+    def test_scenario_sweep_solves_through_runner(self):
+        spec = SweepSpec(
+            base_model=self._scenario(),
+            axes=[("repair_capacity", (1, 2))],
+            policy=SolverPolicy(order=("spectral", "ctmc")),
+            name="scenario-crew",
+        )
+        results = SweepRunner().run(spec)
+        assert {row.solver for row in results} == {"ctmc"}
+        crew_of_one = results.find(repair_capacity=1)
+        crew_of_two = results.find(repair_capacity=2)
+        assert crew_of_one.metric("mean_queue_length") >= crew_of_two.metric(
+            "mean_queue_length"
+        )
+
+    def test_homogeneous_field_axis_rejected_for_scenarios(self):
+        with pytest.raises(ParameterError, match="not a scenario field"):
+            SweepSpec(base_model=self._scenario(), axes=[("num_servers", (1, 2))])
+
+    def test_unknown_group_and_field_rejected(self):
+        with pytest.raises(ParameterError, match="unknown server group"):
+            SweepSpec(base_model=self._scenario(), axes=[("turbo.size", (1,))])
+        with pytest.raises(ParameterError, match="unknown group field"):
+            SweepSpec(base_model=self._scenario(), axes=[("fast.speed", (1,))])
+
+    def test_model_factory_still_wins_for_scenarios(self):
+        spec = SweepSpec(
+            base_model=self._scenario(),
+            axes=[("load", (0.3, 0.5))],
+            model_factory=lambda base, params: base.with_arrival_rate(
+                params["load"] * base.mean_service_capacity
+            ),
+            policy=SolverPolicy(order=("ctmc",)),
+        )
+        loads = [round(point.model.effective_load, 6) for point in spec.expand()]
+        assert loads == [0.3, 0.5]

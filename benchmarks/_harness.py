@@ -1,0 +1,140 @@
+"""Shared machinery of the benchmark-tracking runners.
+
+Both CI benchmark scripts (``scenario_bench.py``, ``transient_bench.py``)
+time a fixed dict of representative workloads, write the wall-clock results
+to a JSON file, and optionally compare them against a committed baseline,
+failing when any benchmark regresses by more than a tolerance factor.  The
+timing loop, the JSON format, the baseline comparison and the CLI live here;
+each script contributes only its workload functions.
+
+Wall-clock numbers are noisy across machines, so committed baselines are
+recorded generously (the measured time padded by :data:`BASELINE_PADDING`)
+and the regression gate is a factor, not a delta: only a genuine slowdown —
+an accidental algorithmic regression, a lost cache — trips it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+#: Padding applied when recording a baseline, so machine noise and CI runners
+#: slower than the recording machine do not trip the regression gate (together
+#: with the default 2x factor this gives ~4x headroom over the measured time).
+BASELINE_PADDING = 2.0
+
+
+def run_benchmarks(
+    benchmarks: dict[str, Callable[[bool], None]], *, quick: bool, repeats: int
+) -> dict[str, float]:
+    """Run every benchmark ``repeats`` times and keep the best wall-clock."""
+    timings: dict[str, float] = {}
+    for name, function in benchmarks.items():
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            function(quick)
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+        print(f"{name:>24}: {best:8.3f}s")
+    return timings
+
+
+def write_results(path: Path, timings: dict[str, float], *, quick: bool) -> None:
+    """Write one timing JSON (the artifact CI uploads, and the baseline format)."""
+    payload = {
+        "mode": "quick" if quick else "full",
+        "benchmarks": {name: {"seconds": seconds} for name, seconds in timings.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def check_against_baseline(
+    timings: dict[str, float], baseline_path: Path, *, factor: float, quick: bool
+) -> int:
+    """Compare timings to a baseline file; return the number of regressions.
+
+    A baseline recorded in a different mode (quick vs full) makes the factor
+    comparison meaningless, so a mode mismatch counts as a failure instead of
+    silently disabling the gate.
+    """
+    payload = json.loads(baseline_path.read_text())
+    mode = "quick" if quick else "full"
+    baseline_mode = payload.get("mode")
+    if baseline_mode != mode:
+        print(
+            f"baseline {baseline_path} was recorded in {baseline_mode!r} mode but this "
+            f"run used {mode!r}; re-record it with --update-baseline"
+            + (" --quick" if quick else "")
+        )
+        return 1
+    baseline = payload["benchmarks"]
+    regressions = 0
+    for name, seconds in timings.items():
+        if name not in baseline:
+            print(f"{name:>24}: no baseline entry (new benchmark, skipped)")
+            continue
+        reference = float(baseline[name]["seconds"])
+        ratio = seconds / reference if reference > 0 else float("inf")
+        status = "ok"
+        if ratio > factor:
+            status = f"REGRESSION (> {factor:.1f}x)"
+            regressions += 1
+        print(f"{name:>24}: {seconds:8.3f}s vs baseline {reference:8.3f}s ({ratio:4.2f}x) {status}")
+    for name in baseline:
+        if name not in timings:
+            print(f"{name:>24}: present in baseline but not measured")
+    return regressions
+
+
+def bench_main(
+    benchmarks: dict[str, Callable[[bool], None]],
+    *,
+    description: str,
+    default_output: str,
+    argv: list[str] | None = None,
+) -> int:
+    """The CLI shared by the benchmark scripts (run, write, check, re-baseline)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced workloads (what the CI bench job runs)"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="runs per benchmark (best kept)")
+    parser.add_argument(
+        "--output", default=default_output, help="where to write the timing JSON"
+    )
+    parser.add_argument("--check", default=None, help="baseline JSON to compare against")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when a benchmark exceeds its baseline by more than this factor",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        default=None,
+        help="write the measured timings (doubled for headroom) to this baseline file and exit",
+    )
+    arguments = parser.parse_args(argv)
+
+    timings = run_benchmarks(benchmarks, quick=arguments.quick, repeats=arguments.repeats)
+
+    if arguments.update_baseline is not None:
+        padded = {name: seconds * BASELINE_PADDING for name, seconds in timings.items()}
+        write_results(Path(arguments.update_baseline), padded, quick=arguments.quick)
+        return 0
+
+    write_results(Path(arguments.output), timings, quick=arguments.quick)
+    if arguments.check is not None:
+        regressions = check_against_baseline(
+            timings, Path(arguments.check), factor=arguments.factor, quick=arguments.quick
+        )
+        if regressions:
+            print(f"{regressions} benchmark(s) regressed beyond {arguments.factor:.1f}x")
+            return 1
+        print("all benchmarks within the regression budget")
+    return 0

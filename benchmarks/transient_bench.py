@@ -1,0 +1,97 @@
+"""Benchmark-tracking runner for the CI ``bench`` job (transient workloads).
+
+Times the new transient subsystem end to end — a multi-time uniformization
+pass on the homogeneous model, the transient scenario gallery, first-passage
+analysis, and the ensemble transient simulator — and tracks the wall-clock
+against a committed baseline via the shared harness in :mod:`_harness`.
+
+Usage::
+
+    # write BENCH_transient.json and fail on >2x regression vs the baseline
+    python benchmarks/transient_bench.py --quick \
+        --output BENCH_transient.json --check benchmarks/BENCH_transient_baseline.json
+
+    # refresh the committed baseline after an intentional perf change
+    python benchmarks/transient_bench.py --quick \
+        --update-baseline benchmarks/BENCH_transient_baseline.json
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable
+
+from _harness import bench_main
+
+
+def _bench_transient_homogeneous(quick: bool) -> None:
+    """One uniformization pass serving a whole time grid (paper-style model)."""
+    from repro.queueing import sun_fitted_model
+    from repro.transient import solve_transient
+
+    horizon = 50.0 if quick else 200.0
+    times = tuple(horizon * (index + 1) / 10 for index in range(10))
+    solve_transient(sun_fitted_model(num_servers=6, arrival_rate=3.6), times)
+
+
+def _bench_transient_gallery(quick: bool) -> None:
+    """Transient trajectories across every scenario preset."""
+    from repro.scenarios import preset_names, scenario_preset
+    from repro.transient import solve_transient
+
+    horizon = 20.0 if quick else 100.0
+    times = (horizon / 4, horizon / 2, horizon)
+    for name in preset_names():
+        solve_transient(scenario_preset(name), times)
+
+
+def _bench_first_passage(quick: bool) -> None:
+    """Absorbing-state first passage on homogeneous and scenario chains."""
+    from repro.queueing import sun_fitted_model
+    from repro.scenarios import scenario_preset
+    from repro.transient import first_passage_time
+
+    times = (5.0, 20.0, 50.0) if quick else (5.0, 20.0, 50.0, 200.0)
+    first_passage_time(
+        sun_fitted_model(num_servers=4, arrival_rate=2.0),
+        times,
+        target="queue-exceeds",
+        queue_threshold=12,
+    )
+    first_passage_time(scenario_preset("single-repairman"), times, target="all-servers-down")
+
+
+def _bench_transient_ensemble(quick: bool) -> None:
+    """Ensemble-of-replications transient estimation (the cross-validator)."""
+    from repro.scenarios import scenario_preset
+    from repro.transient import simulate_transient
+
+    replications = 100 if quick else 400
+    simulate_transient(
+        scenario_preset("repair-starved-two-speed"),
+        times=(2.0, 5.0, 10.0, 20.0),
+        num_replications=replications,
+        seed=2006,
+    )
+
+
+#: The tracked benchmarks, in report order.
+BENCHMARKS: dict[str, Callable[[bool], None]] = {
+    "transient_homogeneous": _bench_transient_homogeneous,
+    "transient_gallery": _bench_transient_gallery,
+    "first_passage": _bench_first_passage,
+    "transient_ensemble": _bench_transient_ensemble,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    return bench_main(
+        BENCHMARKS,
+        description="transient benchmark runner",
+        default_output="BENCH_transient.json",
+        argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Tour of the transient subsystem: trajectories, first passage, time sweeps.
+
+Steady-state analysis answers "what does the system look like eventually";
+this example walks the time-dependent side of the library:
+
+1. queue build-up and point availability ``A(t)`` for every scenario preset,
+   with the analytical uniformization trajectory cross-validated against an
+   ensemble of simulation replications (the same check the tests enforce);
+2. a "rack just failed" study: the availability ramp from an all-down start
+   against the all-operative start, on the paper's homogeneous model;
+3. first-passage laws: time to "all servers down" and time until the backlog
+   exceeds a threshold, per repair-crew size;
+4. a sweep crossing a parameter axis with a :class:`~repro.sweeps.TimeGridAxis`.
+
+Run with::
+
+    PYTHONPATH=src python examples/transient_gallery.py
+
+The same analyses are available from the command line::
+
+    PYTHONPATH=src python -m repro transient --preset two-speed-cluster --times 1,5,20
+    PYTHONPATH=src python -m repro transient --servers 10 --arrival-rate 7 \
+        --first-passage queue-exceeds --queue-threshold 20
+"""
+
+from __future__ import annotations
+
+from repro.queueing import sun_fitted_model
+from repro.scenarios import preset_names, scenario_preset
+from repro.sweeps import SweepRunner, SweepSpec, TimeGridAxis
+from repro.transient import first_passage_time, simulate_transient, solve_transient
+
+GRID = (1.0, 2.0, 5.0, 10.0, 20.0)
+
+
+def gallery_trajectories() -> None:
+    """Analytical L(t) per preset, checked against the simulation ensemble."""
+    print(f"{'preset':>26}  {'t':>5}  {'L(t)':>8}  {'sim 95% CI':>18}  {'A(t)':>7}")
+    for name in preset_names():
+        scenario = scenario_preset(name)
+        solution = solve_transient(scenario, GRID)
+        ensemble = simulate_transient(scenario, GRID, num_replications=200, seed=2006)
+        for index, t in enumerate(GRID):
+            interval = ensemble.mean_queue_length[index]
+            print(
+                f"{name if index == 0 else '':>26}  {t:>5.1f}  "
+                f"{solution.mean_queue_length[index]:>8.4f}  "
+                f"[{interval.lower:>7.4f}, {interval.upper:>7.4f}]  "
+                f"{solution.availability[index]:>7.4f}"
+            )
+
+
+def rack_failure_ramp() -> None:
+    """Availability recovery from an all-down start vs the fresh-cluster start."""
+    model = sun_fitted_model(num_servers=10, arrival_rate=7.0)
+    times = (0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+    fresh = solve_transient(model, times)
+    failed = solve_transient(model, times, initial="empty-inoperative")
+    print(f"\n{'t':>6}  {'A(t) fresh':>10}  {'A(t) all-down':>13}")
+    for index, t in enumerate(times):
+        print(
+            f"{t:>6.2f}  {fresh.availability[index]:>10.4f}  "
+            f"{failed.availability[index]:>13.4f}"
+        )
+
+
+def first_passage_study() -> None:
+    """First-passage laws under repair-crew starvation."""
+    times = (10.0, 50.0, 200.0)
+    print(f"\n{'R':>3}  {'mean T(all down)':>17}  " + "  ".join(f"F({t:g})" for t in times))
+    base = scenario_preset("single-repairman")
+    for crew in (1, 2, 3):
+        passage = first_passage_time(
+            base.with_repair_capacity(crew), times, target="all-servers-down"
+        )
+        cdf = "  ".join(f"{value:6.4f}" for value in passage.cdf)
+        print(f"{crew:>3}  {passage.mean:>17.2f}  {cdf}")
+
+    threshold = 8
+    passage = first_passage_time(
+        sun_fitted_model(num_servers=4, arrival_rate=2.8),
+        times,
+        target="queue-exceeds",
+        queue_threshold=threshold,
+    )
+    print(
+        f"\nhomogeneous N=4, lambda=2.8: mean time until Q > {threshold}: "
+        f"{passage.mean:.2f} (F({times[-1]:g}) = {passage.cdf[-1]:.4f})"
+    )
+
+
+def time_parameter_sweep() -> None:
+    """Cross a repair-capacity axis with a time axis in one sweep."""
+    spec = SweepSpec(
+        base_model=scenario_preset("two-speed-cluster"),
+        axes=[("repair_capacity", (1, 4)), TimeGridAxis((2.0, 10.0))],
+        name="transient-crew-sweep",
+    )
+    results = SweepRunner().run(spec)
+    print(f"\n{'R':>3}  {'t':>5}  {'L(t)':>8}  {'A(t)':>7}")
+    for row in results:
+        print(
+            f"{row.parameters['repair_capacity']:>3}  {row.parameters['time']:>5.1f}  "
+            f"{row.metric('mean_queue_length'):>8.4f}  {row.metric('availability'):>7.4f}"
+        )
+
+
+def main() -> None:
+    print("Transient gallery")
+    print("=================")
+    gallery_trajectories()
+    rack_failure_ramp()
+    first_passage_study()
+    time_parameter_sweep()
+
+
+if __name__ == "__main__":
+    main()

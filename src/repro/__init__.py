@@ -55,6 +55,9 @@ Subpackages
     crews and named presets, solved by the scenario-aware backends.
 :mod:`repro.sweeps`
     Declarative, parallel parameter sweeps built on :mod:`repro.solvers`.
+:mod:`repro.transient`
+    Time-dependent analysis: uniformization ``pi(t)`` distributions,
+    availability and first-passage metrics, ensemble transient simulation.
 :mod:`repro.experiments`
     One driver per table/figure of the paper (built on :mod:`repro.sweeps`).
 """
@@ -99,6 +102,14 @@ from .spectral import (
     solve_geometric,
     solve_spectral,
 )
+from .transient import (
+    FirstPassageSolution,
+    TransientEnsembleEstimate,
+    TransientSolution,
+    first_passage_time,
+    simulate_transient,
+    solve_transient,
+)
 
 __version__ = "1.0.0"
 
@@ -127,6 +138,13 @@ __all__ = [
     "ServerGroup",
     "scenario_preset",
     "preset_names",
+    # transient analysis
+    "TransientSolution",
+    "FirstPassageSolution",
+    "TransientEnsembleEstimate",
+    "solve_transient",
+    "first_passage_time",
+    "simulate_transient",
     # solver registry and facade
     "Solver",
     "SolverPolicy",

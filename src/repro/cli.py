@@ -25,7 +25,15 @@ Four subcommands cover the everyday workflows:
     Evaluate a named preset from the :mod:`repro.scenarios` library —
     heterogeneous server groups and limited repair crews — through the
     scenario-capable solvers (``ctmc``, ``simulate``), with optional load
-    and crew-size overrides.  ``--list`` prints the preset gallery.
+    and crew-size overrides.  ``--list`` prints the preset gallery
+    (``--list --json`` emits it as machine-readable JSON).
+
+``transient``
+    Time-dependent analysis through :mod:`repro.transient`: expected queue
+    length, point availability and empty/all-down probabilities over a time
+    grid for the homogeneous model or any scenario preset, optional
+    first-passage analysis (time to "all servers down" or "queue exceeds
+    L"), and CSV/JSON export of the per-time rows.
 
 The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
 ``repro`` console script when the package is installed with pip.
@@ -34,8 +42,10 @@ The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .data import read_trace_csv
 from .distributions import Exponential, HyperExponential
@@ -47,6 +57,12 @@ from .scenarios import preset_description, preset_names, scenario_preset
 from .solvers import SolverPolicy, solve as solve_model, solver_names
 from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
 from .sweeps import SweepRunner, SweepSpec
+from .transient import (
+    INITIAL_CONDITIONS,
+    TARGET_NAMES,
+    first_passage_time,
+    solve_transient,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -183,6 +199,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=50_000.0,
         help="simulation horizon used when the 'simulate' solver runs",
     )
+    scenario.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="with --list: emit the preset gallery as JSON (to PATH, or stdout if omitted)",
+    )
+
+    transient = subparsers.add_parser(
+        "transient",
+        help="time-dependent metrics (queue length, availability, first passage) over a time grid",
+    )
+    transient.add_argument(
+        "--preset",
+        choices=preset_names(),
+        default=None,
+        help="analyse a scenario preset instead of the homogeneous model",
+    )
+    transient.add_argument("--servers", type=int, default=4, help="number of servers N")
+    transient.add_argument(
+        "--arrival-rate", type=float, default=2.0, help="Poisson arrival rate"
+    )
+    transient.add_argument(
+        "--service-rate", type=float, default=1.0, help="per-server service rate"
+    )
+    transient.add_argument(
+        "--operative-mean", type=float, default=34.62, help="mean operative period"
+    )
+    transient.add_argument(
+        "--operative-scv",
+        type=float,
+        default=4.6,
+        help="squared coefficient of variation of operative periods (>= 1; 1 = exponential)",
+    )
+    transient.add_argument(
+        "--repair-mean", type=float, default=0.04, help="mean inoperative (repair) period"
+    )
+    transient.add_argument(
+        "--repair-capacity",
+        type=int,
+        default=None,
+        help="override the preset's repair-crew size R (presets only)",
+    )
+    transient.add_argument(
+        "--times",
+        default=None,
+        help="comma-separated evaluation times (overrides --horizon/--points)",
+    )
+    transient.add_argument(
+        "--horizon", type=float, default=50.0, help="largest evaluation time of the default grid"
+    )
+    transient.add_argument(
+        "--points", type=int, default=8, help="number of grid points up to the horizon"
+    )
+    transient.add_argument(
+        "--initial",
+        choices=INITIAL_CONDITIONS,
+        default="empty-operative",
+        help="initial condition of the chain",
+    )
+    transient.add_argument(
+        "--first-passage",
+        dest="first_passage",
+        choices=TARGET_NAMES,
+        default=None,
+        help="also compute the first-passage law to this target set",
+    )
+    transient.add_argument(
+        "--queue-threshold",
+        type=int,
+        default=None,
+        help="the level L of the 'queue-exceeds' first-passage target",
+    )
+    transient.add_argument("--csv", help="write the per-time metric rows to this CSV file")
+    transient.add_argument("--json", help="write the per-time metric rows to this JSON file")
     return parser
 
 
@@ -253,12 +345,15 @@ def _command_solve(arguments: argparse.Namespace) -> int:
         outcome = solve_model(model, arguments.method)
         if outcome.solver is None:
             raise ReproError(outcome.error or "no solver succeeded")
+        preferred = [
+            ("mean jobs L", outcome.metrics.get("mean_queue_length")),
+            ("mean response time W", outcome.metrics.get("mean_response_time")),
+        ]
         print()
         print(
             format_key_values(
                 [
-                    ("mean jobs L", outcome.metrics["mean_queue_length"]),
-                    ("mean response time W", outcome.metrics["mean_response_time"]),
+                    *[(label, value) for label, value in preferred if value is not None],
                     *sorted(
                         (name, value)
                         for name, value in outcome.metrics.items()
@@ -383,11 +478,48 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _preset_record(name: str) -> dict[str, object]:
+    """One machine-readable gallery entry for ``repro scenario --list --json``."""
+    scenario = scenario_preset(name)
+    return {
+        "name": name,
+        "description": preset_description(name),
+        "num_servers": scenario.num_servers,
+        "num_groups": scenario.num_groups,
+        "num_modes": scenario.num_modes,
+        "arrival_rate": scenario.arrival_rate,
+        "repair_capacity": scenario.effective_repair_capacity,
+        "effective_load": scenario.effective_load,
+        "stable": scenario.is_stable,
+        "groups": [
+            {
+                "name": group.name,
+                "size": group.size,
+                "service_rate": group.service_rate,
+                "operative_mean": group.operative.mean,
+                "inoperative_mean": group.inoperative.mean,
+            }
+            for group in scenario.groups
+        ],
+    }
+
+
 def _command_scenario(arguments: argparse.Namespace) -> int:
     if arguments.list:
+        if arguments.json is not None:
+            payload = {"presets": [_preset_record(name) for name in preset_names()]}
+            text = json.dumps(payload, indent=2)
+            if arguments.json == "-":
+                print(text)
+            else:
+                Path(arguments.json).write_text(text + "\n")
+                print(f"wrote {arguments.json}")
+            return 0
         rows = [(name, preset_description(name)) for name in preset_names()]
         print(format_table(("preset", "description"), rows, title="Scenario presets"))
         return 0
+    if arguments.json is not None:
+        raise ReproError("--json applies to the preset gallery; combine it with --list")
     if arguments.preset is None:
         raise ReproError("choose a preset with --preset, or use --list to see them")
     scenario = scenario_preset(
@@ -455,6 +587,94 @@ def _command_scenario(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _transient_model(arguments: argparse.Namespace):
+    """The model the ``transient`` subcommand analyses (preset or homogeneous)."""
+    if arguments.preset is not None:
+        return scenario_preset(
+            arguments.preset,
+            repair_capacity=arguments.repair_capacity,
+        )
+    if arguments.repair_capacity is not None:
+        raise ReproError("--repair-capacity applies to scenario presets; pass --preset")
+    return UnreliableQueueModel(
+        num_servers=arguments.servers,
+        arrival_rate=arguments.arrival_rate,
+        service_rate=arguments.service_rate,
+        operative=_operative_distribution(arguments.operative_mean, arguments.operative_scv),
+        inoperative=Exponential(rate=1.0 / arguments.repair_mean),
+    )
+
+
+def _transient_times(arguments: argparse.Namespace) -> tuple[float, ...]:
+    """The evaluation grid: explicit ``--times``, else ``--horizon``/``--points``."""
+    if arguments.times is not None:
+        return _parse_list(arguments.times, float, "--times")
+    if arguments.horizon <= 0.0:
+        raise ReproError(f"--horizon must be positive, got {arguments.horizon}")
+    points = arguments.points
+    if points < 1:
+        raise ReproError(f"--points must be at least 1, got {points}")
+    return tuple(arguments.horizon * (index + 1) / points for index in range(points))
+
+
+def _command_transient(arguments: argparse.Namespace) -> int:
+    model = _transient_model(arguments)
+    times = _transient_times(arguments)
+    solution = solve_transient(model, times, initial=arguments.initial)
+    print(
+        format_key_values(
+            [
+                ("model", repr(model)),
+                ("initial condition", arguments.initial),
+                ("truncation level", solution.truncation_level),
+                ("uniformization rate", solution.uniformization_rate),
+                ("uniformization steps", solution.steps),
+            ],
+            title="Transient analysis",
+        )
+    )
+    rows = [
+        (
+            row["time"],
+            round(row["mean_queue_length"], 6),
+            round(row["availability"], 6),
+            round(row["probability_empty"], 6),
+            round(row["probability_all_inoperative"], 8),
+        )
+        for row in solution.to_rows()
+    ]
+    print()
+    print(
+        format_table(
+            ("t", "mean jobs L(t)", "availability A(t)", "P(empty)", "P(all down)"),
+            rows,
+            title=f"Trajectories ({len(solution.times)} grid points)",
+        )
+    )
+    if arguments.first_passage is not None:
+        passage = first_passage_time(
+            model,
+            times,
+            target=arguments.first_passage,
+            queue_threshold=arguments.queue_threshold,
+            initial=arguments.initial,
+        )
+        print()
+        print(
+            format_table(
+                ("t", "P(T <= t)"),
+                [(t, round(value, 6)) for t, value in zip(passage.times, passage.cdf)],
+                title=f"First passage to {passage.target!r} (mean {passage.mean:.4f})",
+            )
+        )
+    if arguments.csv:
+        print(f"\nwrote {solution.to_csv(arguments.csv)}")
+    if arguments.json:
+        solution.to_json(arguments.json)
+        print(f"wrote {arguments.json}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` command-line interface."""
     parser = build_parser()
@@ -470,6 +690,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_sweep(arguments)
         if arguments.command == "scenario":
             return _command_scenario(arguments)
+        if arguments.command == "transient":
+            return _command_transient(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

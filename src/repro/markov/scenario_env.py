@@ -179,6 +179,21 @@ class ScenarioEnvironment:
             return 1.0
         return min(float(broken), float(self._repair_capacity)) / float(broken)
 
+    @property
+    def operative_weights_by_group(self) -> tuple[np.ndarray, ...]:
+        """Per-group operative-phase entry probabilities ``alpha_gj`` (copies).
+
+        Exposed for consumers that need the phase mixture itself rather than
+        the transition structure — e.g. the transient engine's multinomial
+        all-operative initial condition.
+        """
+        return tuple(group.alpha.copy() for group in self._groups)
+
+    @property
+    def inoperative_weights_by_group(self) -> tuple[np.ndarray, ...]:
+        """Per-group inoperative-phase entry probabilities ``beta_gk`` (copies)."""
+        return tuple(group.beta.copy() for group in self._groups)
+
     # ------------------------------------------------------------------ #
     # Transition structure
     # ------------------------------------------------------------------ #

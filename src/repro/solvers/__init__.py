@@ -7,12 +7,15 @@ steady-state questions about the unreliable M/M/N queue:
 * ``geometric`` — the heavy-load geometric approximation (Section 3.2);
 * ``ctmc`` — the truncated-CTMC reference used for validation;
 * ``simulate`` — discrete-event simulation, which also accepts
-  non-phase-type period distributions.
+  non-phase-type period distributions;
+* ``transient`` — the uniformization time-dependent solver
+  (:mod:`repro.transient`), which answers ``pi(t)`` questions over the
+  policy's ``transient_times`` grid rather than steady-state ones.
 
 This package is the single place where "pick a solver by name, fall back on
 failure" lives.  It provides:
 
-* the :class:`Solver` protocol and a :class:`SolverRegistry` with the four
+* the :class:`Solver` protocol and a :class:`SolverRegistry` with the five
   built-in backends pre-registered; third parties plug in via
   :func:`register_solver` or the ``repro.solvers`` entry-point group;
 * :class:`SolverPolicy` — the one vocabulary for naming solvers and fallback
@@ -28,7 +31,7 @@ Example
 >>> from repro.queueing import sun_fitted_model
 >>> from repro.solvers import solve, solver_names
 >>> solver_names()
-('spectral', 'geometric', 'ctmc', 'simulate')
+('spectral', 'geometric', 'ctmc', 'simulate', 'transient')
 >>> outcome = solve(sun_fitted_model(num_servers=10, arrival_rate=7.0))
 >>> outcome.solver
 'spectral'
@@ -41,6 +44,7 @@ from .backends import (
     GeometricSolver,
     SimulationSolver,
     SpectralSolver,
+    TransientSolver,
     TruncatedCTMCSolver,
     builtin_solvers,
 )
@@ -76,6 +80,7 @@ __all__ = [
     "SolverPolicy",
     "SolverRegistry",
     "SpectralSolver",
+    "TransientSolver",
     "TruncatedCTMCSolver",
     "as_policy",
     "builtin_solvers",

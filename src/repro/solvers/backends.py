@@ -1,11 +1,13 @@
-"""The four built-in solver backends, wrapped behind the :class:`Solver` protocol.
+"""The built-in solver backends, wrapped behind the :class:`Solver` protocol.
 
-Each backend delegates to the corresponding method of
-:class:`~repro.queueing.model.UnreliableQueueModel` and normalises the native
-solution object into the flat metric mapping shared by every consumer (the
-sweep engine, the cost optimiser, the CLI).  The trusted fallback order —
-exact first, then the fast approximation, then the finite-chain reference,
-then simulation — is encoded once, in :data:`BUILTIN_SOLVER_NAMES`.
+Each backend delegates to the corresponding solver of the library and
+normalises the native solution object into the flat metric mapping shared by
+every consumer (the sweep engine, the cost optimiser, the CLI).  The trusted
+steady-state fallback order — exact first, then the fast approximation, then
+the finite-chain reference, then simulation — is encoded once, in
+:data:`BUILTIN_SOLVER_NAMES`; the ``transient`` backend sits outside that
+chain (it answers time-dependent questions) and runs only when a policy
+names it.
 """
 
 from __future__ import annotations
@@ -171,10 +173,57 @@ class SimulationSolver(Solver):
         }
 
 
+class TransientSolver(_MarkovianSolver):
+    """Uniformization transient solver (:mod:`repro.transient`).
+
+    Computes ``pi(t)`` over the policy's ``transient_times`` grid (the
+    package default grid when the policy names none) and reports the headline
+    metrics *at the final grid time*.  Unlike the steady-state backends its
+    metrics carry no ``mean_response_time`` — a time-dependent response time
+    is not a point functional of ``pi(t)`` — but they include the
+    ``evaluation_time`` itself, so exported rows are self-describing (the
+    name deliberately differs from the reserved ``time`` sweep-axis name, so
+    time-axis sweeps never emit two columns with the same header).
+
+    Accepts scenario models as well as the homogeneous model (the transient
+    engine reuses the truncated-CTMC generator builders of both).
+    """
+
+    name = "transient"
+
+    def solve(self, model: "UnreliableQueueModel", **options):
+        from ..transient import solve_transient
+
+        return solve_transient(model, **options)
+
+    def metrics(self, solution) -> dict[str, float]:
+        return {
+            "mean_queue_length": float(solution.mean_queue_length[-1]),
+            "availability": float(solution.availability[-1]),
+            "probability_empty": float(solution.probability_empty[-1]),
+            "probability_all_inoperative": float(solution.probability_all_inoperative[-1]),
+            "evaluation_time": float(solution.times[-1]),
+        }
+
+    def options_from_policy(self, policy: "SolverPolicy") -> dict[str, object]:
+        if policy.transient_times:
+            return {"times": policy.transient_times}
+        return {}
+
+
 def builtin_solvers() -> tuple[Solver, ...]:
-    """Fresh instances of the four built-in backends, in trusted order."""
-    return (SpectralSolver(), GeometricSolver(), TruncatedCTMCSolver(), SimulationSolver())
+    """Fresh instances of the five built-in backends, in trusted order."""
+    return (
+        SpectralSolver(),
+        GeometricSolver(),
+        TruncatedCTMCSolver(),
+        SimulationSolver(),
+        TransientSolver(),
+    )
 
 
-#: The built-in solver names in the order the library trusts them.
-BUILTIN_SOLVER_NAMES = ("spectral", "geometric", "ctmc", "simulate")
+#: The built-in solver names in the order the library trusts them.  The
+#: steady-state backends come first (their order is the default fallback
+#: vocabulary); ``transient`` answers a different question and only runs when
+#: a policy names it explicitly.
+BUILTIN_SOLVER_NAMES = ("spectral", "geometric", "ctmc", "simulate", "transient")

@@ -32,6 +32,7 @@ three moments.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from collections.abc import Mapping
 from typing import TYPE_CHECKING
 
@@ -86,7 +87,7 @@ def solution_cache_key(model: "UnreliableQueueModel", policy: "SolverPolicy") ->
 
 
 class SolutionCache:
-    """A thread-safe memo of :class:`SolveOutcome` records.
+    """A thread-safe, optionally size-bounded memo of :class:`SolveOutcome` records.
 
     Parameters
     ----------
@@ -94,20 +95,37 @@ class SolutionCache:
         A disabled cache keeps counting lookups (every one a miss) but never
         stores anything; it exists so callers can switch memoisation off
         without changing their control flow.
+    maxsize:
+        Upper bound on the number of memoised outcomes; the least recently
+        *used* entry (lookups and stores both refresh recency) is evicted
+        when the bound is exceeded, and :meth:`stats` counts the evictions.
+        ``None`` (the default) keeps the cache unbounded — the historical
+        behaviour — but long-running sweep workloads over large grids should
+        set a bound, since every distinct configuration otherwise stays
+        resident forever.
     """
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(self, *, enabled: bool = True, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be None or >= 1, got {maxsize}")
         self._enabled = bool(enabled)
-        self._data: dict[CacheKey, SolveOutcome] = {}
+        self._maxsize = maxsize
+        self._data: OrderedDict[CacheKey, SolveOutcome] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._solves = 0
+        self._evictions = 0
 
     @property
     def enabled(self) -> bool:
         """Whether the cache stores outcomes at all."""
         return self._enabled
+
+    @property
+    def maxsize(self) -> int | None:
+        """The eviction bound (``None`` = unbounded)."""
+        return self._maxsize
 
     def key(self, model: "UnreliableQueueModel", policy: "SolverPolicy") -> CacheKey:
         """The cache key of one ``(model, policy)`` evaluation."""
@@ -123,6 +141,14 @@ class SolutionCache:
         """
         return outcome._replace(metrics=dict(outcome.metrics))
 
+    def _evict_over_bound(self) -> None:
+        """Drop least-recently-used entries until the bound holds (lock held)."""
+        if self._maxsize is None:
+            return
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+            self._evictions += 1
+
     def lookup(self, key: CacheKey) -> SolveOutcome | None:
         """The cached outcome for ``key``, counting a hit or a miss."""
         with self._lock:
@@ -131,6 +157,7 @@ class SolutionCache:
                 self._misses += 1
                 return None
             self._hits += 1
+            self._data.move_to_end(key)
             return self._isolated(outcome)
 
     def store(self, key: CacheKey, outcome: SolveOutcome) -> None:
@@ -139,15 +166,18 @@ class SolutionCache:
             return
         with self._lock:
             self._data[key] = self._isolated(outcome)
+            self._data.move_to_end(key)
+            self._evict_over_bound()
 
     def merge(self, outcomes: Mapping[CacheKey, SolveOutcome]) -> None:
         """Merge worker-computed outcomes back into the parent cache."""
         if not self._enabled:
             return
         with self._lock:
-            self._data.update(
-                (key, self._isolated(outcome)) for key, outcome in outcomes.items()
-            )
+            for key, outcome in outcomes.items():
+                self._data[key] = self._isolated(outcome)
+                self._data.move_to_end(key)
+            self._evict_over_bound()
 
     def record_solves(self, count: int) -> None:
         """Record that ``count`` actual solver evaluations were performed."""
@@ -155,13 +185,14 @@ class SolutionCache:
             self._solves += count
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/solve counters and the current number of cached outcomes."""
+        """Hit/miss/solve/eviction counters and the current cache size."""
         with self._lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "size": len(self._data),
                 "solves": self._solves,
+                "evictions": self._evictions,
             }
 
     def clear(self) -> None:
@@ -171,6 +202,7 @@ class SolutionCache:
             self._hits = 0
             self._misses = 0
             self._solves = 0
+            self._evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -181,8 +213,13 @@ class SolutionCache:
             return key in self._data
 
 
+#: Eviction bound of the process-wide shared cache.  Far above any single
+#: workload's working set, but it keeps a long-lived process that sweeps many
+#: large grids from accumulating solutions without limit.
+SHARED_CACHE_MAXSIZE = 10_000
+
 #: The process-wide cache used by the facade when no cache is passed.
-_SHARED_CACHE = SolutionCache()
+_SHARED_CACHE = SolutionCache(maxsize=SHARED_CACHE_MAXSIZE)
 
 
 def shared_cache() -> SolutionCache:

@@ -64,6 +64,12 @@ class SolverPolicy:
     simulate_warmup_fraction:
         Options forwarded to :meth:`UnreliableQueueModel.simulate` when the
         ``"simulate"`` solver runs.
+    transient_times:
+        Evaluation time grid forwarded to the ``"transient"`` solver (empty =
+        the solver's default grid).  The policy is part of every solution
+        cache key, so folding the grid in here is what makes cached transient
+        outcomes time-grid-aware: the same model solved over two different
+        grids occupies two cache entries.
     """
 
     order: tuple[str, ...] = ("spectral", "geometric")
@@ -71,11 +77,17 @@ class SolverPolicy:
     simulate_seed: int = SIMULATE_DEFAULTS["seed"]
     simulate_num_batches: int = SIMULATE_DEFAULTS["num_batches"]
     simulate_warmup_fraction: float = SIMULATE_DEFAULTS["warmup_fraction"]
+    transient_times: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.order:
             raise ParameterError("a solver policy needs at least one solver")
         object.__setattr__(self, "order", tuple(self.order))
+        object.__setattr__(
+            self, "transient_times", tuple(float(t) for t in self.transient_times)
+        )
+        if any(t < 0.0 for t in self.transient_times):
+            raise ParameterError("transient_times must be non-negative")
         registry = _VALIDATION_REGISTRY.get()
         if registry is None:
             registry = default_registry()
@@ -89,6 +101,10 @@ class SolverPolicy:
     def with_order(self, *order: str) -> "SolverPolicy":
         """A copy of the policy with a different solver order."""
         return replace(self, order=tuple(order))
+
+    def with_transient_times(self, *times: float) -> "SolverPolicy":
+        """A copy of the policy with a different transient evaluation grid."""
+        return replace(self, transient_times=tuple(times))
 
 
 def as_policy(policy: object, *, registry: "SolverRegistry | None" = None) -> SolverPolicy:

@@ -37,20 +37,24 @@ from .spec import (
     KNOWN_SOLVERS,
     MODEL_FIELDS,
     SOLVER_AXIS,
+    TIME_AXIS,
     SolverPolicy,
     SweepAxis,
     SweepPoint,
     SweepSpec,
+    TimeGridAxis,
 )
 
 __all__ = [
     "KNOWN_SOLVERS",
     "MODEL_FIELDS",
     "SOLVER_AXIS",
+    "TIME_AXIS",
     "SolverPolicy",
     "SweepAxis",
     "SweepPoint",
     "SweepSpec",
+    "TimeGridAxis",
     "SweepRunner",
     "SweepResult",
     "SweepResultSet",

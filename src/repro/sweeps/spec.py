@@ -24,6 +24,11 @@ scenario itself, and dotted names of the form ``"<group>.<field>"`` (with
 target the named server group — e.g. ``("slow.service_rate", (0.5, 0.75, 1.0))``
 or ``("fast.size", (1, 2, 3))``.
 
+The name ``time`` is reserved too (see :class:`TimeGridAxis`): its values are
+transient evaluation times, folded into each point's policy as a one-point
+``transient_times`` grid, so a sweep can scan over parameters *and* time —
+e.g. availability ramp-up across repair-crew sizes.
+
 Factories and per-point policy callables run only in the parent process
 during expansion, so they may be closures; the objects shipped to worker
 processes (models, policies) are plain picklable dataclasses.
@@ -58,6 +63,9 @@ GROUP_FIELDS = ("size", "service_rate", "operative", "inoperative")
 #: Reserved axis name that selects the solver per grid point.
 SOLVER_AXIS = "solver"
 
+#: Reserved axis name that selects the transient evaluation time per point.
+TIME_AXIS = "time"
+
 
 @dataclass(frozen=True)
 class SweepAxis:
@@ -73,6 +81,27 @@ class SweepAxis:
 
     def __len__(self) -> int:
         return len(self.values)
+
+
+class TimeGridAxis(SweepAxis):
+    """An axis over transient evaluation times (the reserved ``"time"`` name).
+
+    A time value does not change the model; it is folded into the grid
+    point's :class:`~repro.solvers.SolverPolicy` as a one-point
+    ``transient_times`` grid.  Unless the policy's order already names
+    ``"transient"`` (an explicit opt-in to a custom chain), the cell is
+    evaluated by the transient solver *alone* — a steady-state fallback
+    would silently ignore the time value, so models the transient solver
+    cannot handle produce an error row instead of a wrong answer.  A spec
+    therefore only needs the axis itself to scan availability or queue
+    build-up over time, alone or crossed with any parameter axes.  Each cell is cached and parallelised independently
+    like every other grid point; for a pure time scan of one fixed model,
+    calling :func:`repro.transient.solve_transient` with the whole grid is
+    the cheaper equivalent (one uniformization pass serves all times).
+    """
+
+    def __init__(self, values) -> None:
+        super().__init__(name=TIME_AXIS, values=tuple(float(value) for value in values))
 
 
 @dataclass(frozen=True)
@@ -159,7 +188,10 @@ class SweepSpec:
                     self._validate_scenario_axis(axis.name)
             else:
                 for axis in self.axes:
-                    if axis.name not in MODEL_FIELDS and axis.name != SOLVER_AXIS:
+                    if axis.name not in MODEL_FIELDS and axis.name not in (
+                        SOLVER_AXIS,
+                        TIME_AXIS,
+                    ):
                         raise ParameterError(
                             f"axis {axis.name!r} is not a model field "
                             f"({MODEL_FIELDS}); provide a model_factory"
@@ -171,7 +203,7 @@ class SweepSpec:
 
     def _validate_scenario_axis(self, name: str) -> None:
         """Reject axis names a scenario base model cannot apply."""
-        if name in SCENARIO_FIELDS or name == SOLVER_AXIS:
+        if name in SCENARIO_FIELDS or name in (SOLVER_AXIS, TIME_AXIS):
             return
         if "." in name:
             group_name, field_name = name.split(".", 1)
@@ -212,7 +244,7 @@ class SweepSpec:
             return self._build_scenario(parameters)
         model = self.base_model
         for name, value in parameters.items():
-            if name == SOLVER_AXIS:
+            if name in (SOLVER_AXIS, TIME_AXIS):
                 continue
             if name == "num_servers":
                 model = model.with_servers(check_positive_int(value, "num_servers"))
@@ -230,7 +262,7 @@ class SweepSpec:
         """Apply scenario and dotted group axes to a scenario base model."""
         scenario = self.base_model
         for name, value in parameters.items():
-            if name == SOLVER_AXIS:
+            if name in (SOLVER_AXIS, TIME_AXIS):
                 continue
             if name == "arrival_rate":
                 scenario = scenario.with_arrival_rate(float(value))
@@ -248,11 +280,19 @@ class SweepSpec:
 
     def _policy_for(self, parameters: Mapping[str, object]) -> SolverPolicy:
         if self.point_policy is not None:
-            return self.point_policy(parameters)
-        solver = parameters.get(SOLVER_AXIS)
-        if solver is not None:
-            return self.policy.with_order(str(solver))
-        return self.policy
+            policy = self.point_policy(parameters)
+        else:
+            solver = parameters.get(SOLVER_AXIS)
+            policy = self.policy.with_order(str(solver)) if solver is not None else self.policy
+        time = parameters.get(TIME_AXIS)
+        if time is not None:
+            # A steady-state backend answering a time-axis cell would silently
+            # ignore the time value, so unless the policy explicitly opted
+            # into a chain containing 'transient', the cell runs the transient
+            # solver alone — an unsupported model then fails loudly.
+            order = policy.order if "transient" in policy.order else ("transient",)
+            policy = replace(policy, order=order, transient_times=(float(time),))
+        return policy
 
     def expand(self):
         """Yield every :class:`SweepPoint` of the grid in row-major order."""

@@ -1,0 +1,85 @@
+"""Transient analysis of the unreliable multi-server queue.
+
+The steady-state pillars of the library (spectral expansion, geometric
+approximation, CTMC reference, simulation) answer "what does the system look
+like eventually?".  This package answers the *time-dependent* questions —
+"what does the queue look like 10 minutes after a rack fails?", "what is the
+probability every server is down before ``t``?" — for both the paper's
+homogeneous model and any scenario model:
+
+* :func:`solve_transient` / :class:`TransientSolution` — state distributions
+  ``pi(t)`` on the truncated chain by uniformization, with adaptive
+  Poisson-tail truncation, one-pass evaluation of a whole time grid, and
+  steady-state detection; derived trajectories for the expected queue
+  length, point availability ``A(t)``, empty/all-down probabilities and
+  queue tails, plus CSV/JSON export.
+* :func:`first_passage_time` / :class:`FirstPassageSolution` — first-passage
+  CDFs and mean hitting times to named target sets (every server down, queue
+  exceeds ``L``) via absorbing-state uniformization.
+* :func:`simulate_transient` / :class:`TransientEnsembleEstimate` — the
+  simulators' transient counterpart: an ensemble of replications sampled on
+  the same grid, with across-replication confidence intervals, used to
+  cross-validate the analytical engine (and to cover non-phase-type models).
+* :func:`transient_distributions` — the generator-level uniformization
+  engine, reusable for any CTMC.
+
+The subsystem is wired through the rest of the stack: a ``transient`` entry
+in the :mod:`repro.solvers` registry (time grids ride in
+:class:`~repro.solvers.SolverPolicy.transient_times`, so cached outcomes are
+keyed by grid), a :class:`~repro.sweeps.TimeGridAxis` for sweeping over both
+parameters and time, and the ``repro transient`` CLI subcommand.
+
+Example
+-------
+
+>>> from repro.queueing import sun_fitted_model
+>>> from repro.transient import solve_transient
+>>> solution = solve_transient(
+...     sun_fitted_model(num_servers=4, arrival_rate=2.0), times=(1.0, 10.0, 100.0)
+... )
+>>> [round(value, 3) for value in solution.availability]  # doctest: +SKIP
+[0.999, 0.998, 0.998]
+"""
+
+from .analysis import (
+    DEFAULT_TIME_GRID,
+    INITIAL_CONDITIONS,
+    initial_distribution,
+    normalise_times,
+    solve_transient,
+)
+from .ensemble import TransientEnsembleEstimate, simulate_transient
+from .first_passage import (
+    TARGET_NAMES,
+    FirstPassageSolution,
+    first_passage_time,
+    target_mask,
+)
+from .solution import TransientSolution
+from .uniformization import (
+    UniformizationResult,
+    poisson_truncation_point,
+    transient_distributions,
+    uniformization_rate,
+    uniformized_matrix,
+)
+
+__all__ = [
+    "DEFAULT_TIME_GRID",
+    "INITIAL_CONDITIONS",
+    "TARGET_NAMES",
+    "FirstPassageSolution",
+    "TransientEnsembleEstimate",
+    "TransientSolution",
+    "UniformizationResult",
+    "first_passage_time",
+    "initial_distribution",
+    "normalise_times",
+    "poisson_truncation_point",
+    "simulate_transient",
+    "solve_transient",
+    "target_mask",
+    "transient_distributions",
+    "uniformization_rate",
+    "uniformized_matrix",
+]

@@ -234,3 +234,143 @@ class TestScenarioCommand:
         output = capsys.readouterr().out
         assert exit_code == 1
         assert "unstable" in output
+
+    def test_list_json_emits_machine_readable_gallery(self, capsys):
+        import json
+
+        exit_code = main(["scenario", "--list", "--json"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(output)
+        names = [entry["name"] for entry in payload["presets"]]
+        assert "two-speed-cluster" in names and "single-repairman" in names
+        record = next(
+            entry for entry in payload["presets"] if entry["name"] == "single-repairman"
+        )
+        assert record["repair_capacity"] == 1
+        assert record["stable"] is True
+        assert record["groups"][0]["size"] == 3
+
+    def test_list_json_writes_to_path(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "gallery.json"
+        exit_code = main(["scenario", "--list", "--json", str(path)])
+        assert exit_code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert len(payload["presets"]) >= 4
+
+    def test_json_without_list_reports_error(self, capsys):
+        exit_code = main(["scenario", "--preset", "single-repairman", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "combine it with --list" in captured.err
+
+
+class TestTransientCommand:
+    def test_transient_arguments(self):
+        arguments = build_parser().parse_args(
+            ["transient", "--preset", "single-repairman", "--times", "1,5"]
+        )
+        assert arguments.command == "transient"
+        assert arguments.preset == "single-repairman"
+        assert arguments.times == "1,5"
+        assert arguments.initial == "empty-operative"
+
+    def test_homogeneous_trajectories_printed(self, capsys):
+        exit_code = main(
+            [
+                "transient",
+                "--servers", "3",
+                "--arrival-rate", "1.5",
+                "--times", "1,5",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Transient analysis" in output
+        assert "mean jobs L(t)" in output
+        assert "availability A(t)" in output
+
+    def test_preset_with_first_passage(self, capsys):
+        exit_code = main(
+            [
+                "transient",
+                "--preset", "single-repairman",
+                "--times", "10,50",
+                "--first-passage", "all-servers-down",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "First passage to 'all-servers-down'" in output
+        assert "mean 46.66" in output
+
+    def test_horizon_and_points_build_the_grid(self, capsys):
+        exit_code = main(
+            [
+                "transient",
+                "--servers", "3",
+                "--arrival-rate", "1.2",
+                "--horizon", "10",
+                "--points", "4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "(4 grid points)" in output
+        assert " 2.5000" in output and "10.0000" in output
+
+    def test_csv_and_json_export(self, tmp_path, capsys):
+        import csv
+        import json
+
+        csv_path = tmp_path / "transient.csv"
+        json_path = tmp_path / "transient.json"
+        exit_code = main(
+            [
+                "transient",
+                "--servers", "3",
+                "--arrival-rate", "1.2",
+                "--times", "1,5",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote" in capsys.readouterr().out
+        rows = list(csv.DictReader(csv_path.open()))
+        assert [row["time"] for row in rows] == ["1.0", "5.0"]
+        payload = json.loads(json_path.read_text())
+        assert len(payload["rows"]) == 2
+
+    def test_repair_capacity_without_preset_rejected(self, capsys):
+        exit_code = main(
+            ["transient", "--servers", "3", "--arrival-rate", "1", "--repair-capacity", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "applies to scenario presets" in captured.err
+
+    def test_queue_threshold_required_for_queue_exceeds(self, capsys):
+        exit_code = main(
+            [
+                "transient",
+                "--servers", "3",
+                "--arrival-rate", "1.2",
+                "--times", "1",
+                "--first-passage", "queue-exceeds",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "queue_threshold" in captured.err
+
+    def test_unstable_model_reports_error(self, capsys):
+        exit_code = main(
+            ["transient", "--servers", "2", "--arrival-rate", "50", "--times", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unstable" in captured.err

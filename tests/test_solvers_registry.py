@@ -126,6 +126,7 @@ class TestRegistry:
             "geometric",
             "ctmc",
             "simulate",
+            "transient",
         )
         for name in BUILTIN_SOLVER_NAMES:
             assert get_solver(name).name == name
@@ -287,7 +288,13 @@ class TestSolveCaching:
         first = solve(model, "spectral", cache=cache)
         second = solve(model, "spectral", cache=cache)
         assert first == second
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1, "solves": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "solves": 1,
+            "evictions": 0,
+        }
 
     def test_cached_metrics_are_isolated_from_caller_mutation(self):
         """Annotating a returned outcome must not poison the shared cache."""
@@ -519,6 +526,101 @@ class TestDistributionKeys:
         for distribution in distributions:
             key = distribution.parameter_key()
             assert isinstance(key, tuple) and hash(key) is not None
+
+
+class TestBoundedCache:
+    """LRU bounding of the shared solution cache (sweep workloads)."""
+
+    @staticmethod
+    def _outcome(tag: float) -> SolveOutcome:
+        return SolveOutcome("spectral", True, {"mean_queue_length": tag}, None)
+
+    def test_store_evicts_least_recently_used(self):
+        cache = SolutionCache(maxsize=2)
+        cache.store(("a",), self._outcome(1.0))
+        cache.store(("b",), self._outcome(2.0))
+        assert cache.lookup(("a",)) is not None  # refreshes 'a'; 'b' is now LRU
+        cache.store(("c",), self._outcome(3.0))
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) is not None
+        assert cache.lookup(("c",)) is not None
+        stats = cache.stats()
+        assert stats["size"] == 2 and stats["evictions"] == 1
+
+    def test_merge_respects_the_bound(self):
+        cache = SolutionCache(maxsize=2)
+        cache.merge({(key,): self._outcome(float(index)) for index, key in enumerate("abcd")})
+        stats = cache.stats()
+        assert stats["size"] == 2 and stats["evictions"] == 2
+        # Mapping order is preserved: the two most recent entries survive.
+        assert cache.lookup(("c",)) is not None and cache.lookup(("d",)) is not None
+
+    def test_unbounded_by_default_and_bad_bound_rejected(self):
+        cache = SolutionCache()
+        assert cache.maxsize is None
+        for index in range(100):
+            cache.store((index,), self._outcome(float(index)))
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 100,
+            "solves": 0,
+            "evictions": 0,
+        }
+        with pytest.raises(ValueError, match="maxsize"):
+            SolutionCache(maxsize=0)
+
+    def test_clear_resets_eviction_counter(self):
+        cache = SolutionCache(maxsize=1)
+        cache.store(("a",), self._outcome(1.0))
+        cache.store(("b",), self._outcome(2.0))
+        assert cache.stats()["evictions"] == 1
+        cache.clear()
+        assert cache.stats()["evictions"] == 0
+
+    def test_bounded_cache_still_memoises_solves(self):
+        cache = SolutionCache(maxsize=8)
+        model = sun_fitted_model(num_servers=5, arrival_rate=3.5)
+        first = solve(model, "geometric", cache=cache)
+        second = solve(model, "geometric", cache=cache)
+        assert first == second
+        assert cache.stats()["solves"] == 1
+
+
+class TestFallbackExhaustion:
+    """When every solver in a chain is unsupported, the error names each one."""
+
+    def test_scenario_on_homogeneous_only_chain_names_every_skipped_solver(self):
+        from repro.scenarios import scenario_preset
+
+        scenario = scenario_preset("single-repairman")
+        outcome = evaluate(scenario, SolverPolicy(order=("spectral", "geometric")))
+        assert outcome.solver is None
+        assert outcome.stable is True
+        assert outcome.metrics == {}
+        # One diagnostic per skipped solver, each naming the solver and the
+        # reason it was skipped.
+        for name in ("spectral", "geometric"):
+            assert f"{name}:" in outcome.error
+            assert f"the {name!r} solver handles only the homogeneous model" in outcome.error
+        assert outcome.error.count("solver handles only") == 2  # one per skipped solver
+
+    def test_exhaustion_error_reaches_sweep_rows_and_metric_lookups(self):
+        from repro.scenarios import scenario_preset
+        from repro.sweeps import SweepResultSet  # noqa: F401 - import guard
+
+        scenario = scenario_preset("two-speed-cluster")
+        spec = SweepSpec(
+            base_model=scenario,
+            axes=[("arrival_rate", (1.0,))],
+            policy=SolverPolicy(order=("spectral", "geometric")),
+        )
+        results = SweepRunner().run(spec)
+        row = results[0]
+        assert row.solver is None and not row.ok
+        assert "spectral:" in row.error and "geometric:" in row.error
+        with pytest.raises(SolverError, match="spectral"):
+            row.metric("mean_queue_length")
 
 
 class TestOutcomeRecord:

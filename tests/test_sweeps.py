@@ -18,6 +18,7 @@ from repro.sweeps import (
     SweepResultSet,
     SweepRunner,
     SweepSpec,
+    TimeGridAxis,
     evaluate_point,
     run_sweep,
 )
@@ -368,3 +369,85 @@ class TestScenarioSweeps:
         )
         loads = [round(point.model.effective_load, 6) for point in spec.expand()]
         assert loads == [0.3, 0.5]
+
+
+class TestTimeGridAxis:
+    def test_time_axis_folds_into_the_policy_not_the_model(self):
+        spec = SweepSpec(
+            base_model=sun_fitted_model(num_servers=3, arrival_rate=1.5),
+            axes=[TimeGridAxis((2.0, 10.0))],
+        )
+        points = list(spec.expand())
+        assert [point.parameters["time"] for point in points] == [2.0, 10.0]
+        # The model is untouched; the policy carries the time and switches to
+        # the transient solver alone (a steady-state fallback would silently
+        # ignore the time value).
+        assert all(point.model == spec.base_model for point in points)
+        assert [point.policy.transient_times for point in points] == [(2.0,), (10.0,)]
+        assert all(point.policy.order == ("transient",) for point in points)
+
+    def test_explicit_transient_order_is_preserved(self):
+        spec = SweepSpec(
+            base_model=sun_fitted_model(num_servers=3, arrival_rate=1.5),
+            axes=[TimeGridAxis((5.0,))],
+            policy=SolverPolicy(order=("transient", "ctmc")),
+        )
+        (point,) = spec.expand()
+        assert point.policy.order == ("transient", "ctmc")
+
+    def test_sweep_over_time_and_parameters(self):
+        spec = SweepSpec(
+            base_model=sun_fitted_model(num_servers=3, arrival_rate=1.2),
+            axes=[("arrival_rate", (1.2, 1.8)), TimeGridAxis((2.0, 20.0))],
+            name="time-sweep",
+        )
+        results = SweepRunner().run(spec)
+        assert {row.solver for row in results} == {"transient"}
+        assert [row.metrics["evaluation_time"] for row in results] == [2.0, 20.0, 2.0, 20.0]
+        for rate in (1.2, 1.8):
+            early = results.find(arrival_rate=rate, time=2.0)
+            late = results.find(arrival_rate=rate, time=20.0)
+            # From an empty start the expected backlog grows with time.
+            assert late.metric("mean_queue_length") > early.metric("mean_queue_length")
+
+    def test_time_axis_works_for_scenario_bases(self):
+        from repro.scenarios import scenario_preset
+
+        spec = SweepSpec(
+            base_model=scenario_preset("single-repairman"),
+            axes=[TimeGridAxis((1.0, 10.0))],
+        )
+        results = SweepRunner().run(spec)
+        assert [row.metrics["evaluation_time"] for row in results] == [1.0, 10.0]
+        assert results[0].metrics["availability"] > results[1].metrics["availability"]
+
+    def test_duplicate_time_axes_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate sweep axis name"):
+            SweepSpec(
+                base_model=sun_fitted_model(num_servers=3, arrival_rate=1.5),
+                axes=[TimeGridAxis((1.0,)), ("time", (2.0,))],
+            )
+
+    def test_unsupported_model_fails_loudly_not_with_steady_state_metrics(self):
+        """Regression: a steady-state fallback must not answer a time cell.
+
+        With deterministic operative periods the transient solver cannot run;
+        the cell must carry an error naming it — not a silently identical
+        steady-state answer for every time value.
+        """
+        model = UnreliableQueueModel(
+            num_servers=2,
+            arrival_rate=0.5,
+            service_rate=1.0,
+            operative=Deterministic(value=30.0),
+            inoperative=Exponential(rate=5.0),
+        )
+        spec = SweepSpec(
+            base_model=model,
+            axes=[TimeGridAxis((1.0, 50.0))],
+            policy=SolverPolicy(order=("simulate",), simulate_horizon=2_000.0),
+        )
+        results = SweepRunner().run(spec)
+        for row in results:
+            assert row.solver is None and not row.ok
+            assert "transient:" in row.error

@@ -1,0 +1,162 @@
+"""Closed-loop load generator for the :mod:`repro.service` solver service.
+
+Each benchmark drives a running service with ``concurrency`` synchronous
+keep-alive clients in a closed loop (every worker sends its next request the
+moment the previous answer lands) until ``total`` requests complete, then
+reports throughput and the p50/p99 latency percentiles.  The shared
+:mod:`_harness` records the wall-clock of each workload in
+``BENCH_service.json`` and gates it against the committed
+``BENCH_service_baseline.json`` — a >2x slowdown of the serving path
+(a lost cache, a scheduling regression, an accept-loop stall) fails CI.
+
+The request mix cycles distinct steady-state configurations plus a scenario
+and a transient query, so the batching scheduler, the solution cache and all
+three query kinds sit on the measured path; after the first lap the mix is
+cache-resident and the numbers measure the *service* overhead (HTTP, JSON,
+scheduling), which is exactly what this benchmark exists to track.
+
+Usage::
+
+    # self-hosted: spin a ThreadedService per workload and measure it
+    python benchmarks/service_bench.py --quick
+
+    # CI smoke: aim the load at an already-running `repro serve` instance
+    python benchmarks/service_bench.py --quick --url http://127.0.0.1:8765 \
+        --output BENCH_service.json --check benchmarks/BENCH_service_baseline.json
+
+    # refresh the committed baseline after an intentional perf change
+    python benchmarks/service_bench.py --quick \
+        --update-baseline benchmarks/BENCH_service_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import statistics
+import sys
+import threading
+import time
+from collections.abc import Callable
+from urllib.parse import urlparse
+
+from _harness import bench_main
+
+#: Closed-loop concurrency levels tracked by CI.
+CONCURRENCY_LEVELS = (1, 8, 32)
+
+
+def _request_mix() -> list[dict]:
+    """The cycled request list: mostly steady-state, plus the other kinds."""
+    mix: list[dict] = [
+        {"model": {"servers": servers, "arrival_rate": round(0.45 * servers + 0.1 * i, 3)}}
+        for i, servers in enumerate(itertools.islice(itertools.cycle((3, 4, 5, 6)), 16))
+    ]
+    mix.append({"query": "scenario", "preset": "single-repairman"})
+    mix.append(
+        {
+            "query": "transient",
+            "model": {"servers": 3, "arrival_rate": 1.2},
+            "times": [1.0, 5.0, 20.0],
+        }
+    )
+    return mix
+
+
+def _drive(host: str, port: int, *, concurrency: int, total: int, label: str) -> None:
+    """Run one closed loop and print its throughput and latency percentiles."""
+    from repro.service import ServiceClient
+
+    mix = _request_mix()
+    ticket = itertools.count()
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        local: list[float] = []
+        with ServiceClient(host, port, timeout=120.0) as client:
+            while True:
+                index = next(ticket)
+                if index >= total:
+                    break
+                request = mix[index % len(mix)]
+                started = time.perf_counter()
+                response = client.solve(request)
+                if response.status == 429:
+                    # Backpressure is a correct answer, not a failure: honour
+                    # the hint once and resubmit.
+                    time.sleep(float(response.headers.get("retry-after", "0.05")))
+                    response = client.solve(request)
+                local.append(time.perf_counter() - started)
+                if not response.ok:
+                    with lock:
+                        failures.append(str(response.payload)[:200])
+                    break
+        with lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise RuntimeError(f"{label}: {len(failures)} failed requests, first: {failures[0]}")
+    latencies.sort()
+    quantiles = statistics.quantiles(latencies, n=100)
+    print(
+        f"    {label}: {len(latencies)} requests, {len(latencies) / elapsed:8.1f} req/s, "
+        f"p50 {quantiles[49] * 1e3:7.2f} ms, p99 {quantiles[98] * 1e3:7.2f} ms"
+    )
+
+
+def _make_benchmark(concurrency: int, url: str | None) -> Callable[[bool], None]:
+    def benchmark(quick: bool) -> None:
+        total = 60 * max(1, concurrency // 4) if quick else 400 * max(1, concurrency // 4)
+        label = f"concurrency {concurrency}"
+        if url is not None:
+            parsed = urlparse(url)
+            _drive(
+                parsed.hostname or "127.0.0.1",
+                parsed.port or 80,
+                concurrency=concurrency,
+                total=total,
+                label=label,
+            )
+            return
+        from repro.service import ServiceConfig, ThreadedService
+
+        with ThreadedService(ServiceConfig(port=0, batch_window=0.002)) as service:
+            _drive(
+                service.host, service.port, concurrency=concurrency, total=total, label=label
+            )
+
+    return benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    # The --url option is this runner's own; everything else is the shared
+    # harness CLI (--quick/--output/--check/--factor/--update-baseline).
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("--url", default=None)
+    own, rest = parser.parse_known_args(argv if argv is not None else sys.argv[1:])
+    benchmarks = {
+        f"serve_c{concurrency}": _make_benchmark(concurrency, own.url)
+        for concurrency in CONCURRENCY_LEVELS
+    }
+    return bench_main(
+        benchmarks,
+        description=(
+            "closed-loop load generator for the repro.service solver service "
+            "(add --url to target a running `repro serve` instance)"
+        ),
+        default_output="BENCH_service.json",
+        argv=rest,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,10 @@ Subpackages
 :mod:`repro.transient`
     Time-dependent analysis: uniformization ``pi(t)`` distributions,
     availability and first-passage metrics, ensemble transient simulation.
+:mod:`repro.service`
+    The async solver service: JSON-over-HTTP queries scheduled onto the
+    solver facade with single-flight coalescing, batch windows and
+    admission-control backpressure (``repro serve``).
 :mod:`repro.experiments`
     One driver per table/figure of the paper (built on :mod:`repro.sweeps`).
 """

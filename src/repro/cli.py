@@ -35,8 +35,19 @@ Four subcommands cover the everyday workflows:
     first-passage analysis (time to "all servers down" or "queue exceeds
     L"), and CSV/JSON export of the per-time rows.
 
+``serve``
+    Run the :mod:`repro.service` solver service: an asyncio HTTP server
+    answering concurrent JSON queries (steady-state, scenario, transient)
+    with request coalescing, batch scheduling and backpressure.  See
+    ``repro serve --help`` for the endpoints and the tuning knobs.
+
+``cache-stats``
+    Print solution-cache statistics: of a running ``repro serve`` instance
+    (``--url``), or of this process's shared cache.
+
 The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
 ``repro`` console script when the package is installed with pip.
+``repro --version`` reports the installed package version.
 """
 
 from __future__ import annotations
@@ -65,14 +76,72 @@ from .transient import (
 )
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-unreliable-servers")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+class _OneLineErrorParser(argparse.ArgumentParser):
+    """Top-level parser whose failures are one-line hints, not usage walls.
+
+    An unknown subcommand (or a bad top-level flag) exits 2 with a single
+    actionable line; subcommand parsers keep argparse's richer per-option
+    diagnostics.
+    """
+
+    def error(self, message: str):
+        self.exit(2, f"{self.prog}: error: {message} (run '{self.prog} --help' for usage)\n")
+
+
+#: Endpoint and tuning documentation shown by ``repro serve --help``.
+_SERVE_EPILOG = """\
+endpoints:
+  POST /solve    answer one JSON query, e.g.
+                 {"query": "steady-state",
+                  "model": {"servers": 10, "arrival_rate": 7.0}}
+                 {"query": "scenario", "preset": "two-speed-cluster"}
+                 {"query": "transient", "model": {...}, "times": [1, 5, 25]}
+                 optional: "solvers" (fallback chain), "deadline" (seconds),
+                 "simulate" ({"horizon", "seed", "num_batches",
+                 "warmup_fraction"}).  Success: {"status": "ok", "solver",
+                 "stable", "metrics", "cached", "coalesced", "elapsed_ms"}.
+                 Failure: {"status": "error", "error": {"code", "message"}}
+                 with codes bad-json, bad-request, unknown-solver,
+                 unknown-preset, unstable-model, queue-full (429 +
+                 Retry-After), deadline-exceeded (504), solve-failed.
+  GET /healthz   liveness + current queue depth
+  GET /stats     uptime, scheduler counters (coalesced/batched/rejected)
+                 and solution-cache statistics
+
+tuning:
+  --batch-window trades first-request latency for batching: concurrent
+  distinct requests arriving within the window are solved as one
+  solve_many() batch (identical requests are always coalesced to a single
+  computation regardless of the window).  Raise it when clients burst many
+  distinct configurations; lower it (or use 0) for latency-sensitive,
+  low-concurrency traffic.  --max-queue bounds distinct pending
+  computations; beyond it requests are rejected with 429 queue-full.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for tests and docs)."""
-    parser = argparse.ArgumentParser(
+    parser = _OneLineErrorParser(
         prog="repro",
         description=(
             "Evaluate multi-server systems with unreliable servers "
             "(Palmer & Mitrani, DSN 2006 reproduction)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -275,6 +344,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     transient.add_argument("--csv", help="write the per-time metric rows to this CSV file")
     transient.add_argument("--json", help="write the per-time metric rows to this JSON file")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the asyncio solver service (JSON over HTTP, coalescing + batching)",
+        description=(
+            "Run the repro.service solver service: an asyncio HTTP server answering "
+            "concurrent steady-state, scenario and transient JSON queries.  Identical "
+            "in-flight requests are coalesced to one computation, distinct requests "
+            "arriving within the batch window are solved as one batch, and a bounded "
+            "queue applies backpressure (429 + Retry-After)."
+        ),
+        epilog=_SERVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to bind; 0 = ephemeral (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per batch; 1 = serial off-loop (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds to hold a batch open for further requests (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="bound on distinct pending computations before 429 rejections (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest batch handed to one solve_many call (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU bound of the service's solution cache (default: %(default)s)",
+    )
+
+    cache_stats = subparsers.add_parser(
+        "cache-stats",
+        help="print solution-cache statistics (of a running service, or in-process)",
+        description=(
+            "Print solution-cache statistics.  With --url, query a running "
+            "'repro serve' instance's /stats endpoint (cache plus scheduler "
+            "counters); without it, report this process's shared cache."
+        ),
+    )
+    cache_stats.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running service, e.g. http://127.0.0.1:8080",
+    )
+    cache_stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of the table"
+    )
     return parser
 
 
@@ -675,27 +815,122 @@ def _command_transient(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the serving layer is only needed by this subcommand.
+    from .service import ServiceConfig, run_service
+
+    try:
+        config = ServiceConfig(
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            batch_window=arguments.batch_window,
+            max_queue=arguments.max_queue,
+            max_batch=arguments.max_batch,
+            cache_maxsize=arguments.cache_size,
+        )
+        return run_service(config)
+    except ValueError as error:
+        raise ReproError(str(error)) from error
+
+
+def _service_address(url: str) -> tuple[str, int]:
+    """Parse a ``--url`` value into the client's host/port pair."""
+    from urllib.parse import urlparse
+
+    parsed = urlparse(url if "//" in url else f"http://{url}")
+    try:
+        if parsed.scheme not in ("", "http") or not parsed.hostname:
+            raise ValueError("not an http address")
+        port = parsed.port
+    except ValueError as error:
+        # urlparse defers port validation to the .port property, so a
+        # non-numeric port surfaces here rather than at parse time.
+        raise ReproError(
+            f"--url must be a plain http://host:port address, got {url!r}"
+        ) from error
+    return parsed.hostname, port or 80
+
+
+def _command_cache_stats(arguments: argparse.Namespace) -> int:
+    from .solvers import shared_cache
+
+    if arguments.url is not None:
+        from .service import ServiceClient
+
+        host, port = _service_address(arguments.url)
+        try:
+            with ServiceClient(host, port, timeout=10.0) as client:
+                response = client.stats()
+        except OSError as error:
+            raise ReproError(f"could not reach {arguments.url}: {error}") from error
+        if response.status != 200:
+            raise ReproError(f"/stats returned HTTP {response.status}: {response.payload}")
+        payload = response.payload
+        if arguments.json:
+            print(json.dumps(payload, indent=2))
+            return 0
+        scheduler = payload.get("scheduler", {})
+        cache = scheduler.get("cache", {})
+        print(
+            format_key_values(
+                [
+                    ("uptime seconds", payload.get("uptime_seconds")),
+                    ("responses total", payload.get("responses_total")),
+                    ("errors total", payload.get("errors_total")),
+                    ("queue depth", scheduler.get("queue_depth")),
+                    ("requests total", scheduler.get("requests_total")),
+                    ("coalesced total", scheduler.get("coalesced_total")),
+                    ("batches total", scheduler.get("batches_total")),
+                    ("rejected total", scheduler.get("rejected_total")),
+                ],
+                title=f"Service {arguments.url}",
+            )
+        )
+        print()
+        print(format_key_values(sorted(cache.items()), title="Solution cache"))
+        return 0
+    stats = shared_cache().stats()
+    if arguments.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(format_key_values(sorted(stats.items()), title="Shared solution cache (this process)"))
+    return 0
+
+
+#: Subcommand dispatch: one handler per registered subparser.
+_COMMANDS = {
+    "solve": _command_solve,
+    "fit": _command_fit,
+    "reproduce": _command_reproduce,
+    "sweep": _command_sweep,
+    "scenario": _command_scenario,
+    "transient": _command_transient,
+    "serve": _command_serve,
+    "cache-stats": _command_cache_stats,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` command-line interface."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    handler = _COMMANDS.get(arguments.command)
+    if handler is None:
+        # Defensive: a subparser registered without a handler must degrade to
+        # the same one-line exit-2 hint as an unknown subcommand, never a
+        # traceback.
+        print(
+            f"repro: error: unknown command {arguments.command!r} "
+            "(run 'repro --help' for usage)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        if arguments.command == "solve":
-            return _command_solve(arguments)
-        if arguments.command == "fit":
-            return _command_fit(arguments)
-        if arguments.command == "reproduce":
-            return _command_reproduce(arguments)
-        if arguments.command == "sweep":
-            return _command_sweep(arguments)
-        if arguments.command == "scenario":
-            return _command_scenario(arguments)
-        if arguments.command == "transient":
-            return _command_transient(arguments)
+        return handler(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    raise AssertionError("unreachable: argparse enforces a valid subcommand")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

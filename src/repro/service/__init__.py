@@ -1,0 +1,93 @@
+"""repro.service — the async solver service.
+
+Turns the library into a long-running, multi-tenant surface: an asyncio HTTP
+server (``repro serve``) that answers concurrent steady-state, scenario and
+transient queries as JSON, scheduling them onto the existing
+:mod:`repro.solvers` facade through a batching scheduler with single-flight
+request coalescing and admission-control backpressure.
+
+The moving parts, each in its own module:
+
+:mod:`~repro.service.protocol`
+    The JSON request/response schema and its strict validator.
+:mod:`~repro.service.scheduler`
+    :class:`BatchScheduler` — coalescing, batch windows, bounded queue,
+    per-request deadlines.
+:mod:`~repro.service.server`
+    :class:`SolverService` (the raw-asyncio HTTP front end with ``/solve``,
+    ``/healthz`` and ``/stats``), :class:`ServiceConfig`,
+    :func:`run_service` and the thread-hosted :class:`ThreadedService`.
+:mod:`~repro.service.client`
+    :class:`ServiceClient` (sync) and :class:`AsyncServiceClient`.
+:mod:`~repro.service.errors`
+    The structured error vocabulary (machine-readable ``error.code``).
+
+Example
+-------
+
+>>> from repro.service import ServiceClient, ServiceConfig, ThreadedService
+>>> with ThreadedService(ServiceConfig(port=0)) as service:
+...     client = ServiceClient(service.host, service.port)
+...     payload = client.solve_ok(
+...         {"model": {"servers": 4, "arrival_rate": 2.0}}
+...     )
+>>> payload["solver"]
+'spectral'
+"""
+
+from .client import AsyncServiceClient, ServiceCallError, ServiceClient, ServiceResponse
+from .errors import (
+    BadJSONError,
+    BadRequestError,
+    DeadlineExceededError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    SolveFailedError,
+    UnknownPresetError,
+    UnknownSolverError,
+    UnstableModelError,
+)
+from .protocol import (
+    DEFAULT_SOLVER_ORDERS,
+    QUERY_KINDS,
+    SolveRequest,
+    parse_body,
+    parse_solve_request,
+)
+from .scheduler import BatchScheduler, ScheduledResult
+from .server import ServiceConfig, SolverService, ThreadedService, run_service
+
+__all__ = [
+    "AsyncServiceClient",
+    "BadJSONError",
+    "BadRequestError",
+    "BatchScheduler",
+    "DEFAULT_SOLVER_ORDERS",
+    "DeadlineExceededError",
+    "MethodNotAllowedError",
+    "NotFoundError",
+    "PayloadTooLargeError",
+    "QUERY_KINDS",
+    "QueueFullError",
+    "ScheduledResult",
+    "ServiceCallError",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceResponse",
+    "SolveFailedError",
+    "SolveRequest",
+    "SolverService",
+    "ThreadedService",
+    "UnknownPresetError",
+    "UnknownSolverError",
+    "UnstableModelError",
+    "parse_body",
+    "parse_solve_request",
+    "run_service",
+]

@@ -1,0 +1,190 @@
+"""Clients for the solver service: a synchronous one and an asyncio one.
+
+Both speak the JSON protocol of :mod:`repro.service.protocol` and return
+:class:`ServiceResponse` records — the HTTP status plus the decoded payload —
+without raising on protocol-level errors, so callers (and tests) can assert
+on structured ``error.code`` values directly.  :meth:`ServiceClient.solve_ok`
+is the convenience wrapper that *does* raise, for scripts that only care
+about the happy path.
+
+:class:`ServiceClient` wraps :class:`http.client.HTTPConnection` with
+keep-alive reuse and one transparent reconnect (a server restart between
+calls otherwise surfaces as a confusing dropped socket).
+:class:`AsyncServiceClient` issues requests over
+:func:`asyncio.open_connection` — one connection per call, which is exactly
+what a coalescing test wants: N truly concurrent sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One decoded HTTP exchange with the service."""
+
+    status: int
+    payload: dict
+    headers: dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and self.payload.get("status") == "ok"
+
+    @property
+    def error_code(self) -> str | None:
+        """The machine-readable ``error.code``, or ``None`` on success."""
+        error = self.payload.get("error")
+        if isinstance(error, dict):
+            return error.get("code")
+        return None
+
+
+class ServiceCallError(ReproError):
+    """A :meth:`ServiceClient.solve_ok` call returned a protocol error."""
+
+    def __init__(self, response: ServiceResponse) -> None:
+        error = response.payload.get("error", {})
+        code = error.get("code", "unknown") if isinstance(error, dict) else "unknown"
+        message = error.get("message", "") if isinstance(error, dict) else ""
+        super().__init__(f"service call failed [{code}]: {message}")
+        self.response = response
+        self.code = code
+
+
+def _decode(status: int, headers: dict[str, str], body: bytes) -> ServiceResponse:
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        payload = {"status": "error", "error": {"code": "bad-response", "message": repr(body)}}
+    if not isinstance(payload, dict):
+        payload = {"status": "error", "error": {"code": "bad-response", "message": repr(payload)}}
+    return ServiceResponse(status=status, payload=payload, headers=headers)
+
+
+class ServiceClient:
+    """Synchronous keep-alive client (the tests' and load generator's driver)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, target: str, body: bytes | None = None) -> ServiceResponse:
+        attempts = 2  # one transparent reconnect on a stale keep-alive socket
+        for attempt in range(attempts):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                headers = {"Content-Type": "application/json"} if body else {}
+                self._connection.request(method, target, body=body, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, http.client.HTTPException, socket.timeout, OSError):
+                self.close()
+                if attempt == attempts - 1:
+                    raise
+                continue
+            if response.will_close:
+                self.close()
+            return _decode(
+                response.status,
+                {name.lower(): value for name, value in response.getheaders()},
+                raw,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def solve(self, request: dict) -> ServiceResponse:
+        """POST one query; protocol errors come back as responses, not raises."""
+        return self._request("POST", "/solve", json.dumps(request).encode("utf-8"))
+
+    def solve_ok(self, request: dict) -> dict:
+        """POST one query and return its payload, raising on any failure."""
+        response = self.solve(request)
+        if not response.ok:
+            raise ServiceCallError(response)
+        return response.payload
+
+    def healthz(self) -> ServiceResponse:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> ServiceResponse:
+        return self._request("GET", "/stats")
+
+    def raw(self, method: str, target: str, body: bytes | None = None) -> ServiceResponse:
+        """An escape hatch for protocol tests (wrong methods, bad bodies)."""
+        return self._request(method, target, body)
+
+
+class AsyncServiceClient:
+    """Asyncio client: one connection per request, maximally concurrent."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    async def _request(
+        self, method: str, target: str, body: bytes | None = None
+    ) -> ServiceResponse:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = body or b""
+            head = (
+                f"{method} {target} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Connection: close\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+        head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        lines = head_blob.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1]) if lines and len(lines[0].split()) >= 2 else 0
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return _decode(status, headers, body_blob)
+
+    async def solve(self, request: dict) -> ServiceResponse:
+        return await self._request("POST", "/solve", json.dumps(request).encode("utf-8"))
+
+    async def healthz(self) -> ServiceResponse:
+        return await self._request("GET", "/healthz")
+
+    async def stats(self) -> ServiceResponse:
+        return await self._request("GET", "/stats")

@@ -1,0 +1,300 @@
+"""The batching scheduler: single-flight coalescing, batch windows, backpressure.
+
+This is the heart of :mod:`repro.service`.  Every admitted query becomes a
+``(model, policy)`` pair keyed exactly like the :class:`SolutionCache`, and
+three mechanisms turn a storm of concurrent requests into the minimum amount
+of solver work:
+
+Single-flight coalescing
+    Requests whose cache key matches work already queued *or executing*
+    attach to the in-flight future instead of scheduling anything: one
+    hundred concurrent identical queries cost exactly one solve.  The
+    ``coalesced_total`` counter (surfaced by ``/stats``) pins this.
+
+Batch windows
+    The first distinct request arms a timer; every further distinct request
+    arriving within ``batch_window`` seconds joins the same batch, which is
+    dispatched as **one** :func:`repro.solvers.solve_many_async` call — so
+    the facade's key-level deduplication, the shared cache and (when
+    ``workers > 1``) the :class:`~concurrent.futures.ProcessPoolExecutor`
+    fan-out all do their usual work.  A longer window trades first-request
+    latency for bigger batches.
+
+Admission control
+    The number of *distinct* pending computations is bounded by
+    ``max_queue``; beyond it, new work is rejected with
+    :class:`~.errors.QueueFullError` carrying a ``retry_after`` hint.
+    Coalescing joins are never rejected — they add no work.  Each request
+    may also carry a ``deadline`` (seconds): when it expires before the
+    result is ready the waiter gets :class:`~.errors.DeadlineExceededError`
+    while the computation itself continues for the benefit of coalesced
+    waiters and the cache.
+
+The scheduler is a pure-asyncio object (no threads of its own); the blocking
+solver work runs off-loop via :func:`~repro.solvers.solve_many_async`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..solvers import SolutionCache, SolveOutcome, SolverPolicy, solve_many_async
+from ..solvers.cache import CacheKey
+from .errors import DeadlineExceededError, QueueFullError, ServiceClosedError
+
+#: Default seconds the scheduler waits for further requests before flushing.
+DEFAULT_BATCH_WINDOW = 0.005
+
+#: Default bound on distinct pending computations (queued + executing).
+DEFAULT_MAX_QUEUE = 256
+
+#: Default upper bound on the size of one dispatched batch.
+DEFAULT_MAX_BATCH = 64
+
+#: Default eviction bound of a scheduler-owned solution cache.
+DEFAULT_CACHE_MAXSIZE = 4096
+
+
+@dataclass(frozen=True)
+class ScheduledResult:
+    """One answered query: the outcome plus how the scheduler produced it."""
+
+    outcome: SolveOutcome
+    #: The answer came straight from the solution cache (no scheduling).
+    cached: bool = False
+    #: The request attached to an identical in-flight computation.
+    coalesced: bool = False
+
+
+@dataclass
+class _Pending:
+    """One distinct computation waiting for (or undergoing) evaluation."""
+
+    key: CacheKey
+    model: object
+    policy: SolverPolicy
+    future: asyncio.Future = field(repr=False)
+
+
+class BatchScheduler:
+    """Coalesce, batch and admission-control solve requests onto the facade.
+
+    Parameters
+    ----------
+    batch_window:
+        Seconds to hold the first request of a batch open for company.
+        ``0.0`` flushes on the next event-loop tick (batching then only
+        captures requests arriving in the same tick).
+    max_queue:
+        Bound on distinct pending computations; the admission controller
+        rejects beyond it.
+    max_batch:
+        Largest batch handed to one ``solve_many`` call; a full buffer
+        flushes immediately instead of waiting out the window.
+    workers:
+        ``1`` evaluates batches serially on the executor thread; ``> 1``
+        lets ``solve_many`` fan each batch out over a process pool.
+    cache:
+        The :class:`SolutionCache` answers repeat queries instantly and
+        provides the coalescing key; defaults to a scheduler-owned bounded
+        cache so services never share state accidentally.
+    """
+
+    def __init__(
+        self,
+        *,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        workers: int = 1,
+        cache: SolutionCache | None = None,
+    ) -> None:
+        if batch_window < 0.0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.batch_window = float(batch_window)
+        self.max_queue = int(max_queue)
+        self.max_batch = int(max_batch)
+        self.workers = int(workers)
+        self.cache = cache if cache is not None else SolutionCache(maxsize=DEFAULT_CACHE_MAXSIZE)
+        self._inflight: dict[CacheKey, _Pending] = {}
+        self._buffer: list[_Pending] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        # Counters surfaced by /stats.
+        self._requests_total = 0
+        self._cache_hits_total = 0
+        self._coalesced_total = 0
+        self._scheduled_total = 0
+        self._batches_total = 0
+        self._largest_batch = 0
+        self._rejected_total = 0
+        self._deadline_exceeded_total = 0
+
+    # -- admission ---------------------------------------------------------
+
+    async def submit(
+        self,
+        model: object,
+        policy: SolverPolicy,
+        *,
+        deadline: float | None = None,
+    ) -> ScheduledResult:
+        """Answer one query, coalescing/batching it with concurrent work."""
+        if self._closed:
+            raise ServiceClosedError("the scheduler is closed")
+        self._requests_total += 1
+        key = self.cache.key(model, policy)
+        # probe(), not lookup(): a miss here is re-counted by solve_many when
+        # the batch executes, so only the hit side registers in cache stats.
+        cached = self.cache.probe(key)
+        if cached is not None:
+            self._cache_hits_total += 1
+            return ScheduledResult(outcome=cached, cached=True)
+
+        pending = self._inflight.get(key)
+        coalesced = pending is not None
+        if coalesced:
+            self._coalesced_total += 1
+        else:
+            if len(self._inflight) >= self.max_queue:
+                self._rejected_total += 1
+                raise QueueFullError(
+                    f"the service queue is full ({self.max_queue} pending "
+                    "computations); retry shortly",
+                    retry_after=self._retry_after(),
+                )
+            loop = asyncio.get_running_loop()
+            pending = _Pending(key, model, policy, loop.create_future())
+            self._inflight[key] = pending
+            self._buffer.append(pending)
+            self._scheduled_total += 1
+            self._arm_flush(loop)
+
+        # shield(): a waiter timing out must not cancel the computation other
+        # coalesced waiters (and the cache) still want.
+        try:
+            if deadline is not None:
+                outcome = await asyncio.wait_for(asyncio.shield(pending.future), deadline)
+            else:
+                outcome = await asyncio.shield(pending.future)
+        except TimeoutError:
+            self._deadline_exceeded_total += 1
+            raise DeadlineExceededError(
+                f"deadline of {deadline:g}s expired before the solution was ready; "
+                "the computation continues and will be cached — retry to collect it"
+            ) from None
+        return ScheduledResult(outcome=outcome, coalesced=coalesced)
+
+    def _retry_after(self) -> float:
+        """A client back-off hint: roughly one batch generation's worth."""
+        backlog_batches = 1 + len(self._inflight) // self.max_batch
+        return round(max(0.05, backlog_batches * max(self.batch_window, 0.01)), 3)
+
+    # -- batching ----------------------------------------------------------
+
+    def _arm_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if len(self._buffer) >= self.max_batch:
+            # A full buffer doesn't wait out the window.
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.batch_window, self._on_window_elapsed)
+
+    def _on_window_elapsed(self) -> None:
+        self._flush_handle = None
+        self._flush()
+
+    def _flush(self) -> None:
+        batch = self._buffer[: self.max_batch]
+        del self._buffer[: self.max_batch]
+        if not batch:
+            return
+        loop = asyncio.get_running_loop()
+        if self._buffer:
+            # More than one batch accumulated within the window: dispatch the
+            # overflow right behind this one.
+            self._flush_handle = loop.call_later(0.0, self._on_window_elapsed)
+        self._batches_total += 1
+        self._largest_batch = max(self._largest_batch, len(batch))
+        task = loop.create_task(self._run_batch(batch))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        try:
+            outcomes = await solve_many_async(
+                [pending.model for pending in batch],
+                [pending.policy for pending in batch],
+                parallel=self.workers > 1 and len(batch) > 1,
+                max_workers=self.workers,
+                cache=self.cache,
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            for pending in batch:
+                self._inflight.pop(pending.key, None)
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+                    pending.future.exception()  # silence never-retrieved noise
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            return
+        for pending, outcome in zip(batch, outcomes):
+            self._inflight.pop(pending.key, None)
+            if not pending.future.done():
+                pending.future.set_result(outcome)
+
+    # -- lifecycle and introspection ---------------------------------------
+
+    async def close(self) -> None:
+        """Stop admitting work, flush nothing further, fail the backlog."""
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        shutdown = ServiceClosedError("the service shut down before answering")
+        for pending in self._buffer:
+            self._inflight.pop(pending.key, None)
+            if not pending.future.done():
+                pending.future.set_exception(shutdown)
+                # Mark the exception retrieved: waiters that already gave up
+                # (cancelled, timed out) would otherwise trigger asyncio's
+                # "exception was never retrieved" teardown noise.  Waiters
+                # still listening receive it through their shield regardless.
+                pending.future.exception()
+        self._buffer.clear()
+        if self._batch_tasks:
+            await asyncio.gather(*tuple(self._batch_tasks), return_exceptions=True)
+
+    @property
+    def queue_depth(self) -> int:
+        """Distinct computations currently queued or executing."""
+        return len(self._inflight)
+
+    def stats(self) -> dict[str, object]:
+        """The scheduler section of the ``/stats`` payload."""
+        return {
+            "queue_depth": self.queue_depth,
+            "max_queue": self.max_queue,
+            "batch_window": self.batch_window,
+            "max_batch": self.max_batch,
+            "workers": self.workers,
+            "requests_total": self._requests_total,
+            "cache_hits_total": self._cache_hits_total,
+            "coalesced_total": self._coalesced_total,
+            "scheduled_total": self._scheduled_total,
+            "batches_total": self._batches_total,
+            "largest_batch": self._largest_batch,
+            "rejected_total": self._rejected_total,
+            "deadline_exceeded_total": self._deadline_exceeded_total,
+            "cache": self.cache.stats(),
+        }

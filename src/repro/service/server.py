@@ -1,0 +1,455 @@
+"""The asyncio HTTP front end of the solver service.
+
+A deliberately small HTTP/1.1 implementation over
+:func:`asyncio.start_server` — no frameworks, no new dependencies — serving
+three endpoints:
+
+``POST /solve``
+    The work endpoint: one JSON query in, one JSON answer out (see
+    :mod:`.protocol` for the schema).
+``GET /healthz``
+    Liveness: ``{"status": "ok", "uptime_seconds": ...}`` plus the current
+    queue depth, so load balancers can shed before the admission controller
+    has to.
+``GET /stats``
+    The full observability payload: uptime, scheduler counters (queue depth,
+    coalesced/batched/rejected totals) and the solution-cache statistics.
+
+Connections are persistent (HTTP/1.1 keep-alive) and each *connection* is
+served by its own task, so one slow solve never blocks the accept loop or
+other connections; requests on a single connection are answered in order
+(no pipelining), which is what the stdlib sync client expects anyway —
+concurrency-hungry clients open concurrent connections, as
+:class:`~repro.service.client.AsyncServiceClient` does.
+
+:class:`ThreadedService` runs a service on a private event loop in a
+background thread — the harness the tests, the benchmark load generator and
+embedding applications use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+
+from ..solvers import SolutionCache
+from . import protocol
+from .errors import (
+    BadRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    ServiceError,
+    SolveFailedError,
+)
+from .scheduler import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_CACHE_MAXSIZE,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    BatchScheduler,
+)
+
+#: Largest declared over-bound body the server drains before answering 413.
+_MAX_DRAIN_BYTES = 16_000_000
+
+#: Reason phrases for the status codes the service emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SolverService` instance.
+
+    ``port=0`` binds an ephemeral port (what the tests use); the bound port
+    is available as :attr:`SolverService.port` after ``start()``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 1
+    batch_window: float = DEFAULT_BATCH_WINDOW
+    max_queue: int = DEFAULT_MAX_QUEUE
+    max_batch: int = DEFAULT_MAX_BATCH
+    cache_maxsize: int = DEFAULT_CACHE_MAXSIZE
+    max_body_bytes: int = 1_000_000
+
+
+class SolverService:
+    """The long-running solver service: HTTP front end + batching scheduler."""
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, cache: SolutionCache | None = None
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if cache is None:
+            cache = SolutionCache(maxsize=self.config.cache_maxsize)
+        self.scheduler = BatchScheduler(
+            batch_window=self.config.batch_window,
+            max_queue=self.config.max_queue,
+            max_batch=self.config.max_batch,
+            workers=self.config.workers,
+            cache=cache,
+        )
+        self._server: asyncio.Server | None = None
+        self._started_monotonic: float | None = None
+        self._started_wallclock: float | None = None
+        self._responses_total = 0
+        self._errors_total = 0
+        self._errors_by_code: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful once started)."""
+        if self._server is None:
+            raise RuntimeError("the service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("the service is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._started_monotonic = time.monotonic()
+        self._started_wallclock = time.time()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and fail queued (unstarted) work."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close()
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                except ServiceError as error:
+                    # Pre-routing failures (an oversized body that was never
+                    # read) still deserve a structured answer; the connection
+                    # cannot be reused because the body is still on the wire.
+                    status, payload, extra_headers = self._error_response(error)
+                    writer.write(self._render_response(status, payload, extra_headers, False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                status, payload, extra_headers = await self._dispatch(method, target, body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                writer.write(self._render_response(status, payload, extra_headers, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, TimeoutError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels connection handlers mid-read; ending the
+            # handler quietly (instead of re-raising into the streams
+            # protocol's completion callback) keeps shutdown silent.  Nothing
+            # else cancels these tasks, so no real cancellation is masked.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, TimeoutError, asyncio.CancelledError):
+                # Teardown races: the peer vanished, or the loop is shutting
+                # down and cancelled us inside this very cleanup await.
+                pass
+
+    @staticmethod
+    async def _read_line(reader: asyncio.StreamReader) -> bytes:
+        """One header line, treating an over-limit line as a dropped client.
+
+        ``StreamReader.readline`` raises :class:`ValueError` when a line
+        exceeds the reader's buffer limit (64 KiB by default); re-raising it
+        as the incomplete-read signal makes the handler drop the connection
+        quietly instead of spraying an unhandled-exception traceback per
+        oversized (or malicious) request.
+        """
+        try:
+            return await reader.readline()
+        except ValueError as exc:
+            raise asyncio.IncompleteReadError(b"", None) from exc
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+        request_line = await self._read_line(reader)
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(request_line, None)
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._read_line(reader)
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                return None
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise asyncio.IncompleteReadError(line, None) from None
+        if length > self.config.max_body_bytes:
+            # Drain moderate overruns before answering: closing a socket with
+            # unread data sends an RST that can destroy the 413 response
+            # in-flight.  Absurd declared lengths are not worth draining —
+            # the structured answer is then best-effort.
+            if length <= _MAX_DRAIN_BYTES:
+                try:
+                    await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    pass
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte bound"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    def _render_response(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None,
+        keep_alive: bool,
+    ) -> bytes:
+        body = protocol.encode_response(payload)
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        self._responses_total += 1
+        if status >= 400:
+            self._errors_total += 1
+        return head + body
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        """Route one request; every failure becomes a structured error."""
+        target = target.split("?", 1)[0]
+        try:
+            if target == "/solve":
+                if method != "POST":
+                    raise MethodNotAllowedError("/solve accepts POST only")
+                return await self._solve(body)
+            if target == "/healthz":
+                if method != "GET":
+                    raise MethodNotAllowedError("/healthz accepts GET only")
+                return 200, self._healthz_payload(), None
+            if target == "/stats":
+                if method != "GET":
+                    raise MethodNotAllowedError("/stats accepts GET only")
+                return 200, self._stats_payload(), None
+            raise NotFoundError(
+                f"no such endpoint {target!r}; available: /solve, /healthz, /stats"
+            )
+        except ServiceError as error:
+            return self._error_response(error)
+        except Exception as error:  # noqa: BLE001 - last-resort 500, never a dropped socket
+            return self._error_response(
+                ServiceError(f"internal error: {type(error).__name__}: {error}")
+            )
+
+    def _error_response(self, error: ServiceError) -> tuple[int, dict, dict[str, str] | None]:
+        self._errors_by_code[error.code] = self._errors_by_code.get(error.code, 0) + 1
+        headers: dict[str, str] | None = None
+        if error.retry_after is not None:
+            headers = {"Retry-After": f"{error.retry_after:g}"}
+        return error.http_status, {"status": "error", "error": error.payload()}, headers
+
+    async def _solve(self, body: bytes) -> tuple[int, dict, None]:
+        started = time.perf_counter()
+        if not body:
+            raise BadRequestError("POST /solve requires a JSON body")
+        request = protocol.parse_solve_request(protocol.parse_body(body))
+        result = await self.scheduler.submit(
+            request.model, request.policy, deadline=request.deadline
+        )
+        outcome = result.outcome
+        if outcome.solver is None:
+            raise SolveFailedError(outcome.error or "no solver succeeded")
+        payload = {
+            "status": "ok",
+            "query": request.query,
+            "solver": outcome.solver,
+            "stable": outcome.stable,
+            "metrics": dict(outcome.metrics),
+            "cached": result.cached,
+            "coalesced": result.coalesced,
+            "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+        }
+        return 200, payload, None
+
+    def _healthz_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - (self._started_monotonic or 0.0), 3),
+            "queue_depth": self.scheduler.queue_depth,
+            "max_queue": self.scheduler.max_queue,
+        }
+
+    def _stats_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "started_at": self._started_wallclock,
+            "uptime_seconds": round(time.monotonic() - (self._started_monotonic or 0.0), 3),
+            "responses_total": self._responses_total,
+            "errors_total": self._errors_total,
+            "errors_by_code": dict(self._errors_by_code),
+            "scheduler": self.scheduler.stats(),
+        }
+
+
+def run_service(config: ServiceConfig | None = None) -> int:
+    """Run a service until interrupted (the ``repro serve`` entry point)."""
+
+    async def _main() -> None:
+        service = SolverService(config)
+        await service.start()
+        print(
+            f"repro.service listening on http://{service.host}:{service.port} "
+            "(endpoints: POST /solve, GET /healthz, GET /stats; Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro.service stopped")
+    return 0
+
+
+class ThreadedService:
+    """A :class:`SolverService` on a private event loop in a daemon thread.
+
+    The synchronous harness everything outside asyncio uses: tests, the
+    benchmark load generator, interactive sessions.  Usable as a context
+    manager::
+
+        with ThreadedService(ServiceConfig(port=0)) as service:
+            client = ServiceClient(service.host, service.port)
+            client.solve({...})
+    """
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, cache: SolutionCache | None = None
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig(port=0)
+        self._cache = cache
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._service: SolverService | None = None
+        self._startup_error: BaseException | None = None
+        self.host: str = self._config.host
+        self.port: int | None = None
+
+    def start(self) -> "ThreadedService":
+        if self._thread is not None:
+            raise RuntimeError("the service thread is already started")
+        self._thread = threading.Thread(target=self._run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):  # pragma: no cover - hang guard
+            raise RuntimeError("the service thread failed to start within 30s")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError("the service failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        service = SolverService(self._config, cache=self._cache)
+        try:
+            await service.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._service = service
+        self.port = service.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await service.stop()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    @property
+    def address(self) -> str:
+        """The service's base URL."""
+        if self.port is None:
+            raise RuntimeError("the service is not started")
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ThreadedService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

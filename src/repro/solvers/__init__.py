@@ -56,6 +56,7 @@ from .facade import (
     evaluate,
     solve,
     solve_many,
+    solve_many_async,
 )
 from .policy import SolverPolicy, as_policy
 from .registry import (
@@ -95,6 +96,7 @@ __all__ = [
     "solution_cache_key",
     "solve",
     "solve_many",
+    "solve_many_async",
     "solver_names",
     "unregister_solver",
 ]

@@ -160,6 +160,24 @@ class SolutionCache:
             self._data.move_to_end(key)
             return self._isolated(outcome)
 
+    def probe(self, key: CacheKey) -> SolveOutcome | None:
+        """A speculative lookup that counts a hit when found, but never a miss.
+
+        The serving scheduler probes the cache before *scheduling* work; when
+        the probe misses, the very same key is looked up again (and missed
+        again) by :func:`~repro.solvers.solve_many` as the batch executes.
+        Counting both would double every miss and halve the reported hit
+        rate, so the probe contributes only its hits and leaves the
+        authoritative miss to the evaluation path.
+        """
+        with self._lock:
+            outcome = self._data.get(key) if self._enabled else None
+            if outcome is None:
+                return None
+            self._hits += 1
+            self._data.move_to_end(key)
+            return self._isolated(outcome)
+
     def store(self, key: CacheKey, outcome: SolveOutcome) -> None:
         """Memoise one outcome (no-op when disabled)."""
         if not self._enabled:
@@ -184,13 +202,23 @@ class SolutionCache:
         with self._lock:
             self._solves += count
 
-    def stats(self) -> dict[str, int]:
-        """Hit/miss/solve/eviction counters and the current cache size."""
+    def stats(self) -> dict[str, int | float | None]:
+        """Hit/miss/solve/eviction counters, current size/bound and hit rate.
+
+        This is the payload the service's ``/stats`` endpoint and the
+        ``repro cache-stats`` subcommand report verbatim, so the keys are
+        part of the serving protocol: ``hits``, ``misses``, ``hit_rate``
+        (``0.0`` before the first lookup), ``size``, ``maxsize`` (``None``
+        = unbounded), ``solves`` and ``evictions``.
+        """
         with self._lock:
+            lookups = self._hits + self._misses
             return {
                 "hits": self._hits,
                 "misses": self._misses,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
                 "size": len(self._data),
+                "maxsize": self._maxsize,
                 "solves": self._solves,
                 "evictions": self._evictions,
             }

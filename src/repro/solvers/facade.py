@@ -16,10 +16,12 @@ never solved twice, serial or parallel.
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import os
 import warnings
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
 from ..exceptions import ParameterError, SimulationError, SolverError
@@ -189,8 +191,18 @@ def _execute_parallel(tasks, max_workers: int, registry: SolverRegistry | None):
             (index, evaluate(model, policy, registry=registry))
             for index, model, policy in tasks
         ]
-    with executor:
-        return list(executor.map(_solve_task, tasks, chunksize=chunksize))
+    try:
+        results = list(executor.map(_solve_task, tasks, chunksize=chunksize))
+    except BaseException:
+        # A KeyboardInterrupt (or an async cancellation surfacing here) must
+        # abort the batch promptly: cancel every queued item and return
+        # without waiting for in-flight ones, instead of the default
+        # shutdown(wait=True) that would block until the slowest grid point
+        # finishes solving.
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown()
+    return results
 
 
 def solve_many(
@@ -282,3 +294,36 @@ def solve_many(
                     outcomes[duplicate] = outcomes[indices[0]]
 
     return [outcomes[index] for index in range(len(models))]
+
+
+async def solve_many_async(
+    models: Iterable["UnreliableQueueModel"],
+    policy: object = None,
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    cache: SolutionCache | bool | None = None,
+    registry: SolverRegistry | None = None,
+    executor: Executor | None = None,
+) -> list[SolveOutcome]:
+    """Awaitable :func:`solve_many`: the batch runs off the event loop.
+
+    Solver evaluations are CPU-bound, so running them on the loop thread
+    would stall every other coroutine (the serving layer's accept loop, its
+    batch timers, its health endpoint) for the duration of the batch.  This
+    wrapper materialises the model list eagerly — generators must not be
+    consumed from another thread — and dispatches the otherwise-identical
+    :func:`solve_many` call onto ``executor`` (the loop's default thread pool
+    when ``None``).  The :class:`SolutionCache` is thread-safe, so cached and
+    coalesced lookups behave exactly as in the synchronous path.
+    """
+    call = functools.partial(
+        solve_many,
+        list(models),
+        policy,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        registry=registry,
+    )
+    return await asyncio.get_running_loop().run_in_executor(executor, call)

@@ -374,3 +374,109 @@ class TestTransientCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unstable" in captured.err
+
+
+class TestVersionAndUnknownCommands:
+    def test_version_reports_the_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_unknown_subcommand_exits_2_with_a_one_line_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        captured = capsys.readouterr()
+        assert excinfo.value.code == 2
+        error_lines = [line for line in captured.err.splitlines() if line.strip()]
+        assert len(error_lines) == 1
+        assert "repro: error:" in error_lines[0]
+        assert "--help" in error_lines[0]
+
+    def test_missing_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestServeCommand:
+    def test_serve_arguments(self):
+        arguments = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--workers", "2",
+                "--batch-window", "0.01",
+                "--max-queue", "32",
+            ]
+        )
+        assert arguments.command == "serve"
+        assert arguments.port == 0
+        assert arguments.workers == 2
+        assert arguments.batch_window == 0.01
+        assert arguments.max_queue == 32
+        assert arguments.host == "127.0.0.1"
+
+    def test_serve_help_documents_the_endpoints(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--help"])
+        output = capsys.readouterr().out
+        for needle in ("POST /solve", "GET /healthz", "GET /stats", "queue-full",
+                      "deadline", "--batch-window"):
+            assert needle in output
+
+    def test_serve_rejects_bad_tunables(self, capsys):
+        exit_code = main(["serve", "--port", "0", "--max-queue", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "max_queue" in captured.err
+
+
+class TestCacheStatsCommand:
+    def test_in_process_cache_stats(self, capsys):
+        exit_code = main(["cache-stats"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Shared solution cache" in output
+        for counter in ("hits", "misses", "size", "evictions"):
+            assert counter in output
+
+    def test_in_process_cache_stats_json(self, capsys):
+        import json
+
+        exit_code = main(["cache-stats", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert set(payload) >= {"hits", "misses", "hit_rate", "size", "solves", "evictions"}
+
+    def test_cache_stats_of_a_running_service(self, capsys):
+        import json
+
+        from repro.service import ServiceClient, ServiceConfig, ThreadedService
+
+        with ThreadedService(ServiceConfig(port=0)) as service:
+            with ServiceClient(service.host, service.port) as client:
+                client.solve_ok({"model": {"servers": 3, "arrival_rate": 1.5}})
+            exit_code = main(["cache-stats", "--url", service.address])
+            output = capsys.readouterr().out
+            assert exit_code == 0
+            assert "Service http://" in output
+            assert "coalesced total" in output
+            assert "Solution cache" in output
+
+            exit_code = main(["cache-stats", "--url", service.address, "--json"])
+            payload = json.loads(capsys.readouterr().out)
+            assert exit_code == 0
+            assert payload["scheduler"]["cache"]["solves"] == 1
+
+    def test_unreachable_service_reports_an_error(self, capsys):
+        exit_code = main(["cache-stats", "--url", "http://127.0.0.1:9"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "could not reach" in captured.err
+
+    def test_bad_url_port_reports_an_error_not_a_traceback(self, capsys):
+        exit_code = main(["cache-stats", "--url", "http://127.0.0.1:notaport"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--url must be a plain http://host:port address" in captured.err

@@ -291,7 +291,9 @@ class TestSolveCaching:
         assert cache.stats() == {
             "hits": 1,
             "misses": 1,
+            "hit_rate": 0.5,
             "size": 1,
+            "maxsize": None,
             "solves": 1,
             "evictions": 0,
         }
@@ -563,7 +565,9 @@ class TestBoundedCache:
         assert cache.stats() == {
             "hits": 0,
             "misses": 0,
+            "hit_rate": 0.0,
             "size": 100,
+            "maxsize": None,
             "solves": 0,
             "evictions": 0,
         }

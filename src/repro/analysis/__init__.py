@@ -1,0 +1,62 @@
+"""Domain-aware static analysis for the repro solver/service stack.
+
+A stdlib-``ast`` lint engine with a rule registry mirroring the solver
+registry idiom: ~7 repo-specific rules (``RPR001`` ... ``RPR007``) encode the
+contracts this codebase has historically been bitten by — blocking work on
+the service event loop, cache-identity-less distributions (the PR 2
+collision bug), float equality in the numerical core, undeclared scenario
+support in solver backends, unstable service error codes, swallowed
+cancellation and mutable defaults.
+
+Run it as ``repro lint [paths ...]`` (text or ``--format json``, exit code 0
+when clean / 1 with findings / 2 on usage errors), or programmatically::
+
+    from repro.analysis import analyze_paths
+    report = analyze_paths(["src"])
+    assert report.exit_code == 0, report.render_text()
+
+Per-line opt-outs use ``# repro: noqa RPRxxx`` comments; third-party rules
+subclass :class:`LintRule` and register through :func:`register_rule`.
+"""
+
+from .engine import (
+    AnalysisError,
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    module_name_for,
+)
+from .findings import Finding
+from .registry import (
+    LintRule,
+    ModuleContext,
+    RuleRegistry,
+    default_registry,
+    register_rule,
+    rule_ids,
+    unregister_rule,
+)
+from .suppressions import SuppressionIndex, suppressed_rules
+from .checks import BUILTIN_RULE_IDS, builtin_rules
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "BUILTIN_RULE_IDS",
+    "Finding",
+    "LintRule",
+    "ModuleContext",
+    "RuleRegistry",
+    "SuppressionIndex",
+    "analyze_paths",
+    "analyze_source",
+    "builtin_rules",
+    "default_registry",
+    "iter_python_files",
+    "module_name_for",
+    "register_rule",
+    "rule_ids",
+    "suppressed_rules",
+    "unregister_rule",
+]

@@ -1,0 +1,133 @@
+"""Small AST utilities shared by the built-in lint rules.
+
+Everything here is pure syntax inspection — no imports are executed, no
+modules are loaded.  The helpers deliberately resolve names *textually*
+(``time.sleep`` is the attribute chain ``time`` → ``sleep``), with a module
+import table (:func:`import_table`) to see through ``from time import sleep``
+style aliasing; rules stay deterministic and safe to run on untrusted code.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted source text of a ``Name``/``Attribute`` chain, else ``None``.
+
+    ``time.sleep`` → ``"time.sleep"``; ``self.cache.lookup`` →
+    ``"self.cache.lookup"``; anything rooted in a call or subscript (e.g.
+    ``Path(x).read_text``) resolves the trailing attribute path only, rooted
+    at ``"()"`` so callers can still match on the final segments.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif parts:
+        parts.append("()")
+    else:
+        return None
+    return ".".join(reversed(parts))
+
+
+def last_segment(node: ast.AST) -> str | None:
+    """The final attribute/name segment of a chain (``a.b.c`` → ``"c"``)."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported from.
+
+    ``import time`` → ``{"time": "time"}``; ``from time import sleep`` →
+    ``{"sleep": "time.sleep"}``; ``import numpy as np`` →
+    ``{"np": "numpy"}``.  Star imports contribute nothing (they cannot be
+    resolved textually).
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".", 1)[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def resolve_call_target(call: ast.Call, imports: dict[str, str]) -> str | None:
+    """The dotted origin of a call's target, seen through the import table.
+
+    A call to ``sleep(...)`` after ``from time import sleep`` resolves to
+    ``"time.sleep"``; ``sp.run(...)`` after ``import subprocess as sp``
+    resolves to ``"subprocess.run"``; unresolvable targets fall back to the
+    textual dotted name.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    origin = imports.get(root)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def walk_body(nodes: list[ast.stmt], *, skip_nested_defs: bool = True) -> Iterator[ast.AST]:
+    """Walk statements, optionally not descending into nested def/class bodies.
+
+    Rules about *this* function's execution context (e.g. "no blocking calls
+    on the event loop") must not descend into nested function definitions —
+    a nested helper's body runs when the helper is *called*, which may well
+    be off-loop — while still seeing the nested ``def`` statement itself.
+    """
+    for statement in nodes:
+        if skip_nested_defs and isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            yield statement
+            continue
+        yield statement
+        for child in ast.iter_child_nodes(statement):
+            yield from _walk_node(child, skip_nested_defs)
+
+
+def _walk_node(node: ast.AST, skip_nested_defs: bool) -> Iterator[ast.AST]:
+    if skip_nested_defs and isinstance(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        yield node
+        return
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_node(child, skip_nested_defs)
+
+
+def class_methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """The methods defined directly in a class body."""
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement
+
+
+def assigned_class_names(node: ast.ClassDef) -> dict[str, ast.expr]:
+    """Class-body attribute assignments: name → assigned value expression."""
+    assigned: dict[str, ast.expr] = {}
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    assigned[target.id] = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.value is not None:
+                assigned[statement.target.id] = statement.value
+    return assigned

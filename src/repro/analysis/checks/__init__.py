@@ -1,0 +1,59 @@
+"""The built-in lint rules, one module per rule.
+
+:func:`builtin_rules` returns fresh instances in identifier order; the
+default :class:`~repro.analysis.registry.RuleRegistry` is populated from it.
+
+==========  ==================================================================
+Rule        Contract it enforces
+==========  ==================================================================
+``RPR001``  no blocking calls (``time.sleep``, ``subprocess``, sync
+            ``solve``/``solve_many``, file I/O) inside ``async def``
+``RPR002``  every ``Distribution`` subclass defines ``parameter_key()``
+``RPR003``  no float-literal ``==``/``!=`` in the numerical core
+``RPR004``  solver backends touching scenario models declare
+            ``supports_scenarios`` or raise ``UnsupportedScenarioError``
+``RPR005``  service ``error.code`` values are literal, kebab-case and unique
+``RPR006``  no swallowed ``CancelledError`` / bare ``except`` in the service
+``RPR007``  no mutable default argument values
+==========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from ..registry import LintRule
+from .blocking import BlockingCallRule
+from .cancellation import SwallowedCancellationRule
+from .defaults import MutableDefaultRule
+from .distributions import DistributionParameterKeyRule
+from .errors import ErrorCodeStabilityRule
+from .floats import FloatEqualityRule
+from .scenarios import ScenarioContractRule
+
+
+def builtin_rules() -> tuple[LintRule, ...]:
+    """Fresh instances of the built-in rules, in identifier order."""
+    return (
+        BlockingCallRule(),
+        DistributionParameterKeyRule(),
+        FloatEqualityRule(),
+        ScenarioContractRule(),
+        ErrorCodeStabilityRule(),
+        SwallowedCancellationRule(),
+        MutableDefaultRule(),
+    )
+
+
+#: The built-in rule identifiers, in the order reports list them.
+BUILTIN_RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007")
+
+__all__ = [
+    "BUILTIN_RULE_IDS",
+    "BlockingCallRule",
+    "DistributionParameterKeyRule",
+    "ErrorCodeStabilityRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "ScenarioContractRule",
+    "SwallowedCancellationRule",
+    "builtin_rules",
+]

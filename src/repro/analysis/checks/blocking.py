@@ -1,0 +1,94 @@
+"""RPR001 — blocking calls inside ``async def`` functions.
+
+The service layer runs solves through an asyncio event loop; one blocking
+call on the loop thread stalls the accept loop, every batch timer and the
+health endpoint for its whole duration.  This rule flags, inside any
+``async def`` body (nested sync helpers excluded — they may legitimately run
+off-loop):
+
+* ``time.sleep`` — use ``await asyncio.sleep``;
+* anything in ``subprocess.*``, plus ``os.system``/``os.popen``;
+* the synchronous solver facade, ``solve(...)`` / ``solve_many(...)`` —
+  use :func:`repro.solvers.solve_many_async` or an executor;
+* synchronous file I/O: the ``open`` builtin and the
+  ``read_text``/``write_text``/``read_bytes``/``write_bytes`` convenience
+  methods.
+
+Imports are resolved textually, so ``from time import sleep`` and
+``import subprocess as sp`` do not evade the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import dotted_name, import_table, resolve_call_target, walk_body
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Fully-qualified call targets that block the event loop outright.
+_BLOCKING_TARGETS = frozenset({"time.sleep", "os.system", "os.popen"})
+
+#: Module roots whose every call is process-spawning and blocking.
+_BLOCKING_ROOTS = ("subprocess.",)
+
+#: Final segments of the synchronous solver facade.
+_SYNC_FACADE = frozenset({"solve", "solve_many"})
+
+#: Method names of synchronous convenience file I/O.
+_FILE_IO_METHODS = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+
+
+class BlockingCallRule(LintRule):
+    """Flag event-loop-blocking calls inside ``async def`` bodies."""
+
+    rule_id = "RPR001"
+    title = "blocking call inside an async function"
+    rationale = (
+        "one blocking call on the event loop stalls the whole service; "
+        "use solve_many_async, asyncio.sleep or an executor"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        imports = import_table(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_function(context, node, imports)
+
+    def _check_async_function(
+        self,
+        context: ModuleContext,
+        function: ast.AsyncFunctionDef,
+        imports: dict[str, str],
+    ) -> Iterator[Finding]:
+        for node in walk_body(function.body):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = self._blocking_reason(node, imports)
+            if reason is not None:
+                yield context.finding(
+                    self,
+                    node,
+                    f"{reason} inside 'async def {function.name}'; blocking work "
+                    "stalls the event loop — use solve_many_async / asyncio.sleep "
+                    "/ an executor",
+                )
+
+    def _blocking_reason(self, call: ast.Call, imports: dict[str, str]) -> str | None:
+        target = resolve_call_target(call, imports)
+        if target is None:
+            return None
+        if target in _BLOCKING_TARGETS:
+            return f"blocking call {target}()"
+        if any(target.startswith(root) for root in _BLOCKING_ROOTS):
+            return f"blocking subprocess call {target}()"
+        literal = dotted_name(call.func) or target
+        final = target.rsplit(".", 1)[-1]
+        if final in _SYNC_FACADE:
+            return f"synchronous solver call {literal}()"
+        if target == "open" or literal == "open":
+            return "synchronous file I/O open()"
+        if final in _FILE_IO_METHODS and "." in literal:
+            return f"synchronous file I/O {literal}()"
+        return None

@@ -1,0 +1,83 @@
+"""RPR006 — swallowed ``asyncio.CancelledError`` / bare ``except`` in the service layer.
+
+Cancellation is the service's shutdown signal: the loop teardown cancels
+connection handlers and batch tasks, and each of them is expected to let the
+:class:`asyncio.CancelledError` propagate once its cleanup ran.  A handler
+that catches it (directly, through ``BaseException``, or with a bare
+``except:``) and does not re-raise turns "shut down now" into "keep running",
+which is exactly how services hang on Ctrl-C.  Bare ``except:`` is flagged
+unconditionally — besides cancellation it also eats ``KeyboardInterrupt``
+and ``SystemExit``.
+
+Scoped to modules inside a ``service`` package.  A teardown path that has a
+genuine reason to absorb cancellation can opt out per line with
+``# repro: noqa RPR006`` — the comment then documents the exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import last_segment
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Exception names whose handlers capture cancellation.
+_CANCELLATION_CATCHERS = frozenset({"CancelledError", "BaseException"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> tuple[str, ...]:
+    if handler.type is None:
+        return ()
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for node in nodes:
+        name = last_segment(node)
+        if name is not None:
+            names.append(name)
+    return tuple(names)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+class SwallowedCancellationRule(LintRule):
+    """Flag handlers that absorb cancellation (or everything) silently."""
+
+    rule_id = "RPR006"
+    title = "swallowed CancelledError or bare except in the service layer"
+    rationale = (
+        "catching CancelledError without re-raising turns shutdown into a hang; "
+        "bare except additionally eats KeyboardInterrupt/SystemExit"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return "service" in context.module_parts
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield context.finding(
+                    self,
+                    node,
+                    "bare 'except:' swallows CancelledError, KeyboardInterrupt and "
+                    "SystemExit; catch specific exceptions (or 'except Exception')",
+                )
+                continue
+            caught = _CANCELLATION_CATCHERS.intersection(_caught_names(node))
+            if caught and not _reraises(node):
+                names = ", ".join(sorted(caught))
+                yield context.finding(
+                    self,
+                    node,
+                    f"'except {names}' without a re-raise swallows task cancellation; "
+                    "re-raise after cleanup (or # repro: noqa RPR006 with a "
+                    "justification for a deliberate teardown absorb)",
+                )

@@ -1,0 +1,74 @@
+"""RPR007 — mutable default argument values.
+
+A default value is evaluated once, at ``def`` time; a list/dict/set default
+is therefore *shared between every call*, and the first caller that mutates
+it changes the default for everyone after it.  In a library whose models and
+policies are cached by value this is a particularly nasty bug class: a
+mutated default silently changes cache keys and solver inputs across
+unrelated call sites.  Use ``None`` and materialise inside the body (or a
+``dataclasses.field(default_factory=...)`` for dataclasses — those are not
+flagged, the factory is re-evaluated per instance).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import dotted_name
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Constructor calls whose zero-state results are mutable.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+#: Literal/display nodes that build a fresh mutable object.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _describe(node: ast.expr) -> str | None:
+    """Why a default expression is mutable, or ``None`` when it is fine."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return f"a {type(node).__name__.lower()} literal"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CONSTRUCTORS:
+            return f"a {name}() call"
+    return None
+
+
+class MutableDefaultRule(LintRule):
+    """Flag function parameters defaulting to a shared mutable object."""
+
+    rule_id = "RPR007"
+    title = "mutable default argument"
+    rationale = (
+        "defaults are evaluated once and shared across calls; a mutated default "
+        "silently corrupts later calls (and value-keyed caches)"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            positional = arguments.posonlyargs + arguments.args
+            pairs = list(
+                zip(reversed(positional), reversed(arguments.defaults))
+            ) + [
+                (argument, default)
+                for argument, default in zip(arguments.kwonlyargs, arguments.kw_defaults)
+                if default is not None
+            ]
+            for argument, default in pairs:
+                reason = _describe(default)
+                if reason is not None:
+                    yield context.finding(
+                        self,
+                        default,
+                        f"parameter {argument.arg!r} of {node.name!r} defaults to "
+                        f"{reason}, shared across every call; default to None and "
+                        "materialise inside the body",
+                    )

@@ -1,0 +1,80 @@
+"""RPR002 — ``Distribution`` subclass without ``parameter_key``.
+
+The PR 2 cache-collision bug class: solution-cache keys derive a
+distribution's identity from :meth:`repro.distributions.Distribution.parameter_key`;
+a subclass that does not implement it falls back to a ``repr``/moment-based
+key, and two distinct parameterisations whose reprs collide silently share a
+cache entry — the solver then returns the *wrong model's* solution.  This
+rule flags every class with ``Distribution`` among its bases (directly, or
+through an intermediate base defined in the same module) that neither
+defines ``parameter_key`` nor inherits one from such an in-module base.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import assigned_class_names, class_methods, last_segment
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+
+def _defines_parameter_key(node: ast.ClassDef) -> bool:
+    if any(method.name == "parameter_key" for method in class_methods(node)):
+        return True
+    return "parameter_key" in assigned_class_names(node)
+
+
+class DistributionParameterKeyRule(LintRule):
+    """Flag distribution subclasses missing a cache-identity method."""
+
+    rule_id = "RPR002"
+    title = "Distribution subclass without parameter_key()"
+    rationale = (
+        "repr-keyed distributions collided in the solution cache (fixed in PR 2); "
+        "parameter_key() is the only collision-proof cache identity"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in classes.values():
+            if not self._is_distribution_subclass(node, classes):
+                continue
+            if self._has_parameter_key(node, classes):
+                continue
+            yield context.finding(
+                self,
+                node,
+                f"Distribution subclass {node.name!r} does not define parameter_key(); "
+                "the repr-based fallback cache key collides across parameterisations "
+                "(the PR 2 cache-collision bug class)",
+            )
+
+    def _is_distribution_subclass(
+        self, node: ast.ClassDef, classes: dict[str, ast.ClassDef]
+    ) -> bool:
+        for base in node.bases:
+            name = last_segment(base)
+            if name == "Distribution":
+                return True
+            if name in classes and name != node.name:
+                if self._is_distribution_subclass(classes[name], classes):
+                    return True
+        return False
+
+    def _has_parameter_key(
+        self, node: ast.ClassDef, classes: dict[str, ast.ClassDef]
+    ) -> bool:
+        if _defines_parameter_key(node):
+            return True
+        for base in node.bases:
+            name = last_segment(base)
+            if name in classes and name != node.name:
+                if self._has_parameter_key(classes[name], classes):
+                    return True
+        return False

@@ -1,0 +1,95 @@
+"""RPR005 — duplicate or unstable ``error.code`` values in service errors.
+
+``error.code`` is part of the wire protocol: clients switch on it, the
+``/stats`` endpoint aggregates by it, and the README pins it as "never
+reworded".  Two failure classes sharing a code are indistinguishable to every
+client; a code computed at runtime (an f-string, a concatenation, an
+attribute lookup) can drift between releases without any diff on the literal.
+
+The rule inspects every class in the module that is (transitively, within
+the module) a ``ServiceError`` subclass and validates its class-level
+``code`` assignment:
+
+* the value must be a **string literal** — anything computed is unstable;
+* the literal must be lower-kebab-case (``queue-full``, ``bad-json``) — the
+  protocol's established vocabulary;
+* no two classes in the module may pin the **same** code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from ..asthelpers import assigned_class_names, last_segment
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: The protocol's code shape: lower-case kebab words.
+_CODE_SHAPE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
+
+
+class ErrorCodeStabilityRule(LintRule):
+    """Flag duplicate or non-literal service error codes."""
+
+    rule_id = "RPR005"
+    title = "duplicate or unstable service error.code"
+    rationale = (
+        "clients switch on error.code; duplicated or computed codes break the "
+        "wire protocol silently"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        seen: dict[str, str] = {}
+        for node in classes.values():
+            if not self._is_service_error(node, classes):
+                continue
+            assigned = assigned_class_names(node)
+            value = assigned.get("code")
+            if value is None:
+                continue
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+                yield context.finding(
+                    self,
+                    node,
+                    f"error class {node.name!r} computes its 'code' at runtime; codes "
+                    "are wire protocol and must be string literals",
+                )
+                continue
+            code = value.value
+            if not _CODE_SHAPE.match(code):
+                yield context.finding(
+                    self,
+                    node,
+                    f"error class {node.name!r} pins code {code!r}, which is not "
+                    "lower-kebab-case; the protocol's code vocabulary is "
+                    "'words-joined-by-dashes'",
+                )
+            if code in seen:
+                yield context.finding(
+                    self,
+                    node,
+                    f"error class {node.name!r} duplicates code {code!r} already pinned "
+                    f"by {seen[code]!r}; clients switching on error.code cannot "
+                    "distinguish the two failures",
+                )
+            else:
+                seen[code] = node.name
+
+    def _is_service_error(self, node: ast.ClassDef, classes: dict[str, ast.ClassDef]) -> bool:
+        if node.name == "ServiceError":
+            return True
+        for base in node.bases:
+            name = last_segment(base)
+            if name == "ServiceError":
+                return True
+            if name in classes and name != node.name:
+                if self._is_service_error(classes[name], classes):
+                    return True
+        return False

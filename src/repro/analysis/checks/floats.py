@@ -1,0 +1,79 @@
+"""RPR003 — float-literal equality comparisons in the numerical core.
+
+``x == 0.1`` is almost never what a numerical module means: the literal is
+not exactly representable, the left-hand side carries accumulated rounding
+error, and the comparison silently becomes "false forever" (or worse, "true
+by accident").  The rule is scoped to the numerical packages — ``markov``,
+``transient``, ``queueing``, ``distributions`` — and flags ``==``/``!=``
+comparisons against non-sentinel float literals; use ``math.isclose``,
+``numpy.isclose`` or an explicit tolerance instead.
+
+*Sentinel* values are exempt: ``0.0``, ``1.0``, ``-1.0`` and infinities are
+exactly representable and conventionally used as markers ("zero rate means
+the transition is absent", "SCV == 1 means exponential"), so comparing
+against them is legitimate.  A genuine sentinel comparison against any other
+value can opt out per line with ``# repro: noqa RPR003``.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Exactly-representable marker values that equality may legitimately test.
+_SENTINELS = (0.0, 1.0, -1.0)
+
+#: Module segments the rule is scoped to (the numerical core).
+_NUMERICAL_PACKAGES = frozenset({"markov", "transient", "queueing", "distributions"})
+
+
+def _float_literal(node: ast.expr) -> float | None:
+    """The float value of a (possibly sign-wrapped) float literal, else None."""
+    sign = 1.0
+    while isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        if isinstance(node.op, ast.USub):
+            sign = -sign
+        node = node.operand
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return sign * node.value
+    return None
+
+
+class FloatEqualityRule(LintRule):
+    """Flag ``==``/``!=`` against non-sentinel float literals."""
+
+    rule_id = "RPR003"
+    title = "float-literal equality comparison in a numerical module"
+    rationale = (
+        "accumulated rounding error makes exact float equality silently wrong; "
+        "compare with math.isclose or an explicit tolerance"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return bool(_NUMERICAL_PACKAGES.intersection(context.module_parts))
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for operand in (left, right):
+                    value = _float_literal(operand)
+                    if value is None or math.isinf(value) or value in _SENTINELS:
+                        continue
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield context.finding(
+                        self,
+                        node,
+                        f"float equality comparison '{symbol} {value!r}' in a numerical "
+                        "module; use math.isclose/numpy.isclose or an explicit "
+                        "tolerance (# repro: noqa RPR003 for a true sentinel)",
+                    )
+                    break

@@ -1,0 +1,114 @@
+"""RPR004 — solver backends touching scenario models without a declared contract.
+
+Scenario models (heterogeneous server groups, limited repair crews) fall
+outside the state-space structure of some analytical backends; the facade's
+fallback chain relies on those backends *either* declaring their position
+(a class-level ``supports_scenarios`` attribute) *or* raising
+:class:`repro.exceptions.UnsupportedScenarioError` so the chain can skip to a
+scenario-capable backend.  A backend that inspects scenario-ness ad hoc —
+``isinstance(model, ScenarioModel)``, ``is_scenario_model(model)``,
+``model.is_scenario`` — without doing either tends to half-support scenarios:
+it branches on them, silently returns wrong-shaped results, and the fallback
+chain never learns it should have skipped it.
+
+The rule inspects every :class:`~repro.solvers.base.Solver` subclass (bases
+are resolved transitively within the analysed module): if its ``solve`` or
+``supports`` methods reference a scenario marker, the class — or one of its
+in-module ancestors — must declare ``supports_scenarios`` or raise
+``UnsupportedScenarioError``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import assigned_class_names, class_methods, last_segment
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Names whose appearance in a method body means "this backend inspects
+#: scenario models".
+_SCENARIO_MARKERS = frozenset({"ScenarioModel", "is_scenario_model", "is_scenario"})
+
+#: Methods whose bodies are inspected for scenario markers.
+_DISPATCH_METHODS = frozenset({"solve", "supports"})
+
+
+def _references_scenarios(method: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Name) and node.id in _SCENARIO_MARKERS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _SCENARIO_MARKERS:
+            return True
+    return False
+
+
+def _raises_unsupported(node: ast.ClassDef) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Raise) and child.exc is not None:
+            exc = child.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            if last_segment(target) == "UnsupportedScenarioError":
+                return True
+    return False
+
+
+class ScenarioContractRule(LintRule):
+    """Flag solver backends with an undeclared scenario contract."""
+
+    rule_id = "RPR004"
+    title = "solver backend touches scenario models without declaring support"
+    rationale = (
+        "fallback chains need backends to declare supports_scenarios or raise "
+        "UnsupportedScenarioError; ad-hoc scenario branching half-supports them"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in classes.values():
+            if not self._is_solver_class(node, classes):
+                continue
+            touching = [
+                method
+                for method in class_methods(node)
+                if method.name in _DISPATCH_METHODS and _references_scenarios(method)
+            ]
+            if not touching:
+                continue
+            if self._declares_contract(node, classes):
+                continue
+            methods = ", ".join(sorted(method.name for method in touching))
+            yield context.finding(
+                self,
+                node,
+                f"solver backend {node.name!r} inspects scenario models in {methods}() "
+                "but neither declares a class-level 'supports_scenarios' nor raises "
+                "UnsupportedScenarioError; fallback chains cannot skip it safely",
+            )
+
+    def _is_solver_class(self, node: ast.ClassDef, classes: dict[str, ast.ClassDef]) -> bool:
+        for base in node.bases:
+            name = last_segment(base)
+            if name is None:
+                continue
+            if name == "Solver" or name.endswith("Solver"):
+                return True
+            if name in classes and name != node.name:
+                if self._is_solver_class(classes[name], classes):
+                    return True
+        return False
+
+    def _declares_contract(self, node: ast.ClassDef, classes: dict[str, ast.ClassDef]) -> bool:
+        if "supports_scenarios" in assigned_class_names(node) or _raises_unsupported(node):
+            return True
+        for base in node.bases:
+            name = last_segment(base)
+            if name in classes and name != node.name:
+                if self._declares_contract(classes[name], classes):
+                    return True
+        return False

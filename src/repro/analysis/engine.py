@@ -1,0 +1,196 @@
+"""The analysis engine: collect files, run rules, render reports.
+
+:func:`analyze_source` runs the rule set over one in-memory module (what the
+fixture tests use); :func:`analyze_paths` walks files and directories and
+aggregates an :class:`AnalysisReport` (what ``repro lint`` uses).  Findings on
+lines carrying a ``# repro: noqa`` suppression comment are dropped before
+reporting (see :mod:`.suppressions`).
+
+Exit-code contract (mirrored by ``repro lint``):
+
+* ``0`` — analysis ran and produced no findings;
+* ``1`` — analysis ran and produced findings;
+* ``2`` — the analysis itself could not run (unknown rule, unreadable path,
+  syntax error in an analysed file) — surfaced as :class:`AnalysisError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import ReproError
+from .findings import Finding
+from .registry import LintRule, ModuleContext, RuleRegistry, default_registry
+from .suppressions import SuppressionIndex
+
+#: Directory names never descended into when expanding directory arguments.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".mypy_cache", ".pytest_cache", ".hypothesis", ".venv", "node_modules"}
+)
+
+
+class AnalysisError(ReproError):
+    """The analysis could not run (bad input, unreadable file, syntax error)."""
+
+
+def module_name_for(path: Path) -> str:
+    """The logical dotted module name of a source file.
+
+    Files under a ``src/<package>/...`` or ``<package>/...`` layout resolve to
+    their real dotted name by walking ``__init__.py`` packages upwards
+    (``src/repro/service/server.py`` → ``repro.service.server``); anything
+    else falls back to its stem — scoped rules then simply do not apply,
+    which is the safe default for loose fixture files.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted, deduplicated file list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(found.parts):
+                    seen.setdefault(found, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+def _parse(source: str, path: str) -> ast.Module:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        location = f"{path}:{exc.lineno or 1}"
+        raise AnalysisError(f"cannot analyse {location}: {exc.msg}") from exc
+
+
+def analyze_source(
+    source: str,
+    *,
+    path: str = "<source>",
+    module: str | None = None,
+    rules: Sequence[LintRule] | None = None,
+    registry: RuleRegistry | None = None,
+) -> list[Finding]:
+    """Run the rule set over one module's source text.
+
+    ``module`` overrides the logical dotted module name used for rule scoping
+    (defaults to the path's inferred name) — fixture tests use this to
+    exercise, say, the service-layer rules on a temporary file.
+    """
+    if rules is None:
+        rules = tuple(registry if registry is not None else default_registry())
+    tree = _parse(source, path)
+    context = ModuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(Path(path)),
+        source=source,
+        tree=tree,
+    )
+    suppressions = SuppressionIndex(source)
+    findings = [
+        finding
+        for rule in rules
+        if rule.applies_to(context)
+        for finding in rule.check(context)
+        if not suppressions.is_suppressed(finding)
+    ]
+    return sorted(findings)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The aggregate result of one analysis run."""
+
+    findings: tuple[Finding, ...]
+    files_analyzed: int
+    rules_run: tuple[str, ...]
+    paths: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """``0`` when clean, ``1`` when any finding survived suppression."""
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Finding counts per rule identifier (only rules that fired)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json_payload(self) -> dict[str, object]:
+        """The machine-readable form emitted by ``repro lint --format json``."""
+        return {
+            "tool": "repro lint",
+            "paths": list(self.paths),
+            "files_analyzed": self.files_analyzed,
+            "rules_run": list(self.rules_run),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "counts_by_rule": self.counts_by_rule(),
+            "exit_code": self.exit_code,
+        }
+
+    def render_text(self) -> str:
+        """The human-readable report: one line per finding plus a summary."""
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            by_rule = ", ".join(
+                f"{rule}: {count}" for rule, count in self.counts_by_rule().items()
+            )
+            lines.append("")
+            lines.append(
+                f"{len(self.findings)} finding(s) in {self.files_analyzed} file(s) ({by_rule})"
+            )
+        else:
+            lines.append(
+                f"clean: no findings in {self.files_analyzed} file(s) "
+                f"({len(self.rules_run)} rules)"
+            )
+        return "\n".join(lines)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    registry: RuleRegistry | None = None,
+) -> AnalysisReport:
+    """Analyse files and directories and aggregate a report.
+
+    ``select``/``ignore`` filter the rule set by identifier (unknown
+    identifiers raise, so a typo never silently disables a gate).
+    """
+    registry = registry if registry is not None else default_registry()
+    rules = registry.select(select, ignore)
+    paths = [Path(path) for path in paths]
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot read {file}: {exc}") from exc
+        findings.extend(analyze_source(source, path=str(file), rules=rules))
+    return AnalysisReport(
+        findings=tuple(sorted(findings)),
+        files_analyzed=len(files),
+        rules_run=tuple(rule.rule_id for rule in rules),
+        paths=tuple(str(path) for path in paths),
+    )

@@ -1,0 +1,46 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding is one diagnostic anchored to a source location: the rule that
+produced it, the file, the 1-based line, the 0-based column and a
+human-readable message.  Findings are plain frozen dataclasses so reports can
+sort, deduplicate and serialise them without knowing anything about the rule
+that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a lint rule.
+
+    The field order doubles as the sort order: reports group by file, then by
+    position, then by rule identifier — the order a human fixes findings in.
+    """
+
+    #: Display path of the offending file.
+    path: str
+    #: 1-based source line the finding anchors to.
+    line: int
+    #: 0-based column offset on that line.
+    column: int
+    #: Rule identifier, e.g. ``"RPR001"``.
+    rule: str
+    #: Human-readable description of the defect and the expected fix.
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-serialisable form used by ``repro lint --format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RPRxxx message``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"

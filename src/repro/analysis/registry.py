@@ -1,0 +1,194 @@
+"""The lint-rule registry: name-based dispatch, mirroring the solver registry.
+
+Rules are :class:`LintRule` subclasses registered under their ``rule_id``
+(``RPR001`` ... ``RPR007`` for the built-ins).  The registry preserves
+registration order — which is the order reports list rules in — and supports
+third-party registration through :func:`register_rule`, exactly like
+:func:`repro.solvers.register_solver` does for solver backends.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from .findings import Finding
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about one analysed module.
+
+    ``module`` is the *logical* dotted module name (``repro.service.server``);
+    scoped rules filter on it through :meth:`LintRule.applies_to`, and tests
+    override it to exercise scoped rules on fixture files living anywhere.
+    """
+
+    #: Display path of the file (what findings report).
+    path: str
+    #: Logical dotted module name used for rule scoping.
+    module: str
+    #: The raw source text.
+    source: str
+    #: The parsed abstract syntax tree of ``source``.
+    tree: ast.Module
+
+    @property
+    def module_parts(self) -> tuple[str, ...]:
+        """The dotted module name split into its segments."""
+        return tuple(self.module.split(".")) if self.module else ()
+
+    def finding(self, rule: "LintRule", node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``, attributed to ``rule``."""
+        return Finding(
+            path=self.path,
+            line=int(getattr(node, "lineno", 1)),
+            column=int(getattr(node, "col_offset", 0)),
+            rule=rule.rule_id,
+            message=message,
+        )
+
+
+class LintRule(abc.ABC):
+    """One static-analysis rule, dispatchable by identifier.
+
+    Subclasses pin :attr:`rule_id` (the stable ``RPRxxx`` identifier used in
+    reports, ``--select``/``--ignore`` filters and ``# repro: noqa``
+    suppressions), :attr:`title` (the one-line summary shown by
+    ``repro lint --list-rules``) and :attr:`rationale` (why the rule exists in
+    this repository), and implement :meth:`check`.
+    """
+
+    #: Stable identifier of the rule, e.g. ``"RPR001"``.
+    rule_id: str = ""
+    #: One-line summary of what the rule flags.
+    title: str = ""
+    #: Why the rule exists — ideally naming the bug class it prevents.
+    rationale: str = ""
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        """Whether this rule runs over ``context`` (default: every module)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield every finding of this rule in the module."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} rule_id={self.rule_id!r}>"
+
+
+class RuleRegistry:
+    """A mapping from rule identifier to :class:`LintRule` instance."""
+
+    def __init__(self, rules: Iterable[LintRule] = ()) -> None:
+        self._rules: dict[str, LintRule] = {}
+        for rule in rules:
+            self.register(rule)
+
+    def register(self, rule: LintRule, *, replace: bool = False) -> LintRule:
+        """Add a rule under its :attr:`~LintRule.rule_id`."""
+        rule_id = getattr(rule, "rule_id", "")
+        if not isinstance(rule_id, str) or not rule_id:
+            raise ParameterError(
+                f"rule {rule!r} has no usable identifier; set a non-empty `rule_id`"
+            )
+        if not replace and rule_id in self._rules:
+            raise ParameterError(
+                f"a rule with id {rule_id!r} is already registered; "
+                "pass replace=True to overwrite it"
+            )
+        self._rules[rule_id] = rule
+        return rule
+
+    def unregister(self, rule_id: str) -> LintRule:
+        """Remove and return the rule registered under ``rule_id``."""
+        try:
+            return self._rules.pop(rule_id)
+        except KeyError:
+            raise ParameterError(
+                f"no rule with id {rule_id!r} is registered; "
+                f"registered rules: {', '.join(self.rule_ids()) or '(none)'}"
+            ) from None
+
+    def get(self, rule_id: str) -> LintRule:
+        """The rule registered under ``rule_id`` (with a listing on miss)."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise ParameterError(
+                f"unknown rule {rule_id!r}; registered rules: "
+                f"{', '.join(self.rule_ids()) or '(none)'}"
+            ) from None
+
+    def rule_ids(self) -> tuple[str, ...]:
+        """The registered rule identifiers, in registration order."""
+        return tuple(self._rules)
+
+    def select(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> tuple[LintRule, ...]:
+        """The rules to run after applying ``--select``/``--ignore`` filters.
+
+        ``select`` names the only rules to run (unknown names are errors, so
+        typos never silently disable a gate); ``ignore`` removes rules from
+        whatever ``select`` produced.
+        """
+        if select is not None:
+            chosen = [self.get(rule_id) for rule_id in select]
+        else:
+            chosen = list(self._rules.values())
+        if ignore is not None:
+            dropped = {self.get(rule_id).rule_id for rule_id in ignore}
+            chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+        return tuple(chosen)
+
+    def __contains__(self, rule_id: object) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self) -> Iterator[LintRule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RuleRegistry({', '.join(self.rule_ids())})"
+
+
+def _build_default_registry() -> RuleRegistry:
+    from .checks import builtin_rules
+
+    return RuleRegistry(builtin_rules())
+
+
+#: The process-wide default registry, pre-populated with the built-in rules.
+_DEFAULT_REGISTRY: RuleRegistry | None = None
+
+
+def default_registry() -> RuleRegistry:
+    """The process-wide rule registry used when no explicit one is passed."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = _build_default_registry()
+    return _DEFAULT_REGISTRY
+
+
+def register_rule(rule: LintRule, *, replace: bool = False) -> LintRule:
+    """Register a rule with the default registry (third-party hook)."""
+    return default_registry().register(rule, replace=replace)
+
+
+def unregister_rule(rule_id: str) -> LintRule:
+    """Remove a rule from the default registry (mostly for tests)."""
+    return default_registry().unregister(rule_id)
+
+
+def rule_ids() -> tuple[str, ...]:
+    """The rule identifiers registered with the default registry."""
+    return default_registry().rule_ids()

@@ -1,0 +1,66 @@
+"""Inline suppression comments: ``# repro: noqa`` and ``# repro: noqa RPRxxx``.
+
+A finding is suppressed when the physical line it anchors to carries a
+``# repro: noqa`` comment — bare (suppressing every rule on that line) or
+followed by one or more comma-separated rule identifiers (suppressing only
+those).  The marker is deliberately namespaced (``repro:``) so it never
+collides with ruff/flake8 ``# noqa`` comments, and rule-scoped suppressions
+are preferred: a reviewer can see *which* contract the line opts out of.
+
+Examples::
+
+    if scv == 1.0:  # repro: noqa RPR003  (exact sentinel: scv==1 means exponential)
+    except BaseException:  # repro: noqa RPR006, RPR001
+    anything_at_all()  # repro: noqa
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+#: ``# repro: noqa`` with an optional colon and a rule list.
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*noqa(?::|\b)\s*(?P<rules>RPR\d+(?:\s*,\s*RPR\d+)*)?",
+    re.IGNORECASE,
+)
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """The rules a source line suppresses.
+
+    Returns ``None`` when the line carries no suppression comment, the empty
+    frozenset for a bare ``# repro: noqa`` (suppress everything on the line),
+    and the named identifiers (upper-cased) for a rule-scoped comment.
+    """
+    match = _SUPPRESSION.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if not rules:
+        return frozenset()
+    return frozenset(part.strip().upper() for part in rules.split(","))
+
+
+class SuppressionIndex:
+    """Per-file index answering "is this finding suppressed?" in O(1)."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(source.splitlines(), start=1):
+            if "noqa" not in line:  # cheap pre-filter before the regex
+                continue
+            rules = suppressed_rules(line)
+            if rules is not None:
+                self._by_line[number] = rules
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether the line of ``finding`` opts out of its rule."""
+        rules = self._by_line.get(finding.line)
+        if rules is None:
+            return False
+        return not rules or finding.rule.upper() in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

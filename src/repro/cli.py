@@ -45,6 +45,14 @@ Four subcommands cover the everyday workflows:
     Print solution-cache statistics: of a running ``repro serve`` instance
     (``--url``), or of this process's shared cache.
 
+``lint``
+    Run the :mod:`repro.analysis` static analyzer — the repo-specific
+    ``RPR001`` ... ``RPR007`` rules (blocking calls in async code, cache-unsafe
+    distributions, float equality in the numerical core, undeclared scenario
+    support, unstable error codes, swallowed cancellation, mutable defaults)
+    — over files or directories.  Text or ``--format json`` output; exit
+    code 0 when clean, 1 with findings, 2 on usage errors.
+
 The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
 ``repro`` console script when the package is installed with pip.
 ``repro --version`` reports the installed package version.
@@ -55,16 +63,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from pathlib import Path
+from typing import NoReturn, TypeVar
 
 from .data import read_trace_csv
-from .distributions import Exponential, HyperExponential
+from .distributions import Distribution, Exponential, HyperExponential
 from .exceptions import ReproError
 from .experiments import format_key_values, format_table, render_report, run_all_experiments
 from .fitting import fit_exponential, fit_two_phase_from_moments
 from .queueing import UnreliableQueueModel
-from .scenarios import preset_description, preset_names, scenario_preset
+from .scenarios import ScenarioModel, preset_description, preset_names, scenario_preset
 from .solvers import SolverPolicy, solve as solve_model, solver_names
 from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
 from .sweeps import SweepRunner, SweepSpec
@@ -74,6 +83,8 @@ from .transient import (
     first_passage_time,
     solve_transient,
 )
+
+_T = TypeVar("_T")
 
 
 def _package_version() -> str:
@@ -96,7 +107,7 @@ class _OneLineErrorParser(argparse.ArgumentParser):
     diagnostics.
     """
 
-    def error(self, message: str):
+    def error(self, message: str) -> NoReturn:
         self.exit(2, f"{self.prog}: error: {message} (run '{self.prog} --help' for usage)\n")
 
 
@@ -415,10 +426,48 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of the table"
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro static analyzer (RPR rules) over python sources",
+        description=(
+            "Run the repro.analysis static analyzer: repo-specific AST lint rules "
+            "(RPR001...RPR007) encoding the solver/service stack's correctness "
+            "contracts.  Exit code 0 = clean, 1 = findings, 2 = usage error.  "
+            "Suppress a finding per line with '# repro: noqa RPRxxx'."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: every registered rule)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
-def _operative_distribution(mean: float, scv: float):
+def _operative_distribution(mean: float, scv: float) -> Distribution:
     if scv < 1.0:
         raise ReproError(
             "the analytical model requires an operative-period SCV >= 1 "
@@ -561,7 +610,7 @@ def _command_reproduce(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_list(text: str, kind, name: str) -> tuple:
+def _parse_list(text: str, kind: Callable[[str], _T], name: str) -> tuple[_T, ...]:
     try:
         values = tuple(kind(item.strip()) for item in text.split(",") if item.strip())
     except ValueError as exc:
@@ -727,7 +776,7 @@ def _command_scenario(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _transient_model(arguments: argparse.Namespace):
+def _transient_model(arguments: argparse.Namespace) -> UnreliableQueueModel | ScenarioModel:
     """The model the ``transient`` subcommand analyses (preset or homogeneous)."""
     if arguments.preset is not None:
         return scenario_preset(
@@ -898,6 +947,25 @@ def _command_cache_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the analyzer is only needed by this subcommand.
+    from .analysis import analyze_paths, default_registry
+
+    if arguments.list_rules:
+        registry = default_registry()
+        rows = [(rule.rule_id, rule.title) for rule in registry]
+        print(format_table(("rule", "checks for"), rows, title="Registered lint rules"))
+        return 0
+    select = _parse_list(arguments.select, str, "--select") if arguments.select else None
+    ignore = _parse_list(arguments.ignore, str, "--ignore") if arguments.ignore else None
+    report = analyze_paths(arguments.paths, select=select, ignore=ignore)
+    if arguments.format == "json":
+        print(json.dumps(report.to_json_payload(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 #: Subcommand dispatch: one handler per registered subparser.
 _COMMANDS = {
     "solve": _command_solve,
@@ -908,6 +976,7 @@ _COMMANDS = {
     "transient": _command_transient,
     "serve": _command_serve,
     "cache-stats": _command_cache_stats,
+    "lint": _command_lint,
 }
 
 

@@ -11,6 +11,7 @@ and they approximate the deterministic (``C^2 = 0``) case as ``k`` grows.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 from collections.abc import Sequence
 
 import numpy as np
@@ -18,6 +19,9 @@ import scipy.stats
 
 from .._validation import check_positive, check_positive_int
 from .base import Distribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .phase_type import PhaseType
 
 
 class Erlang(Distribution):
@@ -93,7 +97,7 @@ class Erlang(Distribution):
     def laplace_transform(self, s: float | complex) -> complex:
         return complex((self._rate / (self._rate + s)) ** self._shape)
 
-    def to_phase_type(self):
+    def to_phase_type(self) -> "PhaseType":
         from .phase_type import PhaseType
 
         k = self._shape

@@ -9,12 +9,16 @@ shows that the assumption fails badly for operative periods.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 from collections.abc import Sequence
 
 import numpy as np
 
 from .._validation import check_positive
 from .base import Distribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .phase_type import PhaseType
 
 
 class Exponential(Distribution):
@@ -83,7 +87,7 @@ class Exponential(Distribution):
     def laplace_transform(self, s: float | complex) -> complex:
         return complex(self._rate / (self._rate + s))
 
-    def to_phase_type(self):
+    def to_phase_type(self) -> "PhaseType":
         from .phase_type import PhaseType
 
         return PhaseType(initial=[1.0], generator=[[-self._rate]])

@@ -17,6 +17,7 @@ the paper as ready-made constants.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 from collections.abc import Sequence
 
 import numpy as np
@@ -30,6 +31,9 @@ from .._validation import (
 )
 from ..exceptions import ParameterError
 from .base import Distribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .phase_type import PhaseType
 
 
 class HyperExponential(Distribution):
@@ -190,7 +194,7 @@ class HyperExponential(Distribution):
     def laplace_transform(self, s: float | complex) -> complex:
         return complex(np.sum(self._weights * self._rates / (self._rates + s)))
 
-    def to_phase_type(self):
+    def to_phase_type(self) -> "PhaseType":
         from .phase_type import PhaseType
 
         generator = np.diag(-self._rates)

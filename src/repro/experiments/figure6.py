@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..distributions import Deterministic, Exponential, HyperExponential
+from ..distributions import Deterministic, Distribution, Exponential, HyperExponential
 from ..queueing.model import UnreliableQueueModel
 from ..solvers import SolverPolicy
 from ..sweeps import SweepRunner, SweepSpec
@@ -68,7 +68,9 @@ class Figure6Result:
         return format_table(headers, rows, title="Figure 6: queue length vs C^2 of operative periods")
 
 
-def operative_distribution_for_scv(scv: float, mean: float = parameters.MEAN_OPERATIVE_PERIOD):
+def operative_distribution_for_scv(
+    scv: float, mean: float = parameters.MEAN_OPERATIVE_PERIOD
+) -> Distribution:
     """The operative-period distribution used for a given ``C^2``.
 
     ``C^2 = 0`` maps to a deterministic period, ``C^2 = 1`` to an exponential

@@ -19,13 +19,18 @@ DESIGN.md for the substitution argument):
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..data import BreakdownTrace, SyntheticTraceConfig, generate_sun_like_trace
 from ..distributions import Distribution, Exponential, HyperExponential
 from ..fitting import fit_exponential, fit_two_phase_from_moments
 from ..stats import EmpiricalDensity, KSResult, estimate_moments, ks_test_grid
 from .reporting import format_key_values, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 #: Histogram resolution used by the paper for the operative periods.
 OPERATIVE_NUM_BINS = 50
@@ -165,7 +170,7 @@ class Section2Result:
 
 def _analyse_periods(
     label: str,
-    observations,
+    observations: "Sequence[float] | np.ndarray",
     num_bins: int,
     upper: float,
 ) -> PeriodAnalysis:

@@ -25,6 +25,7 @@ per-group operative counts).
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -295,7 +296,7 @@ class ScenarioEnvironment:
         """The long-run fraction of servers that are operative."""
         return self.mean_operative_servers / self._num_servers
 
-    def service_capacities(self, service_rates) -> np.ndarray:
+    def service_capacities(self, service_rates: Sequence[float] | np.ndarray) -> np.ndarray:
         """Per-mode full-utilisation service capacity ``sum_g x_g(m) mu_g``."""
         rates = np.asarray(service_rates, dtype=float)
         if rates.shape != (self.num_groups,):

@@ -177,19 +177,17 @@ class SolverService:
                     break
         except (ConnectionError, TimeoutError):
             pass
-        except asyncio.CancelledError:
-            # Loop teardown cancels connection handlers mid-read; ending the
-            # handler quietly (instead of re-raising into the streams
-            # protocol's completion callback) keeps shutdown silent.  Nothing
-            # else cancels these tasks, so no real cancellation is masked.
-            pass
         finally:
+            # Loop teardown cancels connection handlers mid-read; the
+            # CancelledError must propagate (a cancelled task ending with
+            # CancelledError is silent, and absorbing it would turn "shut
+            # down now" into "keep serving") — but only after the transport
+            # is released below.
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, TimeoutError, asyncio.CancelledError):
-                # Teardown races: the peer vanished, or the loop is shutting
-                # down and cancelled us inside this very cleanup await.
+            except (ConnectionError, TimeoutError):
+                # Teardown race: the peer vanished mid-close.
                 pass
 
     @staticmethod
@@ -424,6 +422,8 @@ class ThreadedService:
         except BaseException as exc:  # noqa: BLE001 - reported to the caller
             self._startup_error = exc
             self._ready.set()
+            if isinstance(exc, asyncio.CancelledError):
+                raise
             return
         self._service = service
         self.port = service.port

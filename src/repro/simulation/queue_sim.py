@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from ..distributions import Distribution, Exponential
 from ..exceptions import SimulationError
 from .engine import EventHandle, EventScheduler
 from .estimators import ConfidenceInterval, TimeWeightedAccumulator, batch_means_interval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..queueing.model import UnreliableQueueModel
 
 
 @dataclass(frozen=True)
@@ -318,7 +322,7 @@ class UnreliableQueueSimulator:
 
 
 def simulate_queue(
-    model,
+    model: "UnreliableQueueModel",
     *,
     horizon: float,
     warmup_fraction: float = 0.1,

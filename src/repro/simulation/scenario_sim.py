@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from ..exceptions import SimulationError
 from .engine import EventHandle, EventScheduler
 from .estimators import TimeWeightedAccumulator, batch_means_interval
 from .queue_sim import SimulationEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios import ScenarioModel
 
 
 @dataclass
@@ -81,7 +85,7 @@ class ScenarioSimulator:
     homogeneous simulator's heap bookkeeping here.
     """
 
-    def __init__(self, scenario, *, seed: int = 0) -> None:
+    def __init__(self, scenario: "ScenarioModel", *, seed: int = 0) -> None:
         self._scenario = scenario
         self._rng = np.random.default_rng(seed)
         self._scheduler = EventScheduler()
@@ -373,7 +377,7 @@ class ScenarioSimulator:
 
 
 def simulate_scenario(
-    scenario,
+    scenario: "ScenarioModel",
     *,
     horizon: float,
     warmup_fraction: float = 0.1,

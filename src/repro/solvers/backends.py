@@ -12,7 +12,7 @@ names it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..exceptions import UnsupportedScenarioError
 from .base import SIMULATE_DEFAULTS, Solver
@@ -56,6 +56,8 @@ class _HomogeneousOnlySolver(_MarkovianSolver):
     to the scenario-capable ``ctmc`` and ``simulate`` backends.
     """
 
+    supports_scenarios = False
+
     def supports(self, model: "UnreliableQueueModel") -> bool:
         return not is_scenario_model(model) and super().supports(model)
 
@@ -78,11 +80,11 @@ class SpectralSolver(_HomogeneousOnlySolver):
 
     name = "spectral"
 
-    def solve(self, model: "UnreliableQueueModel", **options):
+    def solve(self, model: "UnreliableQueueModel", **options: Any) -> object:
         self._reject_scenarios(model)
         return model.solve_spectral(**options)
 
-    def metrics(self, solution) -> dict[str, float]:
+    def metrics(self, solution: Any) -> dict[str, float]:
         return {
             "mean_queue_length": solution.mean_queue_length,
             "mean_response_time": solution.mean_response_time,
@@ -95,11 +97,11 @@ class GeometricSolver(_HomogeneousOnlySolver):
 
     name = "geometric"
 
-    def solve(self, model: "UnreliableQueueModel", **options):
+    def solve(self, model: "UnreliableQueueModel", **options: Any) -> object:
         self._reject_scenarios(model)
         return model.solve_geometric(**options)
 
-    def metrics(self, solution) -> dict[str, float]:
+    def metrics(self, solution: Any) -> dict[str, float]:
         return {
             "mean_queue_length": solution.mean_queue_length,
             "mean_response_time": solution.mean_response_time,
@@ -115,11 +117,12 @@ class TruncatedCTMCSolver(_MarkovianSolver):
     """
 
     name = "ctmc"
+    supports_scenarios = True
 
-    def solve(self, model: "UnreliableQueueModel", **options):
+    def solve(self, model: "UnreliableQueueModel", **options: Any) -> object:
         return model.solve_ctmc(**options)
 
-    def metrics(self, solution) -> dict[str, float]:
+    def metrics(self, solution: Any) -> dict[str, float]:
         metrics = {
             "mean_queue_length": solution.mean_queue_length,
             "mean_response_time": solution.mean_response_time,
@@ -140,16 +143,17 @@ class SimulationSolver(Solver):
     """
 
     name = "simulate"
+    supports_scenarios = True
 
     def solve(
         self,
         model: "UnreliableQueueModel",
         *,
-        horizon: float = SIMULATE_DEFAULTS["horizon"],
-        warmup_fraction: float = SIMULATE_DEFAULTS["warmup_fraction"],
-        num_batches: int = SIMULATE_DEFAULTS["num_batches"],
-        seed: int = SIMULATE_DEFAULTS["seed"],
-    ):
+        horizon: float = SIMULATE_DEFAULTS.horizon,
+        warmup_fraction: float = SIMULATE_DEFAULTS.warmup_fraction,
+        num_batches: int = SIMULATE_DEFAULTS.num_batches,
+        seed: int = SIMULATE_DEFAULTS.seed,
+    ) -> object:
         return model.simulate(
             horizon=horizon,
             warmup_fraction=warmup_fraction,
@@ -157,7 +161,7 @@ class SimulationSolver(Solver):
             seed=seed,
         )
 
-    def metrics(self, estimate) -> dict[str, float]:
+    def metrics(self, estimate: Any) -> dict[str, float]:
         return {
             "mean_queue_length": estimate.mean_queue_length.estimate,
             "mean_response_time": estimate.mean_response_time.estimate,
@@ -190,13 +194,14 @@ class TransientSolver(_MarkovianSolver):
     """
 
     name = "transient"
+    supports_scenarios = True
 
-    def solve(self, model: "UnreliableQueueModel", **options):
+    def solve(self, model: "UnreliableQueueModel", **options: Any) -> object:
         from ..transient import solve_transient
 
         return solve_transient(model, **options)
 
-    def metrics(self, solution) -> dict[str, float]:
+    def metrics(self, solution: Any) -> dict[str, float]:
         return {
             "mean_queue_length": float(solution.mean_queue_length[-1]),
             "availability": float(solution.availability[-1]),

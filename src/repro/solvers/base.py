@@ -36,15 +36,19 @@ INFINITE_METRICS: dict[str, float] = {
     "mean_response_time": float("inf"),
 }
 
-#: Default simulation options, shared by :class:`~repro.solvers.SolverPolicy`
-#: field defaults and the simulation backend's keyword defaults so the two
-#: cannot drift apart.
-SIMULATE_DEFAULTS: dict[str, float | int] = {
-    "horizon": 50_000.0,
-    "warmup_fraction": 0.1,
-    "num_batches": 10,
-    "seed": 0,
-}
+class SimulateDefaults(NamedTuple):
+    """Default simulation options, shared by :class:`~repro.solvers.SolverPolicy`
+    field defaults and the simulation backend's keyword defaults so the two
+    cannot drift apart."""
+
+    horizon: float = 50_000.0
+    warmup_fraction: float = 0.1
+    num_batches: int = 10
+    seed: int = 0
+
+
+#: The shared defaults instance both the policy and the backend read.
+SIMULATE_DEFAULTS = SimulateDefaults()
 
 
 class SolveOutcome(NamedTuple):
@@ -93,6 +97,14 @@ class Solver(abc.ABC):
     #: Registry key of the solver; must be unique within a registry.
     name: str = ""
 
+    #: Whether the backend evaluates :class:`~repro.scenarios.ScenarioModel`
+    #: instances (heterogeneous server groups, limited repair crews) — the
+    #: declared scenario contract the ``RPR004`` lint rule checks for.
+    #: Backends that *touch* scenario models must either set this or raise
+    #: :class:`~repro.exceptions.UnsupportedScenarioError` so fallback chains
+    #: can skip them deterministically.
+    supports_scenarios: bool = False
+
     def supports(self, model: "UnreliableQueueModel") -> bool:
         """Whether this solver can evaluate ``model`` at all.
 
@@ -109,11 +121,11 @@ class Solver(abc.ABC):
         return f"model not supported by the {self.name!r} solver"
 
     @abc.abstractmethod
-    def solve(self, model: "UnreliableQueueModel", **options):
+    def solve(self, model: "UnreliableQueueModel", **options: object) -> object:
         """Evaluate ``model`` and return the backend's native solution object."""
 
     @abc.abstractmethod
-    def metrics(self, solution) -> dict[str, float]:
+    def metrics(self, solution: object) -> dict[str, float]:
         """Normalise a native solution into the flat metric mapping."""
 
     def options_from_policy(self, policy: "SolverPolicy") -> dict[str, object]:

@@ -145,7 +145,9 @@ def _broadcast_policies(
     return [as_policy(policy, registry=registry)] * count
 
 
-def _solve_task(task: tuple[int, "UnreliableQueueModel", SolverPolicy]):
+def _solve_task(
+    task: tuple[int, "UnreliableQueueModel", SolverPolicy],
+) -> tuple[int, SolveOutcome]:
     """Worker entry point: evaluate one model and tag it with its index."""
     index, model, policy = task
     return index, evaluate(model, policy)
@@ -164,7 +166,11 @@ def default_max_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def _execute_parallel(tasks, max_workers: int, registry: SolverRegistry | None):
+def _execute_parallel(
+    tasks: list[tuple[int, "UnreliableQueueModel", SolverPolicy]],
+    max_workers: int,
+    registry: SolverRegistry | None,
+) -> list[tuple[int, SolveOutcome]]:
     workers = min(max_workers, len(tasks))
     chunksize = max(1, len(tasks) // (4 * workers))
     # Probe the pool with a trivial task first: environments where worker

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
@@ -32,7 +32,7 @@ _VALIDATION_REGISTRY: contextvars.ContextVar["SolverRegistry | None"] = contextv
 
 
 @contextlib.contextmanager
-def validating_against(registry: "SolverRegistry | None"):
+def validating_against(registry: "SolverRegistry | None") -> Iterator[None]:
     """Validate policies constructed in this context against ``registry``.
 
     The facade uses this so ``solve(model, "mine", registry=custom)`` accepts
@@ -73,10 +73,10 @@ class SolverPolicy:
     """
 
     order: tuple[str, ...] = ("spectral", "geometric")
-    simulate_horizon: float = SIMULATE_DEFAULTS["horizon"]
-    simulate_seed: int = SIMULATE_DEFAULTS["seed"]
-    simulate_num_batches: int = SIMULATE_DEFAULTS["num_batches"]
-    simulate_warmup_fraction: float = SIMULATE_DEFAULTS["warmup_fraction"]
+    simulate_horizon: float = SIMULATE_DEFAULTS.horizon
+    simulate_seed: int = SIMULATE_DEFAULTS.seed
+    simulate_num_batches: int = SIMULATE_DEFAULTS.num_batches
+    simulate_warmup_fraction: float = SIMULATE_DEFAULTS.warmup_fraction
     transient_times: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:

@@ -37,13 +37,17 @@ processes (models, policies) are plain picklable dataclasses.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from .._validation import check_positive_int
 from ..exceptions import ParameterError
 from ..queueing.model import UnreliableQueueModel
 from ..solvers import BUILTIN_SOLVER_NAMES, SolverPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios import ScenarioModel
 
 #: Built-in solver names in the order the library trusts them (kept as an
 #: alias for backwards compatibility; policies accept any name registered
@@ -72,7 +76,7 @@ class SweepAxis:
     """One dimension of the sweep grid: a parameter name and its values."""
 
     name: str
-    values: tuple
+    values: tuple[object, ...]
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(self.values))
@@ -100,7 +104,7 @@ class TimeGridAxis(SweepAxis):
     the cheaper equivalent (one uniformization pass serves all times).
     """
 
-    def __init__(self, values) -> None:
+    def __init__(self, values: Iterable[float]) -> None:
         super().__init__(name=TIME_AXIS, values=tuple(float(value) for value in values))
 
 
@@ -126,7 +130,9 @@ class SweepPoint:
     policy: SolverPolicy
 
 
-def _normalise_axes(axes: Sequence) -> tuple[SweepAxis, ...]:
+def _normalise_axes(
+    axes: Sequence[SweepAxis | tuple[str, Iterable[object]]],
+) -> tuple[SweepAxis, ...]:
     normalised: list[SweepAxis] = []
     for axis in axes:
         if isinstance(axis, SweepAxis):
@@ -258,7 +264,7 @@ class SweepSpec:
                 model = replace(model, service_rate=float(value))
         return model
 
-    def _build_scenario(self, parameters: Mapping[str, object]):
+    def _build_scenario(self, parameters: Mapping[str, object]) -> "ScenarioModel":
         """Apply scenario and dotted group axes to a scenario base model."""
         scenario = self.base_model
         for name, value in parameters.items():
@@ -294,7 +300,7 @@ class SweepSpec:
             policy = replace(policy, order=order, transient_times=(float(time),))
         return policy
 
-    def expand(self):
+    def expand(self) -> Iterator[SweepPoint]:
         """Yield every :class:`SweepPoint` of the grid in row-major order."""
         for index, combination in enumerate(
             itertools.product(*(axis.values for axis in self.axes))

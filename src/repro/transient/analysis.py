@@ -29,6 +29,8 @@ too):
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,6 +42,12 @@ from .uniformization import (
     transient_distributions,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..queueing.model import UnreliableQueueModel
+    from ..scenarios import ScenarioModel
+
+    TransientModel = UnreliableQueueModel | ScenarioModel
+
 #: The named initial conditions accepted by :func:`initial_distribution`.
 INITIAL_CONDITIONS = ("empty-operative", "empty-inoperative", "empty-equilibrium")
 
@@ -48,7 +56,7 @@ INITIAL_CONDITIONS = ("empty-operative", "empty-inoperative", "empty-equilibrium
 DEFAULT_TIME_GRID = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
 
 
-def _occupancy_probability(occupancy, weights: np.ndarray) -> float:
+def _occupancy_probability(occupancy: Sequence[int], weights: np.ndarray) -> float:
     """Multinomial probability of one phase-occupancy vector.
 
     ``occupancy[j]`` servers land in phase ``j``, each independently with
@@ -61,7 +69,7 @@ def _occupancy_probability(occupancy, weights: np.ndarray) -> float:
     return probability
 
 
-def _mode_distribution(model, kind: str) -> np.ndarray:
+def _mode_distribution(model: "TransientModel", kind: str) -> np.ndarray:
     """The distribution over environment modes for a named initial condition."""
     environment = model.environment
     if kind == "empty-equilibrium":
@@ -103,7 +111,11 @@ def _mode_distribution(model, kind: str) -> np.ndarray:
     return distribution / total
 
 
-def initial_distribution(model, num_levels: int, initial) -> np.ndarray:
+def initial_distribution(
+    model: "TransientModel",
+    num_levels: int,
+    initial: str | Sequence[float] | np.ndarray,
+) -> np.ndarray:
     """The flat initial state vector of the truncated chain.
 
     Parameters
@@ -140,7 +152,9 @@ def initial_distribution(model, num_levels: int, initial) -> np.ndarray:
     )
 
 
-def _truncation_builders(model):
+def _truncation_builders(
+    model: "TransientModel",
+) -> tuple[Callable[..., int], Callable[..., np.ndarray]]:
     """The (default level, generator builder) pair for the model's chain."""
     if getattr(model, "is_scenario", False):
         from ..scenarios.ctmc import build_truncated_generator, default_truncation_level
@@ -149,7 +163,7 @@ def _truncation_builders(model):
     return default_truncation_level, build_truncated_generator
 
 
-def normalise_times(times) -> tuple[float, ...]:
+def normalise_times(times: float | Sequence[float] | np.ndarray) -> tuple[float, ...]:
     """Coerce, validate and ascending-sort an evaluation time grid."""
     grid = tuple(sorted({float(t) for t in np.atleast_1d(np.asarray(times, dtype=float))}))
     if not grid:
@@ -160,10 +174,10 @@ def normalise_times(times) -> tuple[float, ...]:
 
 
 def solve_transient(
-    model,
-    times=DEFAULT_TIME_GRID,
+    model: "TransientModel",
+    times: float | Sequence[float] | np.ndarray = DEFAULT_TIME_GRID,
     *,
-    initial="empty-operative",
+    initial: str | Sequence[float] | np.ndarray = "empty-operative",
     max_queue_length: int | None = None,
     tol: float = DEFAULT_TAIL_TOLERANCE,
     stationary_tol: float = DEFAULT_STATIONARY_TOLERANCE,

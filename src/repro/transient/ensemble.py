@@ -15,7 +15,9 @@ apply but the simulators do).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +25,11 @@ from .._validation import check_positive_int
 from ..exceptions import SimulationError
 from ..simulation.estimators import ConfidenceInterval, batch_means_interval
 from .analysis import normalise_times
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.queue_sim import UnreliableQueueSimulator
+    from ..simulation.scenario_sim import ScenarioSimulator
+    from .analysis import TransientModel
 
 
 @dataclass(frozen=True)
@@ -61,7 +68,9 @@ class TransientEnsembleEstimate:
         )
 
 
-def _build_simulator(model, seed: int):
+def _build_simulator(
+    model: "TransientModel", seed: int
+) -> "UnreliableQueueSimulator | ScenarioSimulator":
     """One fresh simulator for ``model`` (scenario-aware dispatch)."""
     if getattr(model, "is_scenario", False):
         from ..simulation.scenario_sim import ScenarioSimulator
@@ -81,8 +90,8 @@ def _build_simulator(model, seed: int):
 
 
 def simulate_transient(
-    model,
-    times,
+    model: "TransientModel",
+    times: float | Sequence[float] | np.ndarray,
     *,
     num_replications: int = 200,
     seed: int = 0,

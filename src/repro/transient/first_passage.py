@@ -17,7 +17,9 @@ unchanged.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse
@@ -27,12 +29,19 @@ from ..exceptions import ParameterError, SolverError
 from .analysis import _truncation_builders, initial_distribution, normalise_times
 from .uniformization import DEFAULT_TAIL_TOLERANCE, transient_distributions
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .analysis import TransientModel
+
 #: Named target sets accepted by :func:`target_mask`.
 TARGET_NAMES = ("all-servers-down", "queue-exceeds")
 
 
 def target_mask(
-    model, num_levels: int, target, *, queue_threshold: int | None = None
+    model: "TransientModel",
+    num_levels: int,
+    target: str | Sequence[bool] | np.ndarray,
+    *,
+    queue_threshold: int | None = None,
 ) -> np.ndarray:
     """A boolean mask over the flat truncated state space selecting the target.
 
@@ -124,12 +133,12 @@ class FirstPassageSolution:
 
 
 def first_passage_time(
-    model,
-    times,
+    model: "TransientModel",
+    times: float | Sequence[float] | np.ndarray,
     *,
-    target="all-servers-down",
+    target: str | Sequence[bool] | np.ndarray = "all-servers-down",
     queue_threshold: int | None = None,
-    initial="empty-operative",
+    initial: str | Sequence[float] | np.ndarray = "empty-operative",
     max_queue_length: int | None = None,
     tol: float = DEFAULT_TAIL_TOLERANCE,
 ) -> FirstPassageSolution:

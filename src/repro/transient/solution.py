@@ -14,12 +14,17 @@ from __future__ import annotations
 import csv
 import json
 import math
+from collections.abc import Sequence
 from functools import cached_property
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .analysis import TransientModel
 
 #: Metric columns of :meth:`TransientSolution.to_rows`, in export order.
 METRIC_COLUMNS = (
@@ -56,8 +61,8 @@ class TransientSolution:
 
     def __init__(
         self,
-        model,
-        times,
+        model: "TransientModel",
+        times: Sequence[float],
         probabilities: np.ndarray,
         *,
         rate: float,
@@ -81,7 +86,7 @@ class TransientSolution:
     # ------------------------------------------------------------------ #
 
     @property
-    def model(self):
+    def model(self) -> "TransientModel":
         """The model that was analysed."""
         return self._model
 

@@ -36,6 +36,7 @@ the uniformized chain rather than at ``Lambda t``.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -130,7 +131,7 @@ def poisson_truncation_point(mean: float, tol: float) -> int:
 def transient_distributions(
     generator: scipy.sparse.spmatrix | np.ndarray,
     initial: np.ndarray,
-    times,
+    times: float | Sequence[float] | np.ndarray,
     *,
     tol: float = DEFAULT_TAIL_TOLERANCE,
     stationary_tol: float = DEFAULT_STATIONARY_TOLERANCE,

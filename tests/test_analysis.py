@@ -1,0 +1,917 @@
+"""Tests for :mod:`repro.analysis`: the rule set, suppressions, registry and CLI.
+
+Each built-in rule gets at least one *trigger* fixture (the rule must fire)
+and one *near-miss* fixture (a superficially similar construct the rule must
+NOT fire on).  Scoped rules (RPR003, RPR006) are exercised through the
+``module=`` override of :func:`repro.analysis.analyze_source`, so fixtures
+never need to live at magic paths.  The suite also pins the PR 2
+cache-collision bug class as a regression: re-introducing a ``Distribution``
+subclass without ``parameter_key()`` must be caught by RPR002.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from collections.abc import Iterator
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    BUILTIN_RULE_IDS,
+    Finding,
+    LintRule,
+    ModuleContext,
+    RuleRegistry,
+    SuppressionIndex,
+    analyze_paths,
+    analyze_source,
+    builtin_rules,
+    default_registry,
+    iter_python_files,
+    module_name_for,
+    register_rule,
+    suppressed_rules,
+    unregister_rule,
+)
+from repro.cli import main as cli_main
+from repro.exceptions import ParameterError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint(source: str, module: str = "fixture") -> list[Finding]:
+    """Run the full default rule set over a dedented fixture."""
+    return analyze_source(textwrap.dedent(source), module=module)
+
+
+def fired(findings: list[Finding]) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+# --------------------------------------------------------------------------- #
+# RPR001 — blocking calls inside async def
+# --------------------------------------------------------------------------- #
+
+
+class TestBlockingCallRule:
+    def test_time_sleep_in_async_def_fires(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            async def handler():
+                time.sleep(1.0)
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+        assert "time.sleep" in findings[0].message
+
+    def test_from_import_does_not_evade(self) -> None:
+        findings = lint(
+            """
+            from time import sleep
+
+            async def handler():
+                sleep(0.5)
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+
+    def test_subprocess_alias_fires(self) -> None:
+        findings = lint(
+            """
+            import subprocess as sp
+
+            async def handler():
+                sp.run(["ls"])
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+
+    def test_sync_solver_facade_fires(self) -> None:
+        findings = lint(
+            """
+            from repro.solvers import solve_many
+
+            async def handler(models):
+                return solve_many(models)
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+
+    def test_open_and_file_io_methods_fire(self) -> None:
+        findings = lint(
+            """
+            async def handler(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return path.read_text()
+            """
+        )
+        assert [finding.rule for finding in findings] == ["RPR001", "RPR001"]
+
+    def test_sync_function_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            def handler():
+                time.sleep(1.0)
+            """
+        )
+        assert findings == []
+
+    def test_nested_sync_helper_inside_async_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            async def handler():
+                def run_off_loop():
+                    time.sleep(1.0)
+                return run_off_loop
+            """
+        )
+        assert findings == []
+
+    def test_asyncio_sleep_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1.0)
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# RPR002 — Distribution subclass without parameter_key (the PR 2 bug class)
+# --------------------------------------------------------------------------- #
+
+
+class TestDistributionParameterKeyRule:
+    def test_subclass_without_parameter_key_fires(self) -> None:
+        findings = lint(
+            """
+            from repro.distributions import Distribution
+
+            class Weird(Distribution):
+                def mean(self):
+                    return 1.0
+            """
+        )
+        assert fired(findings) == {"RPR002"}
+        assert "Weird" in findings[0].message
+
+    def test_subclass_with_parameter_key_is_clean(self) -> None:
+        findings = lint(
+            """
+            from repro.distributions import Distribution
+
+            class Fine(Distribution):
+                def parameter_key(self):
+                    return ("fine",)
+            """
+        )
+        assert findings == []
+
+    def test_transitive_subclass_is_flagged(self) -> None:
+        findings = lint(
+            """
+            from repro.distributions import Distribution
+
+            class Base(Distribution):
+                def parameter_key(self):
+                    return ("base",)
+
+            class Leaf(Base):
+                pass
+            """
+        )
+        # Leaf inherits parameter_key from the in-module Base: clean.
+        assert findings == []
+
+    def test_transitive_subclass_without_key_anywhere_fires_once_per_class(self) -> None:
+        findings = lint(
+            """
+            from repro.distributions import Distribution
+
+            class Base(Distribution):
+                pass
+
+            class Leaf(Base):
+                pass
+            """
+        )
+        assert [finding.rule for finding in findings] == ["RPR002", "RPR002"]
+
+    def test_unrelated_class_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            class NotADistribution:
+                pass
+            """
+        )
+        assert findings == []
+
+    def test_reintroducing_the_pr2_bug_is_caught(self) -> None:
+        """Regression pin: the PR 2 cache-collision bug class.
+
+        PR 2 fixed solution-cache collisions caused by distributions whose
+        cache identity fell back to ``repr``.  Re-introducing such a subclass
+        — here a ``Deterministic`` look-alike with parameters but no
+        ``parameter_key()`` — must be caught by RPR002.
+        """
+        findings = lint(
+            """
+            from repro.distributions import Distribution
+
+            class Deterministic2(Distribution):
+                def __init__(self, value):
+                    self._value = value
+
+                def mean(self):
+                    return self._value
+
+                def scv(self):
+                    return 0.0
+            """
+        )
+        assert fired(findings) == {"RPR002"}
+        assert "cache" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# RPR003 — float-literal equality in numerical modules
+# --------------------------------------------------------------------------- #
+
+FLOAT_EQ_FIXTURE = """
+def classify(scv):
+    if scv == 0.25:
+        return "quarter"
+    return "other"
+"""
+
+FLOAT_SENTINEL_FIXTURE = """
+def classify(scv, rate):
+    if scv == 0.0 or scv == 1.0 or rate != -1.0:
+        return "sentinel"
+    return "other"
+"""
+
+
+class TestFloatEqualityRule:
+    def test_non_sentinel_literal_in_numerical_module_fires(self) -> None:
+        findings = lint(FLOAT_EQ_FIXTURE, module="repro.markov.environment")
+        assert fired(findings) == {"RPR003"}
+        assert "0.25" in findings[0].message
+
+    def test_sentinel_values_are_exempt(self) -> None:
+        findings = lint(FLOAT_SENTINEL_FIXTURE, module="repro.distributions.fixture")
+        assert findings == []
+
+    def test_rule_is_scoped_to_numerical_packages(self) -> None:
+        # The identical comparison outside the numerical core is not flagged.
+        findings = lint(FLOAT_EQ_FIXTURE, module="repro.experiments.figure6")
+        assert findings == []
+
+    def test_negated_literal_is_unwrapped(self) -> None:
+        findings = lint(
+            """
+            def check(x):
+                return x == -0.5
+            """,
+            module="repro.queueing.model",
+        )
+        assert fired(findings) == {"RPR003"}
+
+    def test_integer_equality_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            def check(n):
+                return n == 3
+            """,
+            module="repro.queueing.model",
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# RPR004 — solver backends touching scenarios without a declared contract
+# --------------------------------------------------------------------------- #
+
+
+class TestScenarioContractRule:
+    def test_undeclared_scenario_branching_fires(self) -> None:
+        findings = lint(
+            """
+            from repro.solvers.base import Solver
+            from repro.solvers.backends import is_scenario_model
+
+            class HalfBaked(Solver):
+                name = "half-baked"
+
+                def solve(self, model, **options):
+                    if is_scenario_model(model):
+                        return None
+                    return model.solve_spectral()
+
+                def metrics(self, solution):
+                    return {}
+            """
+        )
+        assert fired(findings) == {"RPR004"}
+        assert "HalfBaked" in findings[0].message
+
+    def test_declared_supports_scenarios_is_clean(self) -> None:
+        findings = lint(
+            """
+            from repro.solvers.base import Solver
+            from repro.solvers.backends import is_scenario_model
+
+            class Declared(Solver):
+                name = "declared"
+                supports_scenarios = True
+
+                def solve(self, model, **options):
+                    if is_scenario_model(model):
+                        return model.solve_ctmc()
+                    return model.solve_spectral()
+
+                def metrics(self, solution):
+                    return {}
+            """
+        )
+        assert findings == []
+
+    def test_raising_unsupported_scenario_error_is_clean(self) -> None:
+        findings = lint(
+            """
+            from repro.exceptions import UnsupportedScenarioError
+            from repro.solvers.base import Solver
+            from repro.solvers.backends import is_scenario_model
+
+            class Refusing(Solver):
+                name = "refusing"
+
+                def solve(self, model, **options):
+                    if is_scenario_model(model):
+                        raise UnsupportedScenarioError("homogeneous only")
+                    return model.solve_spectral()
+
+                def metrics(self, solution):
+                    return {}
+            """
+        )
+        assert findings == []
+
+    def test_contract_inherited_from_in_module_base_is_clean(self) -> None:
+        findings = lint(
+            """
+            from repro.solvers.base import Solver
+            from repro.solvers.backends import is_scenario_model
+
+            class Base(Solver):
+                supports_scenarios = False
+
+            class Leaf(Base):
+                name = "leaf"
+
+                def solve(self, model, **options):
+                    if is_scenario_model(model):
+                        return None
+                    return model.solve_spectral()
+
+                def metrics(self, solution):
+                    return {}
+            """
+        )
+        assert findings == []
+
+    def test_non_solver_class_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            class Router:
+                def solve(self, model):
+                    return getattr(model, "is_scenario", False)
+            """
+        )
+        assert findings == []
+
+    def test_solver_not_touching_scenarios_is_not_flagged(self) -> None:
+        findings = lint(
+            """
+            from repro.solvers.base import Solver
+
+            class Plain(Solver):
+                name = "plain"
+
+                def solve(self, model, **options):
+                    return model.solve_spectral()
+
+                def metrics(self, solution):
+                    return {}
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# RPR005 — duplicate / unstable service error codes
+# --------------------------------------------------------------------------- #
+
+
+class TestErrorCodeStabilityRule:
+    def test_duplicate_codes_fire(self) -> None:
+        findings = lint(
+            """
+            class ServiceError(Exception):
+                code = "internal"
+
+            class QueueFullError(ServiceError):
+                code = "queue-full"
+
+            class BackpressureError(ServiceError):
+                code = "queue-full"
+            """
+        )
+        assert fired(findings) == {"RPR005"}
+        assert "duplicates" in findings[0].message
+
+    def test_computed_code_fires(self) -> None:
+        findings = lint(
+            """
+            PREFIX = "queue"
+
+            class ServiceError(Exception):
+                code = "internal"
+
+            class QueueFullError(ServiceError):
+                code = PREFIX + "-full"
+            """
+        )
+        assert fired(findings) == {"RPR005"}
+        assert "runtime" in findings[0].message
+
+    def test_non_kebab_code_fires(self) -> None:
+        findings = lint(
+            """
+            class ServiceError(Exception):
+                code = "internal"
+
+            class BadJson(ServiceError):
+                code = "Bad_JSON"
+            """
+        )
+        assert fired(findings) == {"RPR005"}
+        assert "kebab" in findings[0].message
+
+    def test_unique_literal_codes_are_clean(self) -> None:
+        findings = lint(
+            """
+            class ServiceError(Exception):
+                code = "internal"
+
+            class QueueFullError(ServiceError):
+                code = "queue-full"
+
+            class BadJsonError(ServiceError):
+                code = "bad-json"
+            """
+        )
+        assert findings == []
+
+    def test_codes_outside_the_service_error_family_are_ignored(self) -> None:
+        findings = lint(
+            """
+            class HttpResponse:
+                code = "Not A Wire Code"
+            """
+        )
+        assert findings == []
+
+    def test_real_service_errors_module_is_clean_and_codes_unique(self) -> None:
+        errors_path = REPO_ROOT / "src" / "repro" / "service" / "errors.py"
+        source = errors_path.read_text(encoding="utf-8")
+        findings = analyze_source(source, path=str(errors_path))
+        assert [f for f in findings if f.rule == "RPR005"] == []
+
+
+# --------------------------------------------------------------------------- #
+# RPR006 — swallowed cancellation / bare except in the service layer
+# --------------------------------------------------------------------------- #
+
+SWALLOWED_FIXTURE = """
+import asyncio
+
+async def worker(queue):
+    try:
+        await queue.get()
+    except asyncio.CancelledError:
+        pass
+"""
+
+
+class TestSwallowedCancellationRule:
+    def test_swallowed_cancelled_error_fires(self) -> None:
+        findings = lint(SWALLOWED_FIXTURE, module="repro.service.worker")
+        assert fired(findings) == {"RPR006"}
+
+    def test_rule_is_scoped_to_service_modules(self) -> None:
+        findings = lint(SWALLOWED_FIXTURE, module="repro.solvers.facade")
+        assert findings == []
+
+    def test_bare_except_fires(self) -> None:
+        findings = lint(
+            """
+            def read(path):
+                try:
+                    return path.read_text()
+                except:
+                    return None
+            """,
+            module="repro.service.util",
+        )
+        assert fired(findings) == {"RPR006"}
+        assert "bare" in findings[0].message
+
+    def test_base_exception_in_tuple_fires(self) -> None:
+        findings = lint(
+            """
+            async def run(task):
+                try:
+                    await task
+                except (ValueError, BaseException):
+                    return None
+            """,
+            module="repro.service.runner",
+        )
+        assert fired(findings) == {"RPR006"}
+
+    def test_reraising_handler_is_clean(self) -> None:
+        findings = lint(
+            """
+            import asyncio
+
+            async def worker(queue, writer):
+                try:
+                    await queue.get()
+                except asyncio.CancelledError:
+                    writer.close()
+                    raise
+            """,
+            module="repro.service.worker",
+        )
+        assert findings == []
+
+    def test_except_exception_is_not_flagged(self) -> None:
+        # `except Exception` does not capture CancelledError (3.8+): fine.
+        findings = lint(
+            """
+            async def worker(queue):
+                try:
+                    await queue.get()
+                except Exception:
+                    return None
+            """,
+            module="repro.service.worker",
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# RPR007 — mutable default arguments
+# --------------------------------------------------------------------------- #
+
+
+class TestMutableDefaultRule:
+    def test_list_literal_default_fires(self) -> None:
+        findings = lint(
+            """
+            def collect(item, bucket=[]):
+                bucket.append(item)
+                return bucket
+            """
+        )
+        assert fired(findings) == {"RPR007"}
+        assert "'bucket'" in findings[0].message
+
+    def test_keyword_only_dict_default_fires(self) -> None:
+        findings = lint(
+            """
+            def configure(*, overrides={}):
+                return overrides
+            """
+        )
+        assert fired(findings) == {"RPR007"}
+
+    def test_constructor_call_default_fires(self) -> None:
+        findings = lint(
+            """
+            from collections import deque
+
+            def buffer(items=deque()):
+                return items
+            """
+        )
+        assert fired(findings) == {"RPR007"}
+
+    def test_none_and_immutable_defaults_are_clean(self) -> None:
+        findings = lint(
+            """
+            def configure(bucket=None, order=("spectral", "geometric"), name="x"):
+                return bucket, order, name
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Suppression comments
+# --------------------------------------------------------------------------- #
+
+
+class TestSuppressions:
+    def test_bare_noqa_suppresses_everything_on_the_line(self) -> None:
+        findings = lint(
+            """
+            def collect(item, bucket=[]):  # repro: noqa
+                return bucket
+            """
+        )
+        assert findings == []
+
+    def test_scoped_noqa_suppresses_only_named_rules(self) -> None:
+        source = """
+        def classify(scv):
+            return scv == 0.25  # repro: noqa RPR003
+        """
+        assert lint(source, module="repro.markov.env") == []
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self) -> None:
+        source = """
+        def classify(scv):
+            return scv == 0.25  # repro: noqa RPR007
+        """
+        findings = lint(source, module="repro.markov.env")
+        assert fired(findings) == {"RPR003"}
+
+    def test_suppressed_rules_parser(self) -> None:
+        assert suppressed_rules("x = 1") is None
+        assert suppressed_rules("x = 1  # repro: noqa") == frozenset()
+        assert suppressed_rules("x  # repro: noqa RPR003") == {"RPR003"}
+        assert suppressed_rules("x  # repro: noqa RPR003, rpr006") == {"RPR003", "RPR006"}
+        # ruff/flake8-style noqa does not collide with the namespaced marker.
+        assert suppressed_rules("x = 1  # noqa: F401") is None
+
+    def test_suppression_index_len(self) -> None:
+        index = SuppressionIndex("a\nb  # repro: noqa\nc\n")
+        assert len(index) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+
+class _NamingRule(LintRule):
+    rule_id = "RPR900"
+    title = "test rule"
+    rationale = "exists only for registry tests"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "forbidden":
+                yield context.finding(self, node, "function name 'forbidden' is forbidden")
+
+
+class TestRuleRegistry:
+    def test_builtin_rule_ids_are_registered_in_order(self) -> None:
+        assert default_registry().rule_ids()[: len(BUILTIN_RULE_IDS)] == BUILTIN_RULE_IDS
+        assert BUILTIN_RULE_IDS == tuple(rule.rule_id for rule in builtin_rules())
+
+    def test_every_builtin_rule_documents_itself(self) -> None:
+        for rule in builtin_rules():
+            assert rule.rule_id.startswith("RPR")
+            assert rule.title
+            assert rule.rationale
+
+    def test_register_select_unregister_roundtrip(self) -> None:
+        register_rule(_NamingRule())
+        try:
+            findings = lint("def forbidden():\n    pass\n")
+            assert fired(findings) == {"RPR900"}
+        finally:
+            unregister_rule("RPR900")
+        assert "RPR900" not in default_registry()
+
+    def test_duplicate_registration_requires_replace(self) -> None:
+        registry = RuleRegistry([_NamingRule()])
+        with pytest.raises(ParameterError, match="already registered"):
+            registry.register(_NamingRule())
+        registry.register(_NamingRule(), replace=True)
+        assert len(registry) == 1
+
+    def test_unknown_rule_ids_raise_instead_of_silently_disabling(self) -> None:
+        registry = default_registry()
+        with pytest.raises(ParameterError, match="unknown rule"):
+            registry.select(select=["RPR999"])
+        with pytest.raises(ParameterError, match="unknown rule"):
+            registry.select(ignore=["RPR999"])
+
+    def test_select_and_ignore_filters(self) -> None:
+        registry = default_registry()
+        only = registry.select(select=["RPR003", "RPR007"])
+        assert tuple(rule.rule_id for rule in only) == ("RPR003", "RPR007")
+        without = registry.select(ignore=["RPR001"])
+        assert "RPR001" not in {rule.rule_id for rule in without}
+
+
+# --------------------------------------------------------------------------- #
+# Engine: paths, reports, errors
+# --------------------------------------------------------------------------- #
+
+
+class TestEngine:
+    def test_module_name_for_resolves_package_layout(self) -> None:
+        path = REPO_ROOT / "src" / "repro" / "service" / "server.py"
+        assert module_name_for(path) == "repro.service.server"
+
+    def test_module_name_for_loose_file_falls_back_to_stem(self, tmp_path: Path) -> None:
+        loose = tmp_path / "fixture.py"
+        loose.write_text("x = 1\n")
+        assert module_name_for(loose) == "fixture"
+
+    def test_iter_python_files_skips_caches(self, tmp_path: Path) -> None:
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "real.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "real.cpython-311.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [file.name for file in files] == ["real.py"]
+
+    def test_missing_path_raises_analysis_error(self) -> None:
+        with pytest.raises(AnalysisError, match="no such file"):
+            iter_python_files(["definitely/not/a/path"])
+
+    def test_syntax_error_raises_analysis_error(self) -> None:
+        with pytest.raises(AnalysisError, match="cannot analyse"):
+            analyze_source("def broken(:\n", path="broken.py")
+
+    def test_report_exit_codes_and_json_payload(self, tmp_path: Path) -> None:
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def collect(bucket=[]):\n    return bucket\n")
+        report = analyze_paths([dirty])
+        assert report.exit_code == 1
+        assert report.files_analyzed == 1
+        assert report.counts_by_rule() == {"RPR007": 1}
+        payload = report.to_json_payload()
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "RPR007"
+        # The payload must be JSON-serialisable as-is.
+        json.dumps(payload)
+        assert "RPR007" in report.render_text()
+
+    def test_clean_report(self, tmp_path: Path) -> None:
+        clean = tmp_path / "clean.py"
+        clean.write_text("def fine(bucket=None):\n    return bucket\n")
+        report = analyze_paths([clean])
+        assert report.exit_code == 0
+        assert report.findings == ()
+        assert "clean" in report.render_text()
+
+    def test_findings_sort_stably(self) -> None:
+        a = Finding(path="a.py", line=2, column=0, rule="RPR007", message="m")
+        b = Finding(path="a.py", line=1, column=4, rule="RPR003", message="m")
+        c = Finding(path="b.py", line=1, column=0, rule="RPR001", message="m")
+        assert sorted([c, a, b]) == [b, a, c]
+        assert a.render() == "a.py:2:0: RPR007 m"
+
+
+# --------------------------------------------------------------------------- #
+# The repository itself must be clean (the dogfooding gate)
+# --------------------------------------------------------------------------- #
+
+
+class TestRepositoryIsClean:
+    def test_analyzer_is_clean_on_src(self) -> None:
+        report = analyze_paths([REPO_ROOT / "src"])
+        assert report.exit_code == 0, report.render_text()
+        assert report.files_analyzed > 50
+        assert report.rules_run == BUILTIN_RULE_IDS
+
+    def test_repro_lint_cli_exits_zero_on_src(self, capsys: pytest.CaptureFixture) -> None:
+        assert cli_main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------------- #
+
+
+class TestLintCli:
+    def test_json_format(self, tmp_path: Path, capsys: pytest.CaptureFixture) -> None:
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def collect(bucket=[]):\n    return bucket\n")
+        assert cli_main(["lint", str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro lint"
+        assert payload["counts_by_rule"] == {"RPR007": 1}
+
+    def test_select_filter(self, tmp_path: Path, capsys: pytest.CaptureFixture) -> None:
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def collect(bucket=[]):\n    return bucket\n")
+        # Selecting an unrelated rule must make the same file pass.
+        assert cli_main(["lint", str(dirty), "--select", "RPR001"]) == 0
+        capsys.readouterr()
+        assert cli_main(["lint", str(dirty), "--ignore", "RPR007"]) == 0
+
+    def test_unknown_rule_is_a_usage_error(self, capsys: pytest.CaptureFixture) -> None:
+        assert cli_main(["lint", "--select", "RPR999", str(REPO_ROOT / "src")]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, capsys: pytest.CaptureFixture) -> None:
+        assert cli_main(["lint", "definitely/not/a/path"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys: pytest.CaptureFixture) -> None:
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in BUILTIN_RULE_IDS:
+            assert rule_id in out
+
+
+# --------------------------------------------------------------------------- #
+# Typing gate (satellites: py.typed marker, __all__ hygiene, annotations)
+# --------------------------------------------------------------------------- #
+
+
+class TestTypingGate:
+    def test_py_typed_marker_exists(self) -> None:
+        assert (REPO_ROOT / "src" / "repro" / "py.typed").is_file()
+
+    def test_every_package_init_pins_all(self) -> None:
+        """Every ``__init__.py`` declares ``__all__`` and its entries resolve."""
+        import importlib
+
+        for init in sorted((REPO_ROOT / "src" / "repro").rglob("__init__.py")):
+            relative = init.relative_to(REPO_ROOT / "src").parent
+            module_name = ".".join(relative.parts)
+            tree = ast.parse(init.read_text(encoding="utf-8"))
+            assigned = {
+                target.id
+                for node in tree.body
+                if isinstance(node, ast.Assign)
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            }
+            assert "__all__" in assigned, f"{module_name} does not pin __all__"
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.__all__ names missing {name!r}"
+
+    def test_every_signature_in_src_is_annotated(self) -> None:
+        """AST-level stand-in for the CI mypy gate (mypy is not vendored here).
+
+        Every function parameter and return in ``src/repro`` must carry an
+        annotation (``self``/``cls`` and ``__init__`` returns excepted), so
+        the strict mypy run in CI starts from a fully-annotated surface.
+        """
+        missing: list[str] = []
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                arguments = node.args
+                for argument in (
+                    *arguments.posonlyargs,
+                    *arguments.args,
+                    *arguments.kwonlyargs,
+                    *filter(None, (arguments.vararg, arguments.kwarg)),
+                ):
+                    if argument.arg in ("self", "cls"):
+                        continue
+                    if argument.annotation is None:
+                        missing.append(f"{path}:{node.lineno} {node.name}({argument.arg})")
+                if node.returns is None and node.name != "__init__":
+                    missing.append(f"{path}:{node.lineno} {node.name} -> ?")
+        assert missing == [], "unannotated signatures:\n" + "\n".join(missing)
+
+    def test_mypy_strict_passes_when_available(self) -> None:
+        """The real gate, exercised locally only when mypy is installed."""
+        pytest.importorskip("mypy")
+        from mypy import api
+
+        stdout, stderr, status = api.run(
+            ["--config-file", str(REPO_ROOT / "pyproject.toml")]
+        )
+        assert status == 0, stdout + stderr

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
+import sys
 import time
 from collections.abc import Callable
 from pathlib import Path
@@ -26,35 +28,54 @@ from pathlib import Path
 #: with the default 2x factor this gives ~4x headroom over the measured time).
 BASELINE_PADDING = 2.0
 
+#: ``ru_maxrss`` is kilobytes on Linux but *bytes* on macOS.
+_RSS_TO_MB = 1.0 / (1024.0 * 1024.0) if sys.platform == "darwin" else 1.0 / 1024.0
+
+
+def peak_rss_mb() -> float:
+    """The process's high-water resident set size, in megabytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RSS_TO_MB
+
 
 def run_benchmarks(
-    benchmarks: dict[str, Callable[[bool], None]], *, quick: bool, repeats: int
-) -> dict[str, float]:
-    """Run every benchmark ``repeats`` times and keep the best wall-clock."""
-    timings: dict[str, float] = {}
+    benchmarks: dict[str, Callable[[bool], object]], *, quick: bool, repeats: int
+) -> dict[str, dict[str, object]]:
+    """Run every benchmark ``repeats`` times and keep the best wall-clock.
+
+    Each record carries the best ``seconds``, the process-wide ``peak_rss_mb``
+    observed after the benchmark (monotone over the run — it attributes the
+    high-water mark, not the increment), and whatever metadata dict the
+    workload chose to return (state-space sizes, truncation levels, ...), so
+    the uploaded JSON explains *what* was timed, not just how long it took.
+    """
+    records: dict[str, dict[str, object]] = {}
     for name, function in benchmarks.items():
         best = float("inf")
+        metadata: dict[str, object] = {}
         for _ in range(repeats):
             start = time.perf_counter()
-            function(quick)
+            returned = function(quick)
             best = min(best, time.perf_counter() - start)
-        timings[name] = best
-        print(f"{name:>24}: {best:8.3f}s")
-    return timings
+            if isinstance(returned, dict):
+                metadata = {str(key): value for key, value in returned.items()}
+        records[name] = {"seconds": best, "peak_rss_mb": round(peak_rss_mb(), 1), **metadata}
+        sizes = ", ".join(f"{key}={value}" for key, value in metadata.items())
+        print(f"{name:>24}: {best:8.3f}s" + (f"  [{sizes}]" if sizes else ""))
+    return records
 
 
-def write_results(path: Path, timings: dict[str, float], *, quick: bool) -> None:
+def write_results(path: Path, records: dict[str, dict[str, object]], *, quick: bool) -> None:
     """Write one timing JSON (the artifact CI uploads, and the baseline format)."""
     payload = {
         "mode": "quick" if quick else "full",
-        "benchmarks": {name: {"seconds": seconds} for name, seconds in timings.items()},
+        "benchmarks": records,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {path}")
 
 
 def check_against_baseline(
-    timings: dict[str, float], baseline_path: Path, *, factor: float, quick: bool
+    records: dict[str, dict[str, object]], baseline_path: Path, *, factor: float, quick: bool
 ) -> int:
     """Compare timings to a baseline file; return the number of regressions.
 
@@ -74,7 +95,8 @@ def check_against_baseline(
         return 1
     baseline = payload["benchmarks"]
     regressions = 0
-    for name, seconds in timings.items():
+    for name, record in records.items():
+        seconds = float(record["seconds"])  # type: ignore[arg-type]
         if name not in baseline:
             print(f"{name:>24}: no baseline entry (new benchmark, skipped)")
             continue
@@ -86,13 +108,13 @@ def check_against_baseline(
             regressions += 1
         print(f"{name:>24}: {seconds:8.3f}s vs baseline {reference:8.3f}s ({ratio:4.2f}x) {status}")
     for name in baseline:
-        if name not in timings:
+        if name not in records:
             print(f"{name:>24}: present in baseline but not measured")
     return regressions
 
 
 def bench_main(
-    benchmarks: dict[str, Callable[[bool], None]],
+    benchmarks: dict[str, Callable[[bool], object]],
     *,
     description: str,
     default_output: str,
@@ -121,17 +143,20 @@ def bench_main(
     )
     arguments = parser.parse_args(argv)
 
-    timings = run_benchmarks(benchmarks, quick=arguments.quick, repeats=arguments.repeats)
+    records = run_benchmarks(benchmarks, quick=arguments.quick, repeats=arguments.repeats)
 
     if arguments.update_baseline is not None:
-        padded = {name: seconds * BASELINE_PADDING for name, seconds in timings.items()}
+        padded = {
+            name: {**record, "seconds": float(record["seconds"]) * BASELINE_PADDING}  # type: ignore[arg-type]
+            for name, record in records.items()
+        }
         write_results(Path(arguments.update_baseline), padded, quick=arguments.quick)
         return 0
 
-    write_results(Path(arguments.output), timings, quick=arguments.quick)
+    write_results(Path(arguments.output), records, quick=arguments.quick)
     if arguments.check is not None:
         regressions = check_against_baseline(
-            timings, Path(arguments.check), factor=arguments.factor, quick=arguments.quick
+            records, Path(arguments.check), factor=arguments.factor, quick=arguments.quick
         )
         if regressions:
             print(f"{regressions} benchmark(s) regressed beyond {arguments.factor:.1f}x")

@@ -30,11 +30,65 @@ from _harness import (  # noqa: F401 - re-exported for the bench unit tests
 )
 
 
-def _bench_scenario_ctmc_gallery(quick: bool) -> None:
+def _bench_scenario_ctmc_gallery(quick: bool) -> dict[str, object]:
     from repro.scenarios import preset_names, scenario_preset
 
+    states = 0
     for name in preset_names():
-        scenario_preset(name).solve_ctmc()
+        states += scenario_preset(name).solve_ctmc().num_solved_states
+    return {"num_states": states}
+
+
+def _bench_lumped_scenario(quick: bool) -> dict[str, object]:
+    """A K=3, N=30 lumped solve whose product space would be astronomically large.
+
+    Three groups of ten exponential servers give ``11^3 = 1331`` lumped modes
+    against ``2^30 ~ 1.1e9`` per-server-labelled modes — the chain only exists
+    because of the count-based lumping.  At the explicit truncation level the
+    chain has ~81k states, which exercises the IAD steady-state path of the
+    kernel layer (direct factorisation is far too fill-heavy here).
+    """
+    from repro.distributions import Exponential
+    from repro.scenarios import ScenarioModel, ServerGroup
+
+    model = ScenarioModel(
+        groups=(
+            ServerGroup(
+                name="fast",
+                size=10,
+                service_rate=2.0,
+                operative=Exponential(rate=0.05),
+                inoperative=Exponential(rate=1.0),
+            ),
+            ServerGroup(
+                name="mid",
+                size=10,
+                service_rate=1.0,
+                operative=Exponential(rate=0.04),
+                inoperative=Exponential(rate=0.8),
+            ),
+            ServerGroup(
+                name="slow",
+                size=10,
+                service_rate=0.5,
+                operative=Exponential(rate=0.03),
+                inoperative=Exponential(rate=0.6),
+            ),
+        ),
+        arrival_rate=20.0,
+        repair_capacity=4,
+        name="bench-lumped-30",
+    )
+    level = 60 if quick else 120
+    solution = model.solve_ctmc(max_queue_length=level)
+    environment = model.environment
+    return {
+        "num_modes": environment.num_modes,
+        "num_levels": level + 1,
+        "num_states": solution.num_solved_states,
+        "num_product_modes": environment.num_product_modes,
+        "representation": solution.representation,
+    }
 
 
 def _bench_scenario_simulation(quick: bool) -> None:
@@ -69,8 +123,9 @@ def _bench_homogeneous_spectral(quick: bool) -> None:
 
 
 #: The tracked benchmarks, in report order.
-BENCHMARKS: dict[str, Callable[[bool], None]] = {
+BENCHMARKS: dict[str, Callable[[bool], object]] = {
     "scenario_ctmc_gallery": _bench_scenario_ctmc_gallery,
+    "lumped_scenario": _bench_lumped_scenario,
     "scenario_simulation": _bench_scenario_simulation,
     "scenario_sweep": _bench_scenario_sweep,
     "homogeneous_spectral": _bench_homogeneous_spectral,

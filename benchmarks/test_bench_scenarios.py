@@ -66,7 +66,10 @@ class TestBaselineCheck:
             {"mode": "quick", "benchmarks": {"a": {"seconds": 1.0}, "b": {"seconds": 1.0}}},
         )
         regressions = check_against_baseline(
-            {"a": 2.5, "b": 1.5}, baseline, factor=2.0, quick=True
+            {"a": {"seconds": 2.5, "peak_rss_mb": 1.0}, "b": {"seconds": 1.5}},
+            baseline,
+            factor=2.0,
+            quick=True,
         )
         assert regressions == 1
         assert "REGRESSION" in capsys.readouterr().out
@@ -77,7 +80,10 @@ class TestBaselineCheck:
         baseline = self._baseline(
             tmp_path, {"mode": "full", "benchmarks": {"a": {"seconds": 1.0}}}
         )
-        assert check_against_baseline({"a": 0.1}, baseline, factor=2.0, quick=True) == 1
+        assert (
+            check_against_baseline({"a": {"seconds": 0.1}}, baseline, factor=2.0, quick=True)
+            == 1
+        )
         assert "re-record" in capsys.readouterr().out
 
     def test_new_benchmark_without_baseline_is_skipped(self, tmp_path, capsys):
@@ -86,8 +92,6 @@ class TestBaselineCheck:
         baseline = self._baseline(
             tmp_path, {"mode": "quick", "benchmarks": {"a": {"seconds": 1.0}}}
         )
-        assert (
-            check_against_baseline({"a": 1.0, "new": 9.0}, baseline, factor=2.0, quick=True)
-            == 0
-        )
+        records = {"a": {"seconds": 1.0}, "new": {"seconds": 9.0, "num_states": 3}}
+        assert check_against_baseline(records, baseline, factor=2.0, quick=True) == 0
         assert "no baseline entry" in capsys.readouterr().out

@@ -24,25 +24,28 @@ from collections.abc import Callable
 from _harness import bench_main
 
 
-def _bench_transient_homogeneous(quick: bool) -> None:
+def _bench_transient_homogeneous(quick: bool) -> dict[str, object]:
     """One uniformization pass serving a whole time grid (paper-style model)."""
     from repro.queueing import sun_fitted_model
     from repro.transient import solve_transient
 
     horizon = 50.0 if quick else 200.0
     times = tuple(horizon * (index + 1) / 10 for index in range(10))
-    solve_transient(sun_fitted_model(num_servers=6, arrival_rate=3.6), times)
+    solution = solve_transient(sun_fitted_model(num_servers=6, arrival_rate=3.6), times)
+    return {"num_states": solution.num_solved_states, "steps": solution.steps}
 
 
-def _bench_transient_gallery(quick: bool) -> None:
+def _bench_transient_gallery(quick: bool) -> dict[str, object]:
     """Transient trajectories across every scenario preset."""
     from repro.scenarios import preset_names, scenario_preset
     from repro.transient import solve_transient
 
     horizon = 20.0 if quick else 100.0
     times = (horizon / 4, horizon / 2, horizon)
+    states = 0
     for name in preset_names():
-        solve_transient(scenario_preset(name), times)
+        states += solve_transient(scenario_preset(name), times).num_solved_states
+    return {"num_states": states}
 
 
 def _bench_first_passage(quick: bool) -> None:
@@ -76,7 +79,7 @@ def _bench_transient_ensemble(quick: bool) -> None:
 
 
 #: The tracked benchmarks, in report order.
-BENCHMARKS: dict[str, Callable[[bool], None]] = {
+BENCHMARKS: dict[str, Callable[[bool], object]] = {
     "transient_homogeneous": _bench_transient_homogeneous,
     "transient_gallery": _bench_transient_gallery,
     "first_passage": _bench_first_passage,

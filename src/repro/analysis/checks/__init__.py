@@ -15,6 +15,8 @@ Rule        Contract it enforces
 ``RPR005``  service ``error.code`` values are literal, kebab-case and unique
 ``RPR006``  no swallowed ``CancelledError`` / bare ``except`` in the service
 ``RPR007``  no mutable default argument values
+``RPR008``  no square dense generator allocations over the global mode space
+            in the CTMC hot paths (``markov``/``scenarios``/``transient``)
 ==========  ==================================================================
 """
 
@@ -24,6 +26,7 @@ from ..registry import LintRule
 from .blocking import BlockingCallRule
 from .cancellation import SwallowedCancellationRule
 from .defaults import MutableDefaultRule
+from .density import DenseGeneratorRule
 from .distributions import DistributionParameterKeyRule
 from .errors import ErrorCodeStabilityRule
 from .floats import FloatEqualityRule
@@ -40,15 +43,26 @@ def builtin_rules() -> tuple[LintRule, ...]:
         ErrorCodeStabilityRule(),
         SwallowedCancellationRule(),
         MutableDefaultRule(),
+        DenseGeneratorRule(),
     )
 
 
 #: The built-in rule identifiers, in the order reports list them.
-BUILTIN_RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007")
+BUILTIN_RULE_IDS = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR006",
+    "RPR007",
+    "RPR008",
+)
 
 __all__ = [
     "BUILTIN_RULE_IDS",
     "BlockingCallRule",
+    "DenseGeneratorRule",
     "DistributionParameterKeyRule",
     "ErrorCodeStabilityRule",
     "FloatEqualityRule",

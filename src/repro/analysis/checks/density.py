@@ -1,0 +1,105 @@
+"""RPR008 — dense generator allocation on a CTMC hot path.
+
+The numerical core assembles every level x mode chain sparsely through
+:mod:`repro.markov.kernels`; a mode space of ``s`` global modes has ``O(s)``
+transitions, so a dense ``s x s`` array wastes quadratic memory and turns
+every downstream product into a dense one.  The regression this rule guards
+against is the easy-to-write legacy pattern
+
+.. code-block:: python
+
+    matrix = np.zeros((self.num_modes, self.num_modes))
+    for transition in transitions:
+        matrix[transition.source, transition.target] += transition.rate
+
+which is exactly how the generators used to be built — fine at ``s ~ 100``,
+fatal at the lumped scenario sizes (``s > 1000`` modes, ``> 10^5`` chain
+states) the kernel layer exists for.  The rule is scoped to the hot packages
+— ``markov``, ``scenarios``, ``transient`` — and flags square dense
+allocations (``zeros``/``empty``/``ones``/``full``) whose two dimensions are
+the *same* expression over a global mode/state count (``num_modes``,
+``num_states``, ``num_levels``).  Build a ``scipy.sparse`` matrix (COO/CSR)
+instead, or assemble through the kernel layer; a deliberate small dense
+matrix can opt out per line with ``# repro: noqa RPR008``.
+
+Per-group *local* matrices (dimensioned by phase counts, not by the global
+mode space) are not flagged: their dimensions never mention the global
+counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: The numpy allocation functions the rule watches.
+_ALLOCATORS = frozenset({"zeros", "empty", "ones", "full"})
+
+#: Identifiers that denote a *global* mode/state count; a square allocation
+#: over one of these is the dense-generator pattern.
+_GLOBAL_COUNT_NAMES = frozenset({"num_modes", "num_states", "num_levels"})
+
+#: Module segments the rule is scoped to (the CTMC hot paths).
+_HOT_PACKAGES = frozenset({"markov", "scenarios", "transient"})
+
+
+def _called_allocator(node: ast.Call) -> str | None:
+    """The allocator name of a ``np.zeros(...)``-style call, else ``None``."""
+    function = node.func
+    if isinstance(function, ast.Attribute) and function.attr in _ALLOCATORS:
+        return function.attr
+    if isinstance(function, ast.Name) and function.id in _ALLOCATORS:
+        return function.id
+    return None
+
+
+def _mentions_global_count(node: ast.expr) -> bool:
+    """Whether an expression references a global mode/state count identifier."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr in _GLOBAL_COUNT_NAMES:
+            return True
+        if isinstance(child, ast.Name) and child.id in _GLOBAL_COUNT_NAMES:
+            return True
+    return False
+
+
+class DenseGeneratorRule(LintRule):
+    """Flag square dense allocations over the global mode space."""
+
+    rule_id = "RPR008"
+    title = "dense generator allocation on a CTMC hot path"
+    rationale = (
+        "mode spaces have O(s) transitions; an s x s dense array wastes quadratic "
+        "memory and defeats the sparse kernel layer — assemble through "
+        "repro.markov.kernels or scipy.sparse instead"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return bool(_HOT_PACKAGES.intersection(context.module_parts))
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            allocator = _called_allocator(node)
+            if allocator is None or not node.args:
+                continue
+            shape = node.args[0]
+            if not isinstance(shape, (ast.Tuple, ast.List)) or len(shape.elts) != 2:
+                continue
+            first, second = shape.elts
+            if ast.dump(first) != ast.dump(second):
+                continue
+            if not _mentions_global_count(first):
+                continue
+            yield context.finding(
+                self,
+                node,
+                f"square dense '{allocator}' allocation over the global mode space; "
+                "assemble the matrix sparsely (repro.markov.kernels / scipy.sparse) "
+                "or opt out with # repro: noqa RPR008 for a deliberately small "
+                "dense matrix",
+            )

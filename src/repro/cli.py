@@ -47,10 +47,11 @@ Four subcommands cover the everyday workflows:
 
 ``lint``
     Run the :mod:`repro.analysis` static analyzer — the repo-specific
-    ``RPR001`` ... ``RPR007`` rules (blocking calls in async code, cache-unsafe
+    ``RPR001`` ... ``RPR008`` rules (blocking calls in async code, cache-unsafe
     distributions, float equality in the numerical core, undeclared scenario
-    support, unstable error codes, swallowed cancellation, mutable defaults)
-    — over files or directories.  Text or ``--format json`` output; exit
+    support, unstable error codes, swallowed cancellation, mutable defaults,
+    dense generator allocations on the CTMC hot paths) — over files or
+    directories.  Text or ``--format json`` output; exit
     code 0 when clean, 1 with findings, 2 on usage errors.
 
 The CLI is installed as ``python -m repro`` (see ``__main__.py``) and as the
@@ -73,7 +74,14 @@ from .exceptions import ReproError
 from .experiments import format_key_values, format_table, render_report, run_all_experiments
 from .fitting import fit_exponential, fit_two_phase_from_moments
 from .queueing import UnreliableQueueModel
-from .scenarios import ScenarioModel, preset_description, preset_names, scenario_preset
+from .scenarios import (
+    REPRESENTATIONS,
+    ScenarioModel,
+    preset_description,
+    preset_names,
+    resolve_representation,
+    scenario_preset,
+)
 from .solvers import SolverPolicy, solve as solve_model, solver_names
 from .stats import EmpiricalDensity, estimate_moments, ks_test_grid
 from .sweeps import SweepRunner, SweepSpec
@@ -274,6 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated solver order with fallback (scenario-capable: ctmc, simulate)",
     )
     scenario.add_argument(
+        "--representation",
+        choices=REPRESENTATIONS,
+        default="auto",
+        help="chain representation for the CTMC solver: lumped (count-based, the "
+        "default under auto) or product (per-server-labelled, verification only)",
+    )
+    scenario.add_argument(
         "--horizon",
         type=float,
         default=50_000.0,
@@ -285,7 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
         const="-",
         default=None,
         metavar="PATH",
-        help="with --list: emit the preset gallery as JSON (to PATH, or stdout if omitted)",
+        help="emit machine-readable JSON (to PATH, or stdout if omitted): the preset "
+        "gallery with --list, or the solved scenario with --preset",
     )
 
     transient = subparsers.add_parser(
@@ -339,6 +355,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=INITIAL_CONDITIONS,
         default="empty-operative",
         help="initial condition of the chain",
+    )
+    transient.add_argument(
+        "--representation",
+        choices=REPRESENTATIONS,
+        default="auto",
+        help="chain representation to sweep: lumped (count-based, the default "
+        "under auto) or product (per-server-labelled; scenario presets only)",
     )
     transient.add_argument(
         "--first-passage",
@@ -707,9 +730,9 @@ def _command_scenario(arguments: argparse.Namespace) -> int:
         rows = [(name, preset_description(name)) for name in preset_names()]
         print(format_table(("preset", "description"), rows, title="Scenario presets"))
         return 0
-    if arguments.json is not None:
-        raise ReproError("--json applies to the preset gallery; combine it with --list")
     if arguments.preset is None:
+        if arguments.json is not None:
+            raise ReproError("--json needs --list (preset gallery) or --preset (solved scenario)")
         raise ReproError("choose a preset with --preset, or use --list to see them")
     scenario = scenario_preset(
         arguments.preset,
@@ -748,12 +771,26 @@ def _command_scenario(arguments: argparse.Namespace) -> int:
             title="Model",
         )
     )
+    representation = resolve_representation(arguments.representation)
+    print()
+    print(
+        format_key_values(
+            [
+                ("requested", arguments.representation),
+                ("chosen", representation),
+                ("lumped modes", scenario.num_modes),
+                ("product modes", scenario.environment.num_product_modes),
+            ],
+            title="Representation",
+        )
+    )
     if not scenario.is_stable:
         print("\nThe scenario is unstable; add capacity or reduce the load.")
         return 1
     policy = SolverPolicy(
         order=_parse_list(arguments.solvers, str, "--solvers"),
         simulate_horizon=arguments.horizon,
+        representation=arguments.representation,
     )
     outcome = solve_model(scenario, policy)
     if outcome.solver is None:
@@ -773,6 +810,28 @@ def _command_scenario(arguments: argparse.Namespace) -> int:
             title=f"Solution ({outcome.solver})",
         )
     )
+    if arguments.json is not None:
+        payload = {
+            "scenario": scenario.name,
+            "servers": scenario.num_servers,
+            "arrival_rate": scenario.arrival_rate,
+            "repair_capacity": scenario.effective_repair_capacity,
+            "representation": {
+                "requested": arguments.representation,
+                "chosen": representation,
+                "num_modes": scenario.num_modes,
+                "num_product_modes": scenario.environment.num_product_modes,
+            },
+            "solver": outcome.solver,
+            "metrics": outcome.metrics,
+        }
+        text = json.dumps(payload, indent=2)
+        if arguments.json == "-":
+            print()
+            print(text)
+        else:
+            Path(arguments.json).write_text(text + "\n")
+            print(f"\nwrote {arguments.json}")
     return 0
 
 
@@ -809,12 +868,16 @@ def _transient_times(arguments: argparse.Namespace) -> tuple[float, ...]:
 def _command_transient(arguments: argparse.Namespace) -> int:
     model = _transient_model(arguments)
     times = _transient_times(arguments)
-    solution = solve_transient(model, times, initial=arguments.initial)
+    solution = solve_transient(
+        model, times, initial=arguments.initial, representation=arguments.representation
+    )
     print(
         format_key_values(
             [
                 ("model", repr(model)),
                 ("initial condition", arguments.initial),
+                ("representation", solution.representation),
+                ("solved states", solution.num_solved_states),
                 ("truncation level", solution.truncation_level),
                 ("uniformization rate", solution.uniformization_rate),
                 ("uniformization steps", solution.steps),

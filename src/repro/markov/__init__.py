@@ -28,7 +28,18 @@ from .ctmc import (
     validate_generator,
 )
 from .environment import BreakdownEnvironment, ModeTransition, expected_num_modes
-from .scenario_env import ScenarioEnvironment, expected_num_scenario_modes
+from .kernels import (
+    LevelModeStructure,
+    UniformizedOperator,
+    assemble_level_mode_generator,
+    steady_state_csr,
+)
+from .product_env import ProductScenarioEnvironment
+from .scenario_env import (
+    LumpedScenarioEnvironment,
+    ScenarioEnvironment,
+    expected_num_scenario_modes,
+)
 from .partitions import (
     compositions,
     enumerate_modes,
@@ -44,10 +55,16 @@ __all__ = [
     "num_modes",
     "operative_counts",
     "BreakdownEnvironment",
+    "LevelModeStructure",
+    "LumpedScenarioEnvironment",
     "ModeTransition",
+    "ProductScenarioEnvironment",
     "ScenarioEnvironment",
+    "UniformizedOperator",
+    "assemble_level_mode_generator",
     "expected_num_modes",
     "expected_num_scenario_modes",
+    "steady_state_csr",
     "steady_state_from_generator",
     "steady_state_sparse",
     "validate_generator",

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.sparse
-import scipy.sparse.linalg
 
 from ..exceptions import SolverError
 
@@ -84,39 +83,15 @@ def steady_state_from_generator(generator: np.ndarray) -> np.ndarray:
 def steady_state_sparse(generator: scipy.sparse.spmatrix) -> np.ndarray:
     """Stationary distribution of a sparse CTMC generator.
 
-    Uses a sparse LU solve of the balance equations with one column replaced
-    by the normalisation condition; falls back to a dense least-squares solve
-    for small systems if the factorisation fails.
+    Thin wrapper over :func:`repro.markov.kernels.steady_state_csr` kept for
+    backwards compatibility: callers that know their chain's level x mode
+    structure should call the kernel directly (it can pick the structured
+    iterative solver for large chains; this entry point always takes the
+    direct sparse-LU path).
     """
-    matrix = scipy.sparse.csr_matrix(generator, dtype=float)
-    size = matrix.shape[0]
-    if matrix.shape[0] != matrix.shape[1]:
-        raise SolverError(f"generator must be square, got shape {matrix.shape}")
-    if size == 1:
-        return np.array([1.0])
-    # Build the transposed balance system Q^T x = 0 and overwrite the last row
-    # with the normalisation sum(x) = 1.
-    transposed = matrix.T.tolil()
-    transposed[size - 1, :] = np.ones(size)
-    rhs = np.zeros(size)
-    rhs[size - 1] = 1.0
-    try:
-        solution = scipy.sparse.linalg.spsolve(transposed.tocsr(), rhs)
-    except RuntimeError as exc:  # pragma: no cover - depends on SuperLU behaviour
-        if size > 5000:
-            raise SolverError(f"sparse steady-state solve failed: {exc}") from exc
-        dense = matrix.toarray()
-        return steady_state_from_generator(dense)
-    solution = np.asarray(solution, dtype=float)
-    if np.any(~np.isfinite(solution)):
-        raise SolverError("sparse steady-state solve produced non-finite values")
-    if np.any(solution < -1e-6):
-        raise SolverError("sparse steady-state solve produced negative probabilities")
-    solution = np.clip(solution, 0.0, None)
-    total = solution.sum()
-    if total <= 0.0:
-        raise SolverError("sparse steady-state solution sums to zero")
-    return solution / total
+    from .kernels import steady_state_csr
+
+    return steady_state_csr(generator)
 
 
 def embedded_jump_chain(generator: np.ndarray) -> np.ndarray:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
+import scipy.sparse
 
 from .._validation import check_positive_int
 from ..distributions import Distribution, Exponential, HyperExponential
@@ -218,12 +219,32 @@ class BreakdownEnvironment:
         return result
 
     @cached_property
+    def transition_matrix_sparse(self) -> scipy.sparse.csr_matrix:
+        """Sparse matrix ``A`` of mode-changing transition rates (zero diagonal).
+
+        The truncated-chain builders consume this directly — level x mode
+        chains are assembled sparsely end to end through
+        :mod:`repro.markov.kernels` — so the dense :attr:`transition_matrix`
+        is only materialised for the spectral algebra and for small chains.
+        """
+        transitions = self.transitions()
+        rows = np.array([t.source for t in transitions], dtype=np.int64)
+        cols = np.array([t.target for t in transitions], dtype=np.int64)
+        rates = np.array([t.rate for t in transitions], dtype=float)
+        size = self.num_modes
+        return scipy.sparse.coo_matrix((rates, (rows, cols)), shape=(size, size)).tocsr()
+
+    @cached_property
+    def generator_sparse(self) -> scipy.sparse.csr_matrix:
+        """The environment's CTMC generator ``A - D^A`` in sparse form."""
+        matrix = self.transition_matrix_sparse
+        diagonal = np.asarray(matrix.sum(axis=1)).ravel()
+        return (matrix - scipy.sparse.diags(diagonal)).tocsr()
+
+    @cached_property
     def transition_matrix(self) -> np.ndarray:
         """The matrix ``A`` of mode-changing transition rates (zero diagonal)."""
-        matrix = np.zeros((self.num_modes, self.num_modes))
-        for transition in self.transitions():
-            matrix[transition.source, transition.target] += transition.rate
-        return matrix
+        return np.asarray(self.transition_matrix_sparse.todense())
 
     @cached_property
     def row_sum_matrix(self) -> np.ndarray:

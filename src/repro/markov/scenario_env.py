@@ -25,18 +25,24 @@ per-group operative counts).
 from __future__ import annotations
 
 import itertools
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
+import scipy.sparse
 
 from .._validation import check_positive_int
 from ..distributions import Distribution
 from ..exceptions import ParameterError
-from .ctmc import steady_state_from_generator
 from .environment import ModeTransition, _as_phase_mixture
 from .partitions import enumerate_modes, num_modes
+
+#: Largest mode count for which the dense ``transition_matrix``/``generator``
+#: accessors will materialise an ``s x s`` array.  Hot paths use the sparse
+#: accessors; the dense ones remain for tests and small environments.
+DENSE_MODE_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -144,6 +150,20 @@ class ScenarioEnvironment:
         return len(self._modes)
 
     @property
+    def num_product_modes(self) -> int:
+        """The size ``prod_g (n_g + m_g)^{N_g}`` of the per-server-labelled chain.
+
+        The state count this environment *would* have without exchangeable-
+        server lumping — the denominator of the state-space saving reported by
+        the CLI and the benchmarks.  Computed without building that chain (it
+        is astronomically large for realistic group sizes).
+        """
+        total = 1
+        for group in self._groups:
+            total *= int(group.alpha.size + group.beta.size) ** group.size
+        return total
+
+    @property
     def modes(self) -> list[tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]]:
         """The global modes as tuples of per-group ``(X, Y)`` occupancy pairs."""
         return list(self._modes)
@@ -157,11 +177,19 @@ class ScenarioEnvironment:
 
     @cached_property
     def operative_counts_by_group(self) -> np.ndarray:
-        """Array of shape ``(num_modes, K)``: operative servers per group and mode."""
-        counts = np.zeros((len(self._modes), len(self._groups)))
-        for index, mode in enumerate(self._modes):
-            for position, (operative, _) in enumerate(mode):
-                counts[index, position] = sum(operative)
+        """Array of shape ``(num_modes, K)``: operative servers per group and mode.
+
+        Built by mixed-radix tiling of the per-group local counts (group 0
+        varies slowest in the global enumeration), not by iterating the
+        global product space.
+        """
+        sizes = [len(modes) for modes in self._local_modes]
+        counts = np.zeros((self.num_modes, len(self._groups)))
+        for position, local_modes in enumerate(self._local_modes):
+            local = np.array([float(sum(operative)) for operative, _ in local_modes])
+            before = math.prod(sizes[:position])
+            after = math.prod(sizes[position + 1 :])
+            counts[:, position] = np.tile(np.repeat(local, after), before)
         return counts
 
     @cached_property
@@ -258,19 +286,134 @@ class ScenarioEnvironment:
         mode[position] = local_mode
         return self._mode_index[tuple(mode)]
 
+    def _local_transition_matrices(
+        self, position: int
+    ) -> tuple[scipy.sparse.csr_matrix, scipy.sparse.csr_matrix]:
+        """One group's local breakdown and *unscaled* repair rate matrices.
+
+        Local matrices live on the group's own mode space (a few dozen to a
+        few hundred states), so the Python loop here is cheap; the global
+        matrix is assembled from them by Kronecker lifting.  Repair rates are
+        returned without the crew-sharing factor, which depends on the global
+        broken count and is applied as a row scaling of the lifted matrix.
+        """
+        group = self._groups[position]
+        modes = self._local_modes[position]
+        index_map = self._local_index[position]
+        rows: list[int] = []
+        cols: list[int] = []
+        breakdown_rates: list[float] = []
+        repair_rows: list[int] = []
+        repair_cols: list[int] = []
+        repair_rates: list[float] = []
+        for source, (operative, inoperative) in enumerate(modes):
+            for j in range(group.alpha.size):
+                if operative[j] == 0:
+                    continue
+                for k in range(group.beta.size):
+                    rate = operative[j] * group.xi[j] * group.beta[k]
+                    if rate == 0.0:
+                        continue
+                    new_operative = list(operative)
+                    new_operative[j] -= 1
+                    new_inoperative = list(inoperative)
+                    new_inoperative[k] += 1
+                    target = index_map[(tuple(new_operative), tuple(new_inoperative))]
+                    rows.append(source)
+                    cols.append(target)
+                    breakdown_rates.append(float(rate))
+            for k in range(group.beta.size):
+                if inoperative[k] == 0:
+                    continue
+                for j in range(group.alpha.size):
+                    rate = inoperative[k] * group.eta[k] * group.alpha[j]
+                    if rate == 0.0:
+                        continue
+                    new_operative = list(operative)
+                    new_operative[j] += 1
+                    new_inoperative = list(inoperative)
+                    new_inoperative[k] -= 1
+                    target = index_map[(tuple(new_operative), tuple(new_inoperative))]
+                    repair_rows.append(source)
+                    repair_cols.append(target)
+                    repair_rates.append(float(rate))
+        size = len(modes)
+        breakdown = scipy.sparse.coo_matrix(
+            (breakdown_rates, (rows, cols)), shape=(size, size)
+        ).tocsr()
+        repair = scipy.sparse.coo_matrix(
+            (repair_rates, (repair_rows, repair_cols)), shape=(size, size)
+        ).tocsr()
+        return breakdown, repair
+
+    @cached_property
+    def transition_matrix_sparse(self) -> scipy.sparse.csr_matrix:
+        """Sparse matrix of mode-changing transition rates (zero diagonal).
+
+        Assembled structurally: each group's local breakdown/repair matrix is
+        lifted to the global product space with Kronecker products
+        (``I x B_g x I``), then repairs are row-scaled by the crew-sharing
+        factor ``min(broken, R) / broken`` of the source mode.  No loop over
+        the global mode space is involved, so assembly stays fast for
+        environments far beyond the dense limit.
+        """
+        sizes = [len(modes) for modes in self._local_modes]
+        total = self.num_modes
+        breakdown = scipy.sparse.csr_matrix((total, total))
+        repair = scipy.sparse.csr_matrix((total, total))
+        for position in range(len(self._groups)):
+            local_breakdown, local_repair = self._local_transition_matrices(position)
+            before = math.prod(sizes[:position])
+            after = math.prod(sizes[position + 1 :])
+            for local, accumulate in ((local_breakdown, True), (local_repair, False)):
+                lifted = scipy.sparse.kron(
+                    scipy.sparse.identity(before),
+                    scipy.sparse.kron(local, scipy.sparse.identity(after)),
+                ).tocsr()
+                if accumulate:
+                    breakdown = breakdown + lifted
+                else:
+                    repair = repair + lifted
+        broken = self.broken_counts
+        share = np.where(
+            broken > 0.0,
+            np.minimum(broken, float(self._repair_capacity)) / np.maximum(broken, 1.0),
+            1.0,
+        )
+        matrix = breakdown + scipy.sparse.diags(share) @ repair
+        return matrix.tocsr()
+
+    @cached_property
+    def generator_sparse(self) -> scipy.sparse.csr_matrix:
+        """The environment's own CTMC generator, sparse (the hot-path accessor)."""
+        matrix = self.transition_matrix_sparse
+        diagonal = np.asarray(matrix.sum(axis=1)).ravel()
+        return (matrix - scipy.sparse.diags(diagonal)).tocsr()
+
+    def _check_dense_limit(self, what: str) -> None:
+        if self.num_modes > DENSE_MODE_LIMIT:
+            raise ParameterError(
+                f"refusing to materialise the dense {what} for {self.num_modes} modes "
+                f"(limit {DENSE_MODE_LIMIT}); use the sparse accessor "
+                f"'{what}_sparse' instead"
+            )
+
     @cached_property
     def transition_matrix(self) -> np.ndarray:
-        """The matrix of mode-changing transition rates (zero diagonal)."""
-        matrix = np.zeros((self.num_modes, self.num_modes))
-        for transition in self.transitions():
-            matrix[transition.source, transition.target] += transition.rate
-        return matrix
+        """Dense matrix of mode-changing transition rates (small environments).
+
+        Kept for tests and small environments; every hot path uses
+        :attr:`transition_matrix_sparse`.  Environments beyond
+        :data:`DENSE_MODE_LIMIT` modes refuse to densify.
+        """
+        self._check_dense_limit("transition_matrix")
+        return np.asarray(self.transition_matrix_sparse.todense())
 
     @cached_property
     def generator(self) -> np.ndarray:
-        """The environment's own CTMC generator."""
-        matrix = self.transition_matrix
-        return matrix - np.diag(matrix.sum(axis=1))
+        """The environment's own CTMC generator, dense (small environments)."""
+        self._check_dense_limit("generator")
+        return np.asarray(self.generator_sparse.todense())
 
     # ------------------------------------------------------------------ #
     # Steady-state quantities
@@ -282,9 +425,13 @@ class ScenarioEnvironment:
 
         With a limited repair crew the per-server availability is *not*
         product-form, so — unlike the homogeneous environment — every
-        steady-state quantity must come from this distribution.
+        steady-state quantity must come from this distribution.  Solved on
+        the sparse generator, so it scales to environments far beyond the
+        dense limit.
         """
-        return steady_state_from_generator(self.generator)
+        from .kernels import steady_state_csr
+
+        return steady_state_csr(self.generator_sparse)
 
     @cached_property
     def mean_operative_servers(self) -> float:
@@ -310,6 +457,15 @@ class ScenarioEnvironment:
             f"ScenarioEnvironment(groups={self.group_sizes}, "
             f"R={self._repair_capacity}, modes={self.num_modes})"
         )
+
+
+#: Servers within a group are exchangeable — rates depend only on how many
+#: servers occupy each phase, never on which — so the count-based mode space
+#: of :class:`ScenarioEnvironment` is the *lumped* quotient of the per-server
+#: product chain (strong lumpability).  The alias makes the representation
+#: explicit at call sites that contrast it with
+#: :class:`~repro.markov.product_env.ProductScenarioEnvironment`.
+LumpedScenarioEnvironment = ScenarioEnvironment
 
 
 def expected_num_scenario_modes(

@@ -27,7 +27,7 @@ import scipy.sparse
 
 from .._validation import check_positive_int
 from ..exceptions import ReproError, SolverError
-from ..markov import steady_state_sparse
+from ..markov import LevelModeStructure, assemble_level_mode_generator, steady_state_csr
 from .model import UnreliableQueueModel
 from .solution_base import QueueSolution
 
@@ -133,6 +133,11 @@ class TruncatedCTMCSolution(QueueSolution):
         return totals / totals.sum()
 
     @property
+    def probabilities_by_level(self) -> np.ndarray:
+        """The full ``(levels, modes)`` probability array (a copy)."""
+        return self._probabilities.copy()
+
+    @property
     def mean_queue_length(self) -> float:
         levels = np.arange(self._level_totals.size)
         return float(np.dot(levels, self._level_totals))
@@ -170,54 +175,31 @@ def build_truncated_generator(
     """
     max_queue_length = check_positive_int(max_queue_length, "max_queue_length")
     environment = model.environment
-    num_modes = environment.num_modes
-    counts = environment.operative_counts
-    mode_matrix = environment.transition_matrix
-    arrival_rate = model.arrival_rate
-    service_rate = model.service_rate
+    counts = np.asarray(environment.operative_counts, dtype=float)
+    levels = np.arange(max_queue_length + 1, dtype=float)
+    departures = np.minimum(counts[None, :], levels[:, None]) * model.service_rate
+    return assemble_level_mode_generator(
+        environment.transition_matrix_sparse,
+        model.arrival_rate,
+        departures,
+    )
 
-    num_levels = max_queue_length + 1
-    size = num_levels * num_modes
-    rows: list[int] = []
-    cols: list[int] = []
-    rates: list[float] = []
 
-    def index(level: int, mode: int) -> int:
-        return level * num_modes + mode
-
-    mode_sources, mode_targets = np.nonzero(mode_matrix)
-    for level in range(num_levels):
-        base = level * num_modes
-        # Mode-changing transitions (breakdowns and repairs).
-        for source, target in zip(mode_sources, mode_targets):
-            rows.append(base + source)
-            cols.append(base + target)
-            rates.append(float(mode_matrix[source, target]))
-        # Arrivals.
-        if level < max_queue_length:
-            for mode in range(num_modes):
-                rows.append(index(level, mode))
-                cols.append(index(level + 1, mode))
-                rates.append(arrival_rate)
-        # Departures.
-        if level > 0:
-            for mode in range(num_modes):
-                rate = min(counts[mode], float(level)) * service_rate
-                if rate > 0.0:
-                    rows.append(index(level, mode))
-                    cols.append(index(level - 1, mode))
-                    rates.append(rate)
-
-    off_diagonal = scipy.sparse.coo_matrix(
-        (rates, (rows, cols)), shape=(size, size)
-    ).tocsr()
-    diagonal = np.asarray(off_diagonal.sum(axis=1)).ravel()
-    generator = off_diagonal - scipy.sparse.diags(diagonal)
-    return generator.tocsr()
+def chain_structure(model: UnreliableQueueModel, max_queue_length: int) -> LevelModeStructure:
+    """The level x mode structure of the model's truncated chain."""
+    environment = model.environment
+    return LevelModeStructure(
+        num_levels=max_queue_length + 1,
+        num_modes=environment.num_modes,
+        mode_generator=environment.generator_sparse,
+    )
 
 
 def solve_truncated_ctmc(
-    model: UnreliableQueueModel, max_queue_length: int | None = None
+    model: UnreliableQueueModel,
+    max_queue_length: int | None = None,
+    *,
+    warm_start: TruncatedCTMCSolution | None = None,
 ) -> TruncatedCTMCSolution:
     """Solve the truncated chain and wrap the result in a :class:`TruncatedCTMCSolution`.
 
@@ -232,6 +214,10 @@ def solve_truncated_ctmc(
         realised boundary mass exceeds the ~1e-10 target the level is doubled
         (up to the hard cap) and the chain re-solved.  An explicit level is
         used as given, with no adaptation.
+    warm_start:
+        A previously computed solution of a *nearby* model: its truncation
+        level seeds the level search and its probabilities seed the iterative
+        solver's initial iterate when the chain is large enough to need it.
     """
     model.require_stable()
     if max_queue_length is not None:
@@ -240,25 +226,38 @@ def solve_truncated_ctmc(
                 "max_queue_length must exceed the number of servers "
                 f"({max_queue_length} <= {model.num_servers})"
             )
-        return _solve_at_level(model, max_queue_length)
+        return _solve_at_level(model, max_queue_length, warm_start)
 
     level = default_truncation_level(model)
-    solution = _solve_at_level(model, level)
+    if warm_start is not None:
+        level = max(warm_start.truncation_level, model.num_servers + 1)
+    solution = _solve_at_level(model, level, warm_start)
     while (
         solution.truncation_mass() > _DEFAULT_TAIL_MASS
         and level - model.num_servers < _MAX_EXTRA_LEVELS
     ):
         extra = min(2 * (level - model.num_servers), _MAX_EXTRA_LEVELS)
         level = model.num_servers + extra
-        solution = _solve_at_level(model, level)
+        solution = _solve_at_level(model, level, warm_start)
     return solution
 
 
 def _solve_at_level(
-    model: UnreliableQueueModel, max_queue_length: int
+    model: UnreliableQueueModel,
+    max_queue_length: int,
+    warm_start: TruncatedCTMCSolution | None = None,
 ) -> TruncatedCTMCSolution:
     """Solve the truncated chain at one fixed truncation level."""
     generator = build_truncated_generator(model, max_queue_length)
-    stationary = steady_state_sparse(generator)
+    structure = chain_structure(model, max_queue_length)
+    x0: np.ndarray | None = None
+    if warm_start is not None:
+        previous = warm_start.probabilities_by_level
+        if previous.shape[1] == structure.num_modes:
+            seed = np.zeros((max_queue_length + 1, structure.num_modes))
+            common = min(max_queue_length + 1, previous.shape[0])
+            seed[:common] = previous[:common]
+            x0 = seed.ravel()
+    stationary = steady_state_csr(generator, structure=structure, x0=x0)
     probabilities = stationary.reshape(max_queue_length + 1, model.environment.num_modes)
     return TruncatedCTMCSolution(model=model, probabilities=probabilities)

@@ -196,11 +196,22 @@ class UnreliableQueueModel:
 
         return solve_geometric(self)
 
-    def solve_ctmc(self, max_queue_length: int | None = None) -> "TruncatedCTMCSolution":
-        """Solve a truncated-CTMC reference model (validation baseline)."""
+    def solve_ctmc(
+        self,
+        max_queue_length: int | None = None,
+        *,
+        warm_start: "TruncatedCTMCSolution | None" = None,
+    ) -> "TruncatedCTMCSolution":
+        """Solve a truncated-CTMC reference model (validation baseline).
+
+        ``warm_start`` seeds the truncation level and the iterative solver's
+        initial iterate from a nearby model's solution (parameter sweeps).
+        """
         from .ctmc_reference import solve_truncated_ctmc
 
-        return solve_truncated_ctmc(self, max_queue_length=max_queue_length)
+        return solve_truncated_ctmc(
+            self, max_queue_length=max_queue_length, warm_start=warm_start
+        )
 
     def simulate(
         self,

@@ -22,7 +22,12 @@ fallback chains skip past them), and sweeps can grid over group parameters
 and the crew size (see :mod:`repro.sweeps`).
 """
 
-from .ctmc import ScenarioCTMCSolution, solve_scenario_ctmc
+from .ctmc import (
+    REPRESENTATIONS,
+    ScenarioCTMCSolution,
+    resolve_representation,
+    solve_scenario_ctmc,
+)
 from .model import ScenarioModel, ServerGroup
 from .presets import (
     SCENARIO_PRESETS,
@@ -33,6 +38,7 @@ from .presets import (
 )
 
 __all__ = [
+    "REPRESENTATIONS",
     "SCENARIO_PRESETS",
     "ScenarioCTMCSolution",
     "ScenarioModel",
@@ -40,6 +46,7 @@ __all__ = [
     "ServerGroup",
     "preset_description",
     "preset_names",
+    "resolve_representation",
     "scenario_preset",
     "solve_scenario_ctmc",
 ]

@@ -28,8 +28,13 @@ import numpy as np
 import scipy.sparse
 
 from .._validation import check_positive_int
-from ..exceptions import SolverError
-from ..markov import steady_state_sparse
+from ..exceptions import ParameterError, SolverError
+from ..markov import (
+    LevelModeStructure,
+    ProductScenarioEnvironment,
+    assemble_level_mode_generator,
+    steady_state_csr,
+)
 from ..queueing.solution_base import QueueSolution
 from .model import ScenarioModel
 
@@ -39,6 +44,25 @@ _DEFAULT_TAIL_MASS = 1e-10
 #: Hard bounds on the automatically chosen truncation level (above ``N``).
 _MIN_EXTRA_LEVELS = 100
 _MAX_EXTRA_LEVELS = 40_000
+
+#: The chain representations a scenario solve accepts.
+REPRESENTATIONS = ("auto", "lumped", "product")
+
+
+def resolve_representation(representation: str) -> str:
+    """Validate a representation name and resolve ``"auto"``.
+
+    ``"auto"`` always selects the lumped (count-based) representation: it is
+    law-equivalent to the product chain and combinatorially smaller, so there
+    is never a correctness reason to prefer product space — it exists for
+    verification and debugging.
+    """
+    if representation not in REPRESENTATIONS:
+        raise ParameterError(
+            f"unknown representation {representation!r}; "
+            f"expected one of {', '.join(REPRESENTATIONS)}"
+        )
+    return "lumped" if representation == "auto" else representation
 
 
 def default_truncation_level(scenario: ScenarioModel) -> int:
@@ -58,12 +82,44 @@ def default_truncation_level(scenario: ScenarioModel) -> int:
 
 
 class ScenarioCTMCSolution(QueueSolution):
-    """Steady-state solution of the truncated scenario chain."""
+    """Steady-state solution of the truncated scenario chain.
 
-    def __init__(self, scenario: ScenarioModel, probabilities: np.ndarray) -> None:
+    ``probabilities`` is always over the **lumped** modes (product-space
+    solves are aggregated through the lumping map before wrapping), so every
+    downstream consumer sees one representation; :attr:`representation` and
+    :attr:`num_solved_states` record how the chain was actually solved.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioModel,
+        probabilities: np.ndarray,
+        *,
+        representation: str = "lumped",
+        num_solved_states: int | None = None,
+    ) -> None:
         self._scenario = scenario
         self._probabilities = probabilities  # shape (levels, modes)
         self._level_totals = probabilities.sum(axis=1)
+        self._representation = representation
+        if num_solved_states is None:
+            num_solved_states = int(probabilities.size)
+        self._num_solved_states = num_solved_states
+
+    @property
+    def representation(self) -> str:
+        """Which chain representation was solved (``"lumped"`` or ``"product"``)."""
+        return self._representation
+
+    @property
+    def num_solved_states(self) -> int:
+        """The state-space size of the chain that was actually solved."""
+        return self._num_solved_states
+
+    @property
+    def probabilities_by_level(self) -> np.ndarray:
+        """The full ``(levels, modes)`` probability array (a copy)."""
+        return self._probabilities.copy()
 
     @property
     def scenario(self) -> ScenarioModel:
@@ -152,6 +208,13 @@ class ScenarioCTMCSolution(QueueSolution):
         )
 
 
+def _departure_rates(scenario: ScenarioModel, num_levels: int) -> np.ndarray:
+    """Array ``(num_levels, modes)``: level- and mode-dependent departure rates."""
+    capacities = scenario.service_capacity_by_level
+    level_index = np.minimum(np.arange(num_levels), scenario.num_servers)
+    return np.asarray(capacities[level_index], dtype=float)
+
+
 def build_truncated_generator(
     scenario: ScenarioModel, max_queue_length: int
 ) -> scipy.sparse.csr_matrix:
@@ -159,54 +222,34 @@ def build_truncated_generator(
 
     States are ordered level-major: state ``(mode i, level j)`` has index
     ``j * s + i``.  Arrivals at the truncation boundary are dropped (the usual
-    finite-buffer truncation).
+    finite-buffer truncation).  Assembly is fully vectorised through the
+    shared kernel layer (:mod:`repro.markov.kernels`).
     """
     max_queue_length = check_positive_int(max_queue_length, "max_queue_length")
     environment = scenario.environment
-    num_modes = environment.num_modes
-    mode_matrix = environment.transition_matrix
-    capacities = scenario.service_capacity_by_level
-    arrival_rate = scenario.arrival_rate
-    num_servers = scenario.num_servers
+    return assemble_level_mode_generator(
+        environment.transition_matrix_sparse,
+        scenario.arrival_rate,
+        _departure_rates(scenario, max_queue_length + 1),
+    )
 
-    num_levels = max_queue_length + 1
-    size = num_levels * num_modes
-    rows: list[int] = []
-    cols: list[int] = []
-    rates: list[float] = []
 
-    mode_sources, mode_targets = np.nonzero(mode_matrix)
-    for level in range(num_levels):
-        base = level * num_modes
-        # Mode-changing transitions (breakdowns and crew-limited repairs).
-        for source, target in zip(mode_sources, mode_targets):
-            rows.append(base + source)
-            cols.append(base + target)
-            rates.append(float(mode_matrix[source, target]))
-        # Arrivals.
-        if level < max_queue_length:
-            for mode in range(num_modes):
-                rows.append(base + mode)
-                cols.append(base + num_modes + mode)
-                rates.append(arrival_rate)
-        # Departures at the level- and mode-dependent capacity.
-        if level > 0:
-            level_rates = capacities[min(level, num_servers)]
-            for mode in range(num_modes):
-                rate = float(level_rates[mode])
-                if rate > 0.0:
-                    rows.append(base + mode)
-                    cols.append(base - num_modes + mode)
-                    rates.append(rate)
-
-    off_diagonal = scipy.sparse.coo_matrix((rates, (rows, cols)), shape=(size, size)).tocsr()
-    diagonal = np.asarray(off_diagonal.sum(axis=1)).ravel()
-    generator = off_diagonal - scipy.sparse.diags(diagonal)
-    return generator.tocsr()
+def chain_structure(scenario: ScenarioModel, max_queue_length: int) -> LevelModeStructure:
+    """The level x mode structure of the scenario's truncated chain."""
+    environment = scenario.environment
+    return LevelModeStructure(
+        num_levels=max_queue_length + 1,
+        num_modes=environment.num_modes,
+        mode_generator=environment.generator_sparse,
+    )
 
 
 def solve_scenario_ctmc(
-    scenario: ScenarioModel, max_queue_length: int | None = None
+    scenario: ScenarioModel,
+    max_queue_length: int | None = None,
+    *,
+    representation: str = "auto",
+    warm_start: ScenarioCTMCSolution | None = None,
 ) -> ScenarioCTMCSolution:
     """Solve the truncated scenario chain adaptively.
 
@@ -219,31 +262,125 @@ def solve_scenario_ctmc(
         effective load and doubled until the realised boundary mass meets the
         ~1e-10 target (up to a hard cap).  An explicit level is used as
         given, with no adaptation.
+    representation:
+        ``"auto"``/``"lumped"`` solve the count-based chain; ``"product"``
+        solves the per-server-labelled chain (small scenarios only) and
+        aggregates the answer through the lumping map — the two are
+        law-equivalent, so this is a verification/debugging tool.
+    warm_start:
+        A previously computed solution of a *nearby* scenario.  Its
+        truncation level seeds the level search and its probabilities seed
+        the iterative solver's initial iterate (sweep engines pass the
+        nearest solved grid neighbour here).
     """
     scenario.require_stable()
+    representation = resolve_representation(representation)
     if max_queue_length is not None:
         if max_queue_length <= scenario.num_servers:
             raise SolverError(
                 "max_queue_length must exceed the number of servers "
                 f"({max_queue_length} <= {scenario.num_servers})"
             )
-        return _solve_at_level(scenario, max_queue_length)
+        return _solve_at_level(scenario, max_queue_length, representation, warm_start)
 
     level = default_truncation_level(scenario)
-    solution = _solve_at_level(scenario, level)
+    if warm_start is not None:
+        level = max(warm_start.truncation_level, scenario.num_servers + 1)
+    solution = _solve_at_level(scenario, level, representation, warm_start)
     while (
         solution.truncation_mass() > _DEFAULT_TAIL_MASS
         and level - scenario.num_servers < _MAX_EXTRA_LEVELS
     ):
         extra = min(2 * (level - scenario.num_servers), _MAX_EXTRA_LEVELS)
         level = scenario.num_servers + extra
-        solution = _solve_at_level(scenario, level)
+        solution = _solve_at_level(scenario, level, representation, warm_start)
     return solution
 
 
-def _solve_at_level(scenario: ScenarioModel, max_queue_length: int) -> ScenarioCTMCSolution:
+def _warm_start_vector(
+    warm_start: ScenarioCTMCSolution | None, num_levels: int, num_modes: int
+) -> np.ndarray | None:
+    """Pad or truncate a neighbouring solution into an initial iterate."""
+    if warm_start is None:
+        return None
+    probabilities = warm_start.probabilities_by_level
+    if probabilities.shape[1] != num_modes:
+        return None
+    seed = np.zeros((num_levels, num_modes))
+    common = min(num_levels, probabilities.shape[0])
+    seed[:common] = probabilities[:common]
+    return seed.ravel()
+
+
+def _solve_at_level(
+    scenario: ScenarioModel,
+    max_queue_length: int,
+    representation: str,
+    warm_start: ScenarioCTMCSolution | None = None,
+) -> ScenarioCTMCSolution:
     """Solve the truncated chain at one fixed truncation level."""
+    if representation == "product":
+        return _solve_product_at_level(scenario, max_queue_length)
     generator = build_truncated_generator(scenario, max_queue_length)
-    stationary = steady_state_sparse(generator)
+    structure = chain_structure(scenario, max_queue_length)
+    x0 = _warm_start_vector(warm_start, max_queue_length + 1, structure.num_modes)
+    stationary = steady_state_csr(generator, structure=structure, x0=x0)
     probabilities = stationary.reshape(max_queue_length + 1, scenario.environment.num_modes)
-    return ScenarioCTMCSolution(scenario=scenario, probabilities=probabilities)
+    return ScenarioCTMCSolution(
+        scenario=scenario,
+        probabilities=probabilities,
+        representation="lumped",
+        num_solved_states=generator.shape[0],
+    )
+
+
+def product_environment(scenario: ScenarioModel) -> ProductScenarioEnvironment:
+    """The per-server-labelled environment of a scenario (size-guarded)."""
+    return ProductScenarioEnvironment(
+        groups=[(group.size, group.operative, group.inoperative) for group in scenario.groups],
+        repair_capacity=scenario.effective_repair_capacity,
+    )
+
+
+def build_truncated_generator_product(
+    scenario: ScenarioModel,
+    max_queue_length: int,
+    environment: ProductScenarioEnvironment | None = None,
+) -> scipy.sparse.csr_matrix:
+    """The truncated generator over ``(level, per-server state)`` pairs.
+
+    The departure rate of a product state is that of its lumped mode (service
+    capacity depends only on the operative counts), so the lumped capacity
+    table is indexed through the lumping map rather than recomputed.
+    """
+    max_queue_length = check_positive_int(max_queue_length, "max_queue_length")
+    if environment is None:
+        environment = product_environment(scenario)
+    departures = _departure_rates(scenario, max_queue_length + 1)[:, environment.lumping_map]
+    return assemble_level_mode_generator(
+        environment.transition_matrix_sparse,
+        scenario.arrival_rate,
+        departures,
+    )
+
+
+def _solve_product_at_level(
+    scenario: ScenarioModel, max_queue_length: int
+) -> ScenarioCTMCSolution:
+    """Solve the product-space chain and aggregate onto the lumped modes."""
+    environment = product_environment(scenario)
+    generator = build_truncated_generator_product(scenario, max_queue_length, environment)
+    structure = LevelModeStructure(
+        num_levels=max_queue_length + 1,
+        num_modes=environment.num_states,
+        mode_generator=environment.generator_sparse,
+    )
+    stationary = steady_state_csr(generator, structure=structure)
+    per_state = stationary.reshape(max_queue_length + 1, environment.num_states)
+    probabilities = environment.lump_distribution(per_state)
+    return ScenarioCTMCSolution(
+        scenario=scenario,
+        probabilities=probabilities,
+        representation="product",
+        num_solved_states=generator.shape[0],
+    )

@@ -407,11 +407,28 @@ class ScenarioModel:
     # Solvers (lazy imports to keep the package import graph acyclic)
     # ------------------------------------------------------------------ #
 
-    def solve_ctmc(self, max_queue_length: int | None = None) -> "ScenarioCTMCSolution":
-        """Solve the scenario's truncated-CTMC reference model."""
+    def solve_ctmc(
+        self,
+        max_queue_length: int | None = None,
+        *,
+        representation: str = "auto",
+        warm_start: "ScenarioCTMCSolution | None" = None,
+    ) -> "ScenarioCTMCSolution":
+        """Solve the scenario's truncated-CTMC reference model.
+
+        ``representation`` selects the chain actually solved: the lumped
+        count-based one (``"auto"``/``"lumped"``) or the per-server product
+        one (``"product"``, small scenarios only — a verification tool).
+        ``warm_start`` seeds the solve from a nearby scenario's solution.
+        """
         from .ctmc import solve_scenario_ctmc
 
-        return solve_scenario_ctmc(self, max_queue_length=max_queue_length)
+        return solve_scenario_ctmc(
+            self,
+            max_queue_length=max_queue_length,
+            representation=representation,
+            warm_start=warm_start,
+        )
 
     def simulate(
         self,

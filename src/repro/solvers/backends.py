@@ -118,9 +118,22 @@ class TruncatedCTMCSolver(_MarkovianSolver):
 
     name = "ctmc"
     supports_scenarios = True
+    supports_warm_start = True
 
     def solve(self, model: "UnreliableQueueModel", **options: Any) -> object:
+        if not is_scenario_model(model):
+            representation = str(options.pop("representation", "auto"))
+            if representation == "product":
+                raise UnsupportedScenarioError(
+                    "the product representation only applies to scenario models; "
+                    "the homogeneous chain has no lumping to undo"
+                )
         return model.solve_ctmc(**options)
+
+    def options_from_policy(self, policy: "SolverPolicy") -> dict[str, object]:
+        if policy.representation != "auto":
+            return {"representation": policy.representation}
+        return {}
 
     def metrics(self, solution: Any) -> dict[str, float]:
         metrics = {
@@ -132,6 +145,11 @@ class TruncatedCTMCSolver(_MarkovianSolver):
         utilisation = getattr(solution, "utilisation", None)
         if utilisation is not None:
             metrics["utilisation"] = float(utilisation)
+        # Scenario solutions also report the size of the chain that was
+        # actually swept, so callers can see what the lumping bought them.
+        num_solved_states = getattr(solution, "num_solved_states", None)
+        if num_solved_states is not None:
+            metrics["num_solved_states"] = float(num_solved_states)
         return metrics
 
 
@@ -211,9 +229,12 @@ class TransientSolver(_MarkovianSolver):
         }
 
     def options_from_policy(self, policy: "SolverPolicy") -> dict[str, object]:
+        options: dict[str, object] = {}
         if policy.transient_times:
-            return {"times": policy.transient_times}
-        return {}
+            options["times"] = policy.transient_times
+        if policy.representation != "auto":
+            options["representation"] = policy.representation
+        return options
 
 
 def builtin_solvers() -> tuple[Solver, ...]:

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING
 
 from ..exceptions import ParameterError, SimulationError, SolverError
 from .base import INFINITE_METRICS, SolveOutcome
-from .cache import CacheKey, SolutionCache, shared_cache
+from .cache import CacheKey, SolutionCache, distribution_key, shared_cache
 from .policy import SolverPolicy, as_policy
 from .registry import SolverRegistry, default_registry
 
@@ -35,6 +35,45 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Exception types that make one solver fall through to the next in a policy.
 FALLBACK_EXCEPTIONS = (SolverError, ParameterError, SimulationError, NotImplementedError)
+
+
+def _evaluate_capturing(
+    model: "UnreliableQueueModel",
+    policy: SolverPolicy | None,
+    registry: SolverRegistry | None,
+    seeds: dict[str, object] | None = None,
+) -> tuple[SolveOutcome, dict[str, object]]:
+    """Evaluate one model, threading warm starts in and native solutions out.
+
+    ``seeds`` maps solver names to the native solution of a *nearby* model;
+    each is forwarded as the ``warm_start`` option to solvers that declare
+    :attr:`~repro.solvers.base.Solver.supports_warm_start`.  The returned
+    mapping carries the winning solver's native solution (same keying) so the
+    batch path can seed the next grid point — it never leaves this module.
+    """
+    policy = as_policy(policy, registry=registry)
+    registry = registry if registry is not None else default_registry()
+    if not model.is_stable:
+        return SolveOutcome(None, False, dict(INFINITE_METRICS), None), {}
+    failures: list[str] = []
+    for name in policy.order:
+        warm = False
+        try:
+            solver = registry.get(name)
+            if not solver.supports(model):
+                failures.append(f"{name}: {solver.unsupported_reason(model)}")
+                continue
+            options = solver.options_from_policy(policy)
+            warm = bool(getattr(solver, "supports_warm_start", False))
+            if warm and seeds and name in seeds:
+                options["warm_start"] = seeds[name]
+            solution = solver.solve(model, **options)
+            metrics = dict(solver.metrics(solution))
+        except FALLBACK_EXCEPTIONS as exc:
+            failures.append(f"{name}: {exc}")
+            continue
+        return SolveOutcome(name, True, metrics, None), ({name: solution} if warm else {})
+    return SolveOutcome(None, True, {}, "; ".join(failures) or "no solver succeeded"), {}
 
 
 def evaluate(
@@ -52,24 +91,8 @@ def evaluate(
     to the next name, and a row with every solver failed carries the
     concatenated diagnostics.
     """
-    policy = as_policy(policy, registry=registry)
-    registry = registry if registry is not None else default_registry()
-    if not model.is_stable:
-        return SolveOutcome(None, False, dict(INFINITE_METRICS), None)
-    failures: list[str] = []
-    for name in policy.order:
-        try:
-            solver = registry.get(name)
-            if not solver.supports(model):
-                failures.append(f"{name}: {solver.unsupported_reason(model)}")
-                continue
-            solution = solver.solve(model, **solver.options_from_policy(policy))
-            metrics = dict(solver.metrics(solution))
-        except FALLBACK_EXCEPTIONS as exc:
-            failures.append(f"{name}: {exc}")
-            continue
-        return SolveOutcome(name, True, metrics, None)
-    return SolveOutcome(None, True, {}, "; ".join(failures) or "no solver succeeded")
+    outcome, _ = _evaluate_capturing(model, policy, registry)
+    return outcome
 
 
 def _resolve_cache(cache: SolutionCache | bool | None) -> SolutionCache | None:
@@ -151,6 +174,116 @@ def _solve_task(
     """Worker entry point: evaluate one model and tag it with its index."""
     index, model, policy = task
     return index, evaluate(model, policy)
+
+
+def _parameter_vector(model: "UnreliableQueueModel") -> tuple[float, ...]:
+    """The numeric leaves of a model's solution key, for grid-distance ordering.
+
+    Models of the same family (same structure, different rates) yield vectors
+    of equal length whose Euclidean distance is a meaningful "how far apart on
+    the sweep grid" measure; structurally different models yield different
+    lengths, which the batch path treats as "no ordering possible".
+    """
+    key_method = getattr(model, "solution_key", None)
+    if key_method is not None:
+        key: tuple = tuple(key_method())
+    else:
+        key = (
+            model.num_servers,
+            model.arrival_rate,
+            model.service_rate,
+            distribution_key(model.operative),
+            distribution_key(model.inoperative),
+        )
+    leaves: list[float] = []
+
+    def visit(value: object) -> None:
+        if isinstance(value, bool):
+            leaves.append(float(value))
+        elif isinstance(value, (int, float)):
+            leaves.append(float(value))
+        elif isinstance(value, (tuple, list)):
+            for item in value:
+                visit(item)
+
+    visit(key)
+    return tuple(leaves)
+
+
+def _grid_order(vectors: list[tuple[float, ...]]) -> list[int] | None:
+    """Greedy nearest-neighbour ordering of grid points, or ``None``.
+
+    Returns ``None`` when the batch has no common parameterisation (vector
+    lengths differ, or no numeric parameters at all), in which case the
+    caller keeps the submission order and skips warm-starting.
+    """
+    if len({len(vector) for vector in vectors}) != 1 or not vectors[0]:
+        return None
+    # Normalise each dimension by its range across the batch so "one more
+    # server" and "0.1 more arrivals/sec" are commensurable steps.
+    columns = list(zip(*vectors))
+    spans = [max(column) - min(column) or 1.0 for column in columns]
+    scaled = [
+        tuple(value / span for value, span in zip(vector, spans)) for vector in vectors
+    ]
+
+    def distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+        return sum((x - y) ** 2 for x, y in zip(a, b))
+
+    remaining = set(range(1, len(vectors)))
+    order = [0]
+    while remaining:
+        last = scaled[order[-1]]
+        closest = min(remaining, key=lambda position: distance(scaled[position], last))
+        remaining.discard(closest)
+        order.append(closest)
+    return order
+
+
+def _execute_serial(
+    tasks: list[tuple[int, "UnreliableQueueModel", SolverPolicy]],
+    registry: SolverRegistry | None,
+) -> list[tuple[int, SolveOutcome]]:
+    """Evaluate a batch in-process, warm-starting along the parameter grid.
+
+    Grid points are visited in greedy nearest-neighbour order and each solve
+    is seeded with the native solution of its *nearest already-solved*
+    neighbour (initial iterate + truncation level), which is what makes dense
+    sweeps through the iterative CTMC solver cheap: consecutive grid points
+    differ by one parameter nudge, so the neighbour's solution is already an
+    excellent iterate.  Outcomes are identical to independent solves up to
+    solver tolerance.
+    """
+    if len(tasks) < 2:
+        return [
+            (index, evaluate(model, policy, registry=registry))
+            for index, model, policy in tasks
+        ]
+    vectors = [_parameter_vector(model) for _, model, _ in tasks]
+    order = _grid_order(vectors)
+    if order is None:
+        return [
+            (index, evaluate(model, policy, registry=registry))
+            for index, model, policy in tasks
+        ]
+    results: list[tuple[int, SolveOutcome]] = []
+    solved: list[tuple[int, dict[str, object]]] = []  # (task position, native solutions)
+
+    def distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+        return sum((x - y) ** 2 for x, y in zip(a, b))
+
+    for position in order:
+        index, model, policy = tasks[position]
+        seeds: dict[str, object] = {}
+        if solved:
+            _, seeds = min(
+                solved, key=lambda item: distance(vectors[item[0]], vectors[position])
+            )
+        outcome, solutions = _evaluate_capturing(model, policy, registry, seeds)
+        if solutions:
+            solved.append((position, solutions))
+        results.append((index, outcome))
+    return results
 
 
 def _pool_probe() -> bool:
@@ -282,10 +415,7 @@ def solve_many(
         if parallel and len(tasks) > 1 and max_workers > 1:
             solved = _execute_parallel(tasks, max_workers, registry)
         else:
-            solved = (
-                (index, evaluate(model, item_policy, registry=registry))
-                for index, model, item_policy in tasks
-            )
+            solved = _execute_serial(tasks, registry)
         count = 0
         for index, outcome in solved:
             count += 1

@@ -179,6 +179,7 @@ def solve_transient(
     *,
     initial: str | Sequence[float] | np.ndarray = "empty-operative",
     max_queue_length: int | None = None,
+    representation: str = "auto",
     tol: float = DEFAULT_TAIL_TOLERANCE,
     stationary_tol: float = DEFAULT_STATIONARY_TOLERANCE,
 ) -> TransientSolution:
@@ -200,12 +201,20 @@ def solve_transient(
         Truncation level ``J``; defaults to the steady-state solver's
         decay-rate-based level, which bounds the mass a *stable* chain can
         push past the boundary from an empty start.
+    representation:
+        ``"auto"``/``"lumped"`` sweep the count-based chain; ``"product"``
+        sweeps the per-server-labelled chain of a *scenario* model (named
+        initial conditions only) and aggregates each ``pi(t)`` through the
+        lumping map — a law-equivalence verification tool, not a fast path.
     tol:
         Poisson-tail tolerance of the uniformization engine.
     stationary_tol:
         Stationarity-detection threshold of the engine (0 disables).
     """
+    from ..scenarios.ctmc import resolve_representation
+
     model.require_stable()
+    representation = resolve_representation(representation)
     default_level, build_generator = _truncation_builders(model)
     level = default_level(model) if max_queue_length is None else int(max_queue_length)
     if level <= model.num_servers:
@@ -213,8 +222,12 @@ def solve_transient(
             "max_queue_length must exceed the number of servers "
             f"({level} <= {model.num_servers})"
         )
-    generator = build_generator(model, level)
     grid = normalise_times(times)
+    if representation == "product":
+        return _solve_transient_product(
+            model, grid, initial, level, tol=tol, stationary_tol=stationary_tol
+        )
+    generator = build_generator(model, level)
     start = initial_distribution(model, level + 1, initial)
     result = transient_distributions(
         generator, start, grid, tol=tol, stationary_tol=stationary_tol
@@ -228,4 +241,56 @@ def solve_transient(
         rate=result.rate,
         steps=result.steps,
         stationary_step=result.stationary_step,
+        representation="lumped",
+        num_solved_states=(level + 1) * num_modes,
+    )
+
+
+def _solve_transient_product(
+    model: "TransientModel",
+    grid: tuple[float, ...],
+    initial: str | Sequence[float] | np.ndarray,
+    level: int,
+    *,
+    tol: float,
+    stationary_tol: float,
+) -> TransientSolution:
+    """Sweep the product-space chain and aggregate ``pi(t)`` onto lumped modes."""
+    from ..scenarios.ctmc import build_truncated_generator_product, product_environment
+    from ..scenarios.model import ScenarioModel
+
+    if not isinstance(model, ScenarioModel):
+        raise ParameterError(
+            "the product representation only applies to scenario models; "
+            "homogeneous models have a single server group with no lumping to undo"
+        )
+    if not isinstance(initial, str):
+        raise ParameterError(
+            "the product representation supports only named initial conditions "
+            f"({', '.join(INITIAL_CONDITIONS)}); explicit vectors are over lumped modes"
+        )
+    if initial not in INITIAL_CONDITIONS:
+        raise ParameterError(
+            f"unknown initial condition {initial!r}; expected one of "
+            f"{', '.join(INITIAL_CONDITIONS)} or an explicit vector"
+        )
+    environment = product_environment(model)
+    generator = build_truncated_generator_product(model, level, environment)
+    num_states = environment.num_states
+    start = np.zeros((level + 1) * num_states)
+    start[:num_states] = environment.initial_distribution(initial)
+    result = transient_distributions(
+        generator, start, grid, tol=tol, stationary_tol=stationary_tol
+    )
+    per_state = result.distributions.reshape(len(grid), level + 1, num_states)
+    probabilities = environment.lump_distribution(per_state)
+    return TransientSolution(
+        model,
+        grid,
+        probabilities,
+        rate=result.rate,
+        steps=result.steps,
+        stationary_step=result.stationary_step,
+        representation="product",
+        num_solved_states=(level + 1) * num_states,
     )

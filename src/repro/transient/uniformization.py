@@ -44,6 +44,7 @@ import scipy.sparse
 import scipy.stats
 
 from ..exceptions import ParameterError, SolverError
+from ..markov.kernels import UniformizedOperator
 
 #: Default bound on the Poisson mass neglected per evaluation time.
 DEFAULT_TAIL_TOLERANCE = 1e-12
@@ -98,22 +99,14 @@ def uniformized_matrix(
     A ``rate`` below the largest exit rate would produce negative entries, so
     it is rejected; ``None`` selects ``max_i |Q_ii|`` (the tightest valid
     choice, which minimises the number of steps per unit time).
+
+    Delegates to the shared kernel layer
+    (:class:`repro.markov.kernels.UniformizedOperator`); callers that run the
+    sweep themselves should use the operator directly — it caches the CSR
+    transpose, making each step a single matrix-vector product.
     """
-    matrix = scipy.sparse.csr_matrix(generator, dtype=float)
-    if matrix.shape[0] != matrix.shape[1]:
-        raise SolverError(f"generator must be square, got shape {matrix.shape}")
-    tightest = uniformization_rate(matrix)
-    if rate is None:
-        rate = tightest
-    elif rate < tightest * (1.0 - 1e-12):
-        raise ParameterError(
-            f"uniformization rate {rate} is below the largest exit rate {tightest}"
-        )
-    if rate <= 0.0:
-        # Every state is absorbing: P is the identity.
-        return scipy.sparse.identity(matrix.shape[0], format="csr"), 0.0
-    stochastic = scipy.sparse.identity(matrix.shape[0], format="csr") + matrix / rate
-    return stochastic.tocsr(), float(rate)
+    operator = UniformizedOperator.from_generator(generator, rate)
+    return operator.matrix, operator.rate
 
 
 def poisson_truncation_point(mean: float, tol: float) -> int:
@@ -166,17 +159,18 @@ def transient_distributions(
         raise ParameterError(f"tol must lie strictly between 0 and 1, got {tol}")
 
     start = np.asarray(initial, dtype=float)
-    matrix, rate = uniformized_matrix(generator)
-    if start.shape != (matrix.shape[0],):
+    operator = UniformizedOperator.from_generator(generator)
+    rate = operator.rate
+    if start.shape != (operator.size,):
         raise ParameterError(
-            f"initial distribution has shape {start.shape}, expected ({matrix.shape[0]},)"
+            f"initial distribution has shape {start.shape}, expected ({operator.size},)"
         )
     if np.any(start < -1e-12) or not np.isclose(start.sum(), 1.0, atol=1e-9):
         raise ParameterError("initial distribution must be non-negative and sum to one")
     start = np.clip(start, 0.0, None)
     start = start / start.sum()
 
-    result = np.zeros((len(requested), matrix.shape[0]))
+    result = np.zeros((len(requested), operator.size))
     if rate == 0.0:
         result[:] = start
         return UniformizationResult(requested, result, 0.0, 0, 0)
@@ -213,28 +207,32 @@ def transient_distributions(
 
     steps = 0
     stationary_step: int | None = None
-    for k in range(1, horizon + 1):
-        if not active.any():
-            break
-        previous = vector
-        vector = previous @ matrix
-        steps = k
-        with np.errstate(under="ignore", invalid="ignore"):
+    # One errstate context around the whole sweep (entering one per step is
+    # measurable overhead at thousands of steps); the DTMC step itself goes
+    # through the kernel operator, whose cached CSR transpose turns ``v P``
+    # into a single matrix-vector product.
+    with np.errstate(under="ignore", invalid="ignore"):
+        for k in range(1, horizon + 1):
+            if not active.any():
+                break
+            previous = vector
+            vector = operator.step(previous)
+            steps = k
             log_weights += log_means - np.log(k)
             weights[linear] *= means[linear] / k
-        emerging = active & ~linear & (log_weights > -650.0)
-        if emerging.any():
-            weights[emerging] = np.exp(log_weights[emerging])
-            linear |= emerging
-        contributing = active & (weights > 0.0)
-        for index in np.nonzero(contributing)[0]:
-            result[index] += weights[index] * vector
-        accumulated += np.where(active, weights, 0.0)
-        active &= accumulated < 1.0 - tol
+            emerging = active & ~linear & (log_weights > -650.0)
+            if emerging.any():
+                weights[emerging] = np.exp(log_weights[emerging])
+                linear |= emerging
+            contributing = active & (weights > 0.0)
+            for index in np.nonzero(contributing)[0]:
+                result[index] += weights[index] * vector
+            accumulated += np.where(active, weights, 0.0)
+            active &= accumulated < 1.0 - tol
 
-        if stationary_tol > 0.0 and float(np.abs(vector - previous).sum()) < stationary_tol:
-            stationary_step = k
-            break
+            if stationary_tol > 0.0 and float(np.abs(vector - previous).sum()) < stationary_tol:
+                stationary_step = k
+                break
 
     # Close the series: assign each time point's remaining Poisson mass to the
     # last iterate (exact under detected stationarity, a <= tol perturbation

@@ -634,6 +634,103 @@ class TestMutableDefaultRule:
 
 
 # --------------------------------------------------------------------------- #
+# RPR008 — dense generator allocation on a CTMC hot path
+# --------------------------------------------------------------------------- #
+
+
+class TestDenseGeneratorRule:
+    def test_square_num_modes_allocation_fires(self) -> None:
+        findings = lint(
+            """
+            import numpy as np
+
+            def build(self):
+                return np.zeros((self.num_modes, self.num_modes))
+            """,
+            module="repro.markov.fixture",
+        )
+        assert fired(findings) == {"RPR008"}
+        assert "sparsely" in findings[0].message
+
+    def test_bare_name_and_other_allocators_fire(self) -> None:
+        findings = lint(
+            """
+            from numpy import empty
+
+            def build(num_states):
+                return empty((num_states, num_states))
+            """,
+            module="repro.scenarios.fixture",
+        )
+        assert fired(findings) == {"RPR008"}
+
+    def test_expression_over_a_global_count_fires(self) -> None:
+        findings = lint(
+            """
+            import numpy as np
+
+            def build(env, num_levels):
+                size = 0  # noise
+                return np.ones((env.num_modes * num_levels, env.num_modes * num_levels))
+            """,
+            module="repro.transient.fixture",
+        )
+        assert fired(findings) == {"RPR008"}
+
+    def test_local_phase_dimensions_are_clean(self) -> None:
+        findings = lint(
+            """
+            import numpy as np
+
+            def local_block(n, m):
+                return np.zeros((n + m, n + m))
+            """,
+            module="repro.markov.fixture",
+        )
+        assert findings == []
+
+    def test_rectangular_allocations_are_clean(self) -> None:
+        findings = lint(
+            """
+            import numpy as np
+
+            def by_level(self):
+                return np.zeros((self.num_levels, self.num_modes))
+            """,
+            module="repro.transient.fixture",
+        )
+        assert findings == []
+
+    def test_outside_the_hot_packages_is_clean(self) -> None:
+        findings = lint(
+            """
+            import numpy as np
+
+            def build(self):
+                return np.zeros((self.num_modes, self.num_modes))
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_noqa_opts_out_per_line(self) -> None:
+        findings = lint(
+            """
+            import numpy as np
+
+            def build(self):
+                return np.zeros((self.num_modes, self.num_modes))  # repro: noqa RPR008
+            """,
+            module="repro.markov.fixture",
+        )
+        assert findings == []
+
+    def test_numerical_core_is_clean(self) -> None:
+        report = analyze_paths([str(REPO_ROOT / "src" / "repro" / "markov")])
+        assert not any(finding.rule == "RPR008" for finding in report.findings)
+
+
+# --------------------------------------------------------------------------- #
 # Suppression comments
 # --------------------------------------------------------------------------- #
 

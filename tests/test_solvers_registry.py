@@ -412,6 +412,91 @@ class TestSolveMany:
         assert parallel_cache.stats()["solves"] == 3
 
 
+class TestRepresentationPolicy:
+    def test_policy_validates_the_representation(self):
+        assert SolverPolicy().representation == "auto"
+        assert SolverPolicy(representation="product").representation == "product"
+        with pytest.raises(ParameterError, match="unknown representation"):
+            SolverPolicy(representation="dense")
+
+    def test_with_representation_returns_an_updated_copy(self):
+        policy = SolverPolicy(order=("ctmc",))
+        product = policy.with_representation("product")
+        assert product.representation == "product"
+        assert product.order == policy.order
+        assert policy.representation == "auto"
+
+    def test_ctmc_solver_forwards_a_non_auto_representation(self):
+        ctmc = get_solver("ctmc")
+        assert ctmc.options_from_policy(SolverPolicy()) == {}
+        assert ctmc.options_from_policy(SolverPolicy(representation="lumped")) == {
+            "representation": "lumped"
+        }
+
+    def test_product_policy_solves_scenarios_and_matches_lumped(self):
+        from repro.scenarios import scenario_preset
+
+        scenario = scenario_preset("single-repairman")
+        lumped = evaluate(scenario, SolverPolicy(order=("ctmc",)))
+        product = evaluate(scenario, SolverPolicy(order=("ctmc",), representation="product"))
+        assert product.solver == "ctmc"
+        assert product.metrics["num_solved_states"] > lumped.metrics["num_solved_states"]
+        assert product.metrics["mean_queue_length"] == pytest.approx(
+            lumped.metrics["mean_queue_length"], abs=1e-10
+        )
+
+    def test_product_policy_rejected_for_homogeneous_models_with_fallback(self):
+        model = sun_fitted_model(num_servers=3, arrival_rate=1.5)
+        policy = SolverPolicy(order=("ctmc", "simulate"), representation="product")
+        outcome = evaluate(model, policy)
+        # The ctmc backend raises UnsupportedScenarioError, so fallback
+        # chains skip past it to the simulator instead of dying.
+        assert outcome.solver == "simulate"
+
+    def test_product_policy_alone_fails_for_homogeneous_models(self):
+        model = sun_fitted_model(num_servers=3, arrival_rate=1.5)
+        outcome = evaluate(model, SolverPolicy(order=("ctmc",), representation="product"))
+        assert outcome.solver is None
+        assert "no lumping to undo" in outcome.error
+
+
+class TestWarmStartedSweeps:
+    def test_serial_sweep_matches_independent_solves(self):
+        models = [
+            sun_fitted_model(num_servers=4, arrival_rate=rate)
+            for rate in (1.2, 2.6, 1.5, 2.3, 1.9)
+        ]
+        swept = solve_many(models, "ctmc", cache=SolutionCache())
+        for model, outcome in zip(models, swept):
+            independent = evaluate(model, SolverPolicy(order=("ctmc",)))
+            assert outcome.solver == "ctmc"
+            assert outcome.metrics["mean_queue_length"] == pytest.approx(
+                independent.metrics["mean_queue_length"], abs=1e-8
+            )
+
+    def test_results_stay_aligned_despite_grid_reordering(self):
+        rates = (2.9, 1.1, 2.0, 1.4, 2.5)
+        models = [sun_fitted_model(num_servers=4, arrival_rate=rate) for rate in rates]
+        outcomes = solve_many(models, "ctmc", cache=SolutionCache())
+        lengths = [outcome.metrics["mean_queue_length"] for outcome in outcomes]
+        # Queue length is monotone in the arrival rate, so alignment bugs
+        # (results permuted by the nearest-neighbour visit order) would
+        # break the order statistics.
+        assert sorted(lengths) == [lengths[i] for i in (1, 3, 2, 4, 0)]
+
+    def test_scenario_sweep_warm_starts_match_cold_solves(self):
+        from repro.scenarios import scenario_preset
+
+        base = scenario_preset("single-repairman")
+        models = [base.with_arrival_rate(rate) for rate in (0.8, 1.2, 1.0)]
+        swept = solve_many(models, "ctmc", cache=SolutionCache())
+        for model, outcome in zip(models, swept):
+            cold = evaluate(model, SolverPolicy(order=("ctmc",)))
+            assert outcome.metrics["mean_queue_length"] == pytest.approx(
+                cold.metrics["mean_queue_length"], abs=1e-8
+            )
+
+
 class TestSweepRunnerDeduplication:
     def test_duplicated_grid_points_perform_no_redundant_solves(self):
         spec = SweepSpec(

@@ -200,6 +200,23 @@ class TestTransientSolution:
         assert payload["truncation_level"] == solution.truncation_level
         assert len(payload["rows"]) == 2
 
+    def test_solution_reports_its_representation_and_state_space(self, tmp_path):
+        import json
+
+        solution = solve_transient(_legacy_model(), (1.0,))
+        assert solution.representation == "lumped"
+        expected = (solution.truncation_level + 1) * solution.num_modes
+        assert solution.num_solved_states == expected
+        payload = json.loads(solution.to_json(tmp_path / "transient.json"))
+        assert payload["representation"] == "lumped"
+        assert payload["num_solved_states"] == expected
+
+    def test_product_representation_rejected_for_homogeneous_models(self):
+        with pytest.raises(ParameterError, match="no lumping to undo"):
+            solve_transient(_legacy_model(), (1.0,), representation="product")
+        with pytest.raises(ParameterError, match="representation"):
+            solve_transient(_legacy_model(), (1.0,), representation="dense")
+
     def test_unstable_model_rejected(self):
         with pytest.raises(UnstableQueueError):
             solve_transient(sun_fitted_model(num_servers=2, arrival_rate=50.0), (1.0,))

@@ -17,6 +17,8 @@ Rule        Contract it enforces
 ``RPR007``  no mutable default argument values
 ``RPR008``  no square dense generator allocations over the global mode space
             in the CTMC hot paths (``markov``/``scenarios``/``transient``)
+``RPR009``  no multiprocessing primitives (``Process``/``Pipe``/``Queue``…)
+            created inside ``async def`` bodies in the service layer
 ==========  ==================================================================
 """
 
@@ -30,6 +32,7 @@ from .density import DenseGeneratorRule
 from .distributions import DistributionParameterKeyRule
 from .errors import ErrorCodeStabilityRule
 from .floats import FloatEqualityRule
+from .processes import AsyncMultiprocessingRule
 from .scenarios import ScenarioContractRule
 
 
@@ -44,6 +47,7 @@ def builtin_rules() -> tuple[LintRule, ...]:
         SwallowedCancellationRule(),
         MutableDefaultRule(),
         DenseGeneratorRule(),
+        AsyncMultiprocessingRule(),
     )
 
 
@@ -57,10 +61,12 @@ BUILTIN_RULE_IDS = (
     "RPR006",
     "RPR007",
     "RPR008",
+    "RPR009",
 )
 
 __all__ = [
     "BUILTIN_RULE_IDS",
+    "AsyncMultiprocessingRule",
     "BlockingCallRule",
     "DenseGeneratorRule",
     "DistributionParameterKeyRule",

@@ -1,0 +1,92 @@
+"""RPR009 — multiprocessing primitives created inside ``async def`` bodies.
+
+Spawning a worker process (or building the ``Queue``/``Pipe`` plumbing to
+talk to one) is a heavyweight, blocking operation: ``spawn`` forks/execs a
+fresh interpreter and re-imports the library, and even the pipe handshake
+does blocking file-descriptor work.  Doing any of that on the event loop
+stalls the accept loop, every batch timer and the health endpoint for the
+full startup time — which for this library (~1s of imports per worker) is
+orders of magnitude beyond the loop's latency budget.
+
+The sharded serving tier therefore keeps all pool management in *sync*
+helpers invoked off-loop (``run_in_executor``); this rule pins that contract
+for every service module.  Flagged, inside any ``async def`` body (nested
+sync helpers excluded — they may legitimately run off-loop):
+
+* ``multiprocessing.Process(...)``, ``multiprocessing.Pipe(...)``,
+  ``multiprocessing.Queue``/``SimpleQueue``/``JoinableQueue(...)``,
+  ``multiprocessing.Pool(...)``, ``multiprocessing.Manager(...)``;
+* the same constructors reached through ``from multiprocessing import
+  Process`` or ``import multiprocessing as mp`` aliasing (the import table
+  sees through both).
+
+Constructors reached through an opaque context object
+(``ctx = multiprocessing.get_context(...); ctx.Pipe()``) cannot be resolved
+textually and are not flagged — keep context use inside sync helpers too.
+
+Scoped to modules inside a ``service`` package, like RPR005/RPR006.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import import_table, resolve_call_target, walk_body
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Final name segments that construct multiprocessing primitives.
+_PRIMITIVE_NAMES = frozenset(
+    {"Process", "Queue", "SimpleQueue", "JoinableQueue", "Pipe", "Pool", "Manager"}
+)
+
+#: Module roots whose primitives the rule recognises.
+_MP_ROOTS = ("multiprocessing.", "multiprocessing.context.")
+
+
+class AsyncMultiprocessingRule(LintRule):
+    """Flag multiprocessing primitive creation on the event loop."""
+
+    rule_id = "RPR009"
+    title = "multiprocessing primitive created inside an async function"
+    rationale = (
+        "spawning processes or building their pipes/queues blocks the event "
+        "loop for the whole fork/exec handshake; do pool management in sync "
+        "helpers invoked via run_in_executor"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return "service" in context.module_parts
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        imports = import_table(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_function(context, node, imports)
+
+    def _check_async_function(
+        self,
+        context: ModuleContext,
+        function: ast.AsyncFunctionDef,
+        imports: dict[str, str],
+    ) -> Iterator[Finding]:
+        for node in walk_body(function.body):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target is None:
+                continue
+            final = target.rsplit(".", 1)[-1]
+            if final not in _PRIMITIVE_NAMES:
+                continue
+            if not any(target.startswith(root) for root in _MP_ROOTS):
+                continue
+            yield context.finding(
+                self,
+                node,
+                f"multiprocessing primitive {target}() created inside "
+                f"'async def {function.name}'; process/pipe/queue creation blocks "
+                "the event loop — move pool management into a sync helper and "
+                "invoke it via run_in_executor",
+            )

@@ -47,10 +47,11 @@ Four subcommands cover the everyday workflows:
 
 ``lint``
     Run the :mod:`repro.analysis` static analyzer — the repo-specific
-    ``RPR001`` ... ``RPR008`` rules (blocking calls in async code, cache-unsafe
+    ``RPR001`` ... ``RPR009`` rules (blocking calls in async code, cache-unsafe
     distributions, float equality in the numerical core, undeclared scenario
     support, unstable error codes, swallowed cancellation, mutable defaults,
-    dense generator allocations on the CTMC hot paths) — over files or
+    dense generator allocations on the CTMC hot paths, multiprocessing
+    primitives created on the event loop) — over files or
     directories.  Text or ``--format json`` output; exit
     code 0 when clean, 1 with findings, 2 on usage errors.
 
@@ -134,10 +135,12 @@ endpoints:
                  Failure: {"status": "error", "error": {"code", "message"}}
                  with codes bad-json, bad-request, unknown-solver,
                  unknown-preset, unstable-model, queue-full (429 +
-                 Retry-After), deadline-exceeded (504), solve-failed.
-  GET /healthz   liveness + current queue depth
+                 Retry-After), load-shed (429, sharded tier), worker-crashed
+                 (503, retryable), deadline-exceeded (504), solve-failed.
+  GET /healthz   liveness + current queue depth (and, sharded, workers ready)
   GET /stats     uptime, scheduler counters (coalesced/batched/rejected)
-                 and solution-cache statistics
+                 and solution-cache statistics; with --workers N > 1 also
+                 per-shard breakdowns, pool totals and shedding counters
 
 tuning:
   --batch-window trades first-request latency for batching: concurrent
@@ -147,6 +150,14 @@ tuning:
   distinct configurations; lower it (or use 0) for latency-sensitive,
   low-concurrency traffic.  --max-queue bounds distinct pending
   computations; beyond it requests are rejected with 429 queue-full.
+
+  --workers N > 1 starts the sharded tier: a front process consistent-hashes
+  each request's solution key onto one of N worker processes (per-shard
+  caches and coalescing stay exact), sheds cheapest-to-recompute query kinds
+  first as load approaches N x max-queue (429 load-shed with shard and
+  shed_tier), and restarts crashed workers under the same shard id.
+  --cache-dir persists each shard's cache across restarts (atomic JSON
+  snapshots, spilled every --spill-interval seconds and on SIGTERM).
 """
 
 
@@ -405,7 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes per batch; 1 = serial off-loop (default: %(default)s)",
+        help=(
+            "serving tier: 1 = single process, N > 1 = consistent-hash sharded front "
+            "over N worker processes (default: %(default)s)"
+        ),
     )
     serve.add_argument(
         "--batch-window",
@@ -431,6 +445,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="LRU bound of the service's solution cache (default: %(default)s)",
     )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for solution-cache snapshots (one shard-<i>.json per worker); "
+            "loaded on startup, spilled periodically and on shutdown (default: no persistence)"
+        ),
+    )
+    serve.add_argument(
+        "--spill-interval",
+        type=float,
+        default=30.0,
+        help="seconds between periodic cache spills under --cache-dir (default: %(default)s)",
+    )
 
     cache_stats = subparsers.add_parser(
         "cache-stats",
@@ -455,7 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repro static analyzer (RPR rules) over python sources",
         description=(
             "Run the repro.analysis static analyzer: repo-specific AST lint rules "
-            "(RPR001...RPR007) encoding the solver/service stack's correctness "
+            "(RPR001...RPR009) encoding the solver/service stack's correctness "
             "contracts.  Exit code 0 = clean, 1 = findings, 2 = usage error.  "
             "Suppress a finding per line with '# repro: noqa RPRxxx'."
         ),
@@ -940,6 +968,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             max_queue=arguments.max_queue,
             max_batch=arguments.max_batch,
             cache_maxsize=arguments.cache_size,
+            cache_dir=arguments.cache_dir,
+            spill_interval=arguments.spill_interval,
         )
         return run_service(config)
     except ValueError as error:

@@ -73,5 +73,14 @@ class DataError(ReproError):
     """A breakdown trace or empirical data set is malformed."""
 
 
+class CachePersistenceError(ReproError):
+    """A solution-cache snapshot could not be read back.
+
+    Raised by :meth:`repro.solvers.SolutionCache.load` when a spill file is
+    corrupt or was written by an incompatible snapshot format version.  A
+    *missing* file is not an error — a cold start is the normal first run.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was configured or driven incorrectly."""

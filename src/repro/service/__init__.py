@@ -15,8 +15,15 @@ The moving parts, each in its own module:
     per-request deadlines.
 :mod:`~repro.service.server`
     :class:`SolverService` (the raw-asyncio HTTP front end with ``/solve``,
-    ``/healthz`` and ``/stats``), :class:`ServiceConfig`,
-    :func:`run_service` and the thread-hosted :class:`ThreadedService`.
+    ``/healthz`` and ``/stats``), :class:`ServiceConfig`, :func:`run_service`,
+    :func:`build_service` and the thread-hosted :class:`ThreadedService`.
+:mod:`~repro.service.sharding`
+    :class:`ShardedService` — the multi-process tier: consistent-hash
+    routing of solution keys onto a pool of shard worker processes, tiered
+    load shedding, crash recovery, aggregated ``/stats``.
+:mod:`~repro.service.worker`
+    The shard worker entry point (one scheduler + persistent cache per
+    process).
 :mod:`~repro.service.client`
     :class:`ServiceClient` (sync) and :class:`AsyncServiceClient`.
 :mod:`~repro.service.errors`
@@ -40,6 +47,7 @@ from .errors import (
     BadJSONError,
     BadRequestError,
     DeadlineExceededError,
+    LoadShedError,
     MethodNotAllowedError,
     NotFoundError,
     PayloadTooLargeError,
@@ -50,6 +58,7 @@ from .errors import (
     UnknownPresetError,
     UnknownSolverError,
     UnstableModelError,
+    WorkerCrashedError,
 )
 from .protocol import (
     DEFAULT_SOLVER_ORDERS,
@@ -59,15 +68,27 @@ from .protocol import (
     parse_solve_request,
 )
 from .scheduler import BatchScheduler, ScheduledResult
-from .server import ServiceConfig, SolverService, ThreadedService, run_service
+from .server import (
+    DEFAULT_SHED_THRESHOLDS,
+    ServiceConfig,
+    SolverService,
+    ThreadedService,
+    build_service,
+    run_service,
+)
+from .sharding import ConsistentHashRing, ShardedService, shed_decision, stable_key_digest
+from .worker import ShardWorkerConfig, shard_cache_path, worker_main
 
 __all__ = [
     "AsyncServiceClient",
     "BadJSONError",
     "BadRequestError",
     "BatchScheduler",
+    "ConsistentHashRing",
+    "DEFAULT_SHED_THRESHOLDS",
     "DEFAULT_SOLVER_ORDERS",
     "DeadlineExceededError",
+    "LoadShedError",
     "MethodNotAllowedError",
     "NotFoundError",
     "PayloadTooLargeError",
@@ -80,6 +101,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceResponse",
+    "ShardWorkerConfig",
+    "ShardedService",
     "SolveFailedError",
     "SolveRequest",
     "SolverService",
@@ -87,7 +110,13 @@ __all__ = [
     "UnknownPresetError",
     "UnknownSolverError",
     "UnstableModelError",
+    "WorkerCrashedError",
+    "build_service",
     "parse_body",
     "parse_solve_request",
     "run_service",
+    "shard_cache_path",
+    "shed_decision",
+    "stable_key_digest",
+    "worker_main",
 ]

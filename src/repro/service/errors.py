@@ -100,6 +100,66 @@ class QueueFullError(ServiceError):
     http_status = 429
 
 
+class LoadShedError(ServiceError):
+    """Tiered admission control shed the request before it reached a shard.
+
+    Under sustained overload the front process sheds the cheapest-to-recompute
+    query kinds first (steady-state before scenario before transient), so
+    expensive work that is costly to redo keeps its queue slot the longest.
+    The payload carries the target ``shard`` and the ``shed_tier`` (the query
+    kind that was shed) so clients and dashboards can attribute rejections.
+    """
+
+    code = "load-shed"
+    http_status = 429
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        tier: str,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)
+        self.shard = shard
+        self.tier = tier
+
+    def payload(self) -> dict[str, object]:
+        error = super().payload()
+        error["shard"] = self.shard
+        error["shed_tier"] = self.tier
+        return error
+
+
+class WorkerCrashedError(ServiceError):
+    """The worker process owning the request's shard died mid-request.
+
+    The pool restarts the worker (same shard, same ring position) in the
+    background; the request itself is lost, so the error is marked
+    ``retryable`` — an immediate retry lands on the replacement worker.
+    """
+
+    code = "worker-crashed"
+    http_status = 503
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)
+        self.shard = shard
+
+    def payload(self) -> dict[str, object]:
+        error = super().payload()
+        error["shard"] = self.shard
+        error["retryable"] = True
+        return error
+
+
 class DeadlineExceededError(ServiceError):
     """The per-request deadline expired before the solution was ready.
 

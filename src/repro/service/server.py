@@ -30,10 +30,13 @@ embedding applications use.
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
+from ..exceptions import CachePersistenceError
 from ..solvers import SolutionCache
 from . import protocol
 from .errors import (
@@ -51,6 +54,12 @@ from .scheduler import (
     DEFAULT_MAX_QUEUE,
     BatchScheduler,
 )
+from .worker import DEFAULT_SPILL_INTERVAL, shard_cache_path
+
+#: Default load fractions of total capacity at which the sharded front sheds
+#: each query tier, cheapest-to-recompute first (steady-state, scenario,
+#: transient) — see :func:`repro.service.sharding.shed_decision`.
+DEFAULT_SHED_THRESHOLDS = (0.7, 0.85, 1.0)
 
 #: Largest declared over-bound body the server drains before answering 413.
 _MAX_DRAIN_BYTES = 16_000_000
@@ -76,6 +85,13 @@ class ServiceConfig:
 
     ``port=0`` binds an ephemeral port (what the tests use); the bound port
     is available as :attr:`SolverService.port` after ``start()``.
+
+    ``workers`` selects the serving tier: ``1`` is the single-process
+    service, ``> 1`` makes :func:`build_service` construct the sharded
+    multi-process front (:class:`~repro.service.sharding.ShardedService`)
+    with one worker process per shard.  ``cache_dir`` enables cache
+    persistence — snapshots are loaded on startup, spilled every
+    ``spill_interval`` seconds and on graceful shutdown.
     """
 
     host: str = "127.0.0.1"
@@ -86,6 +102,9 @@ class ServiceConfig:
     max_batch: int = DEFAULT_MAX_BATCH
     cache_maxsize: int = DEFAULT_CACHE_MAXSIZE
     max_body_bytes: int = 1_000_000
+    cache_dir: str | None = None
+    spill_interval: float = DEFAULT_SPILL_INTERVAL
+    shed_thresholds: tuple[float, ...] = field(default=DEFAULT_SHED_THRESHOLDS)
 
 
 class SolverService:
@@ -105,6 +124,7 @@ class SolverService:
             cache=cache,
         )
         self._server: asyncio.Server | None = None
+        self._spill_task: asyncio.Task | None = None
         self._started_monotonic: float | None = None
         self._started_wallclock: float | None = None
         self._responses_total = 0
@@ -128,11 +148,14 @@ class SolverService:
         """Bind the listening socket and start accepting connections."""
         if self._server is not None:
             raise RuntimeError("the service is already started")
+        await self._load_cache_snapshot()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
         self._started_monotonic = time.monotonic()
         self._started_wallclock = time.time()
+        if self._snapshot_path() is not None and self.config.spill_interval > 0:
+            self._spill_task = asyncio.get_running_loop().create_task(self._spill_periodically())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -141,11 +164,54 @@ class SolverService:
 
     async def stop(self) -> None:
         """Stop accepting connections and fail queued (unstarted) work."""
+        if self._spill_task is not None:
+            self._spill_task.cancel()
+            await asyncio.gather(self._spill_task, return_exceptions=True)
+            self._spill_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.scheduler.close()
+        await self._spill_cache_snapshot()
+
+    # -- cache persistence (single-process mode; shards handle their own) ---
+
+    def _snapshot_path(self) -> Path | None:
+        """Where this service's cache spills, or ``None`` when not persisted.
+
+        The sharded tier persists per worker process instead (each shard owns
+        ``shard-<i>.json``), so this path exists only in single-process mode;
+        the single process is "shard 0" of a one-shard deployment, keeping
+        snapshots interchangeable when a deployment later scales out.
+        """
+        if self.config.cache_dir is None or self.config.workers != 1:
+            return None
+        return shard_cache_path(self.config.cache_dir, 0)
+
+    async def _load_cache_snapshot(self) -> None:
+        path = self._snapshot_path()
+        if path is None:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self.scheduler.cache.load, path)
+        except CachePersistenceError:
+            # A torn or incompatible snapshot means a cold start, not an
+            # outage; the next spill overwrites it.
+            pass
+
+    async def _spill_cache_snapshot(self) -> None:
+        path = self._snapshot_path()
+        if path is None:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.scheduler.cache.spill, path)
+
+    async def _spill_periodically(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.spill_interval)
+            await self._spill_cache_snapshot()
 
     # -- HTTP plumbing -----------------------------------------------------
 
@@ -284,11 +350,11 @@ class SolverService:
             if target == "/healthz":
                 if method != "GET":
                     raise MethodNotAllowedError("/healthz accepts GET only")
-                return 200, self._healthz_payload(), None
+                return 200, await self._healthz_payload(), None
             if target == "/stats":
                 if method != "GET":
                     raise MethodNotAllowedError("/stats accepts GET only")
-                return 200, self._stats_payload(), None
+                return 200, await self._stats_payload(), None
             raise NotFoundError(
                 f"no such endpoint {target!r}; available: /solve, /healthz, /stats"
             )
@@ -329,7 +395,8 @@ class SolverService:
         }
         return 200, payload, None
 
-    def _healthz_payload(self) -> dict:
+    async def _healthz_payload(self) -> dict:
+        """The liveness payload (async so the sharded tier can poll workers)."""
         return {
             "status": "ok",
             "uptime_seconds": round(time.monotonic() - (self._started_monotonic or 0.0), 3),
@@ -337,7 +404,8 @@ class SolverService:
             "max_queue": self.scheduler.max_queue,
         }
 
-    def _stats_payload(self) -> dict:
+    async def _stats_payload(self) -> dict:
+        """The observability payload (async so the sharded tier can aggregate)."""
         return {
             "status": "ok",
             "started_at": self._started_wallclock,
@@ -349,20 +417,55 @@ class SolverService:
         }
 
 
+def build_service(
+    config: ServiceConfig | None = None, *, cache: SolutionCache | None = None
+) -> SolverService:
+    """The service matching ``config``: sharded when ``workers > 1``.
+
+    The sharded tier is imported lazily so single-process deployments (and
+    the spawned shard workers themselves, which import this module) never pay
+    for — or recurse into — the multiprocessing front.
+    """
+    config = config if config is not None else ServiceConfig()
+    if config.workers > 1:
+        from .sharding import ShardedService
+
+        return ShardedService(config, cache=cache)
+    return SolverService(config, cache=cache)
+
+
 def run_service(config: ServiceConfig | None = None) -> int:
-    """Run a service until interrupted (the ``repro serve`` entry point)."""
+    """Run a service until interrupted (the ``repro serve`` entry point).
+
+    SIGTERM (the fleet-orchestrator stop signal) and Ctrl-C both shut the
+    service down gracefully — in-flight work is answered where possible and
+    caches spill to ``cache_dir`` before the process exits.
+    """
 
     async def _main() -> None:
-        service = SolverService(config)
+        service = build_service(config)
         await service.start()
+        stopped = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stopped.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+            pass
+        workers = service.config.workers
         print(
             f"repro.service listening on http://{service.host}:{service.port} "
-            "(endpoints: POST /solve, GET /healthz, GET /stats; Ctrl-C to stop)",
+            f"({'sharded, ' + str(workers) + ' workers' if workers > 1 else 'single process'}; "
+            "endpoints: POST /solve, GET /healthz, GET /stats; Ctrl-C or SIGTERM to stop)",
             flush=True,
         )
+        serve_task = loop.create_task(service.serve_forever())
+        stop_task = loop.create_task(stopped.wait())
         try:
-            await service.serve_forever()
+            await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
             await service.stop()
 
     try:
@@ -413,10 +516,17 @@ class ThreadedService:
     def _run(self) -> None:
         asyncio.run(self._main())
 
+    @property
+    def service(self) -> SolverService:
+        """The underlying service object (meaningful once started)."""
+        if self._service is None:
+            raise RuntimeError("the service is not started")
+        return self._service
+
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        service = SolverService(self._config, cache=self._cache)
+        service = build_service(self._config, cache=self._cache)
         try:
             await service.start()
         except BaseException as exc:  # noqa: BLE001 - reported to the caller

@@ -1,0 +1,261 @@
+"""The shard worker: one process owning one slice of the key space.
+
+Each worker spawned by :class:`~repro.service.sharding.ShardPool` runs
+:func:`worker_main`: a private asyncio loop hosting its own
+:class:`~repro.service.scheduler.BatchScheduler` and per-shard
+:class:`~repro.solvers.SolutionCache`.  Because the front process routes
+every solution key to exactly one shard, single-flight coalescing and LRU
+locality keep working *per shard* — 100 identical concurrent requests still
+cost one solve, no matter which front connection carried them.
+
+The front talks to workers over one :class:`multiprocessing.connection.Connection`
+per worker.  Messages front → worker::
+
+    ("solve", request_id, model, policy, deadline)
+    ("stats", request_id)       # scheduler + cache counters for this shard
+    ("spill", request_id)       # snapshot the shard cache to disk now
+    ("shutdown",)               # graceful: spill, drain, exit
+
+and worker → front::
+
+    ("ready", shard)                      # startup handshake
+    (request_id, "ok", result_dict)
+    (request_id, "error", error_dict)     # structured ServiceError fields
+    (request_id, "stats", stats_dict)
+    (request_id, "spilled", entry_count)
+
+Blocking pipe I/O never touches the event loop: a reader thread feeds
+incoming messages to the loop via ``call_soon_threadsafe`` and a writer
+thread drains an outbox queue, mirroring how the front side bridges the same
+pipes.  ``worker_main`` also runs happily inside a *thread* (the coverage
+harness does this), so signal handling is installed only when the worker is
+a real process's main thread.
+
+Cache persistence is per shard: with ``cache_dir`` set, the worker loads
+``shard-<i>.json`` on startup (a corrupt snapshot serves cold rather than
+crashing), spills every ``spill_interval`` seconds, and spills once more on
+graceful shutdown — a restarted worker answers yesterday's popular queries
+from memory without re-solving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import signal
+import threading
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..exceptions import CachePersistenceError
+from ..solvers import SolutionCache
+from .errors import ServiceError
+from .scheduler import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_CACHE_MAXSIZE,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    BatchScheduler,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+#: Default seconds between periodic shard-cache spills.
+DEFAULT_SPILL_INTERVAL = 30.0
+
+
+@dataclass(frozen=True)
+class ShardWorkerConfig:
+    """Everything one shard worker needs to run (picklable for spawn)."""
+
+    shard: int
+    batch_window: float = DEFAULT_BATCH_WINDOW
+    max_queue: int = DEFAULT_MAX_QUEUE
+    max_batch: int = DEFAULT_MAX_BATCH
+    cache_maxsize: int = DEFAULT_CACHE_MAXSIZE
+    cache_dir: str | None = None
+    spill_interval: float = DEFAULT_SPILL_INTERVAL
+
+
+def shard_cache_path(cache_dir: str | Path, shard: int) -> Path:
+    """The snapshot file of one shard's cache inside ``cache_dir``."""
+    return Path(cache_dir) / f"shard-{shard}.json"
+
+
+def worker_main(config: ShardWorkerConfig, conn: "Connection") -> None:
+    """Run one shard worker until told to shut down (process entry point)."""
+    if threading.current_thread() is threading.main_thread():
+        # A worker process dies gracefully on SIGTERM: the handler converts
+        # the signal into the same shutdown message the front would send, so
+        # the cache still spills.  Inside a thread (the coverage harness)
+        # signals belong to the host process and are left alone.
+        signal.signal(signal.SIGTERM, lambda _signum, _frame: _request_shutdown(conn))
+    asyncio.run(_worker_async(config, conn))
+
+
+def _request_shutdown(conn: "Connection") -> None:
+    """Best-effort self-delivered shutdown (SIGTERM path)."""
+    try:
+        conn.send(("__self_shutdown__",))
+    except (OSError, ValueError):  # pragma: no cover - pipe already gone
+        pass
+
+
+async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
+    loop = asyncio.get_running_loop()
+    cache = SolutionCache(maxsize=config.cache_maxsize)
+    snapshot: Path | None = None
+    if config.cache_dir is not None:
+        snapshot = shard_cache_path(config.cache_dir, config.shard)
+        try:
+            cache.load(snapshot)
+        except CachePersistenceError as exc:
+            # A torn or stale snapshot must not keep the shard down; serving
+            # cold is strictly better than not serving.
+            warnings.warn(
+                f"shard {config.shard} serves cold: {exc}", RuntimeWarning, stacklevel=1
+            )
+    scheduler = BatchScheduler(
+        batch_window=config.batch_window,
+        max_queue=config.max_queue,
+        max_batch=config.max_batch,
+        workers=1,
+        cache=cache,
+    )
+
+    inbox: asyncio.Queue[tuple] = asyncio.Queue()
+    outbox: queue.Queue[tuple | None] = queue.Queue()
+    answer_tasks: set[asyncio.Task] = set()
+
+    def _read_loop() -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = ("shutdown",)
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == "__self_shutdown__":
+                message = ("shutdown",)
+            try:
+                loop.call_soon_threadsafe(inbox.put_nowait, message)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                return
+            if message[0] == "shutdown":
+                return
+
+    def _write_loop() -> None:
+        while True:
+            message = outbox.get()
+            if message is None:
+                return
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):  # pragma: no cover - front died
+                return
+
+    reader = threading.Thread(target=_read_loop, name=f"shard-{config.shard}-read", daemon=True)
+    writer = threading.Thread(target=_write_loop, name=f"shard-{config.shard}-write", daemon=True)
+    reader.start()
+    writer.start()
+
+    async def _answer(
+        request_id: int, model: object, policy: object, deadline: float | None
+    ) -> None:
+        try:
+            result = await scheduler.submit(
+                model, policy, deadline=deadline  # type: ignore[arg-type]
+            )
+        except asyncio.CancelledError:
+            raise
+        except ServiceError as error:
+            outbox.put(
+                (
+                    request_id,
+                    "error",
+                    {
+                        "code": error.code,
+                        "message": str(error),
+                        "http_status": error.http_status,
+                        "retry_after": error.retry_after,
+                    },
+                )
+            )
+            return
+        except Exception as error:  # noqa: BLE001 - reported, never a hung waiter
+            outbox.put(
+                (
+                    request_id,
+                    "error",
+                    {
+                        "code": "internal-error",
+                        "message": f"{type(error).__name__}: {error}",
+                        "http_status": 500,
+                        "retry_after": None,
+                    },
+                )
+            )
+            return
+        outcome = result.outcome
+        outbox.put(
+            (
+                request_id,
+                "ok",
+                {
+                    "solver": outcome.solver,
+                    "stable": outcome.stable,
+                    "metrics": dict(outcome.metrics),
+                    "error": outcome.error,
+                    "cached": result.cached,
+                    "coalesced": result.coalesced,
+                },
+            )
+        )
+
+    def _spill_now() -> int:
+        if snapshot is None:
+            return 0
+        return cache.spill(snapshot)
+
+    async def _periodic_spill() -> None:
+        while True:
+            await asyncio.sleep(config.spill_interval)
+            await loop.run_in_executor(None, _spill_now)
+
+    spill_task: asyncio.Task | None = None
+    if snapshot is not None and config.spill_interval > 0:
+        spill_task = loop.create_task(_periodic_spill())
+
+    outbox.put(("ready", config.shard))
+    try:
+        while True:
+            message = await inbox.get()
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "solve":
+                _, request_id, model, policy, deadline = message
+                task = loop.create_task(_answer(request_id, model, policy, deadline))
+                answer_tasks.add(task)
+                task.add_done_callback(answer_tasks.discard)
+            elif kind == "stats":
+                stats = dict(scheduler.stats())
+                stats["shard"] = config.shard
+                outbox.put((message[1], "stats", stats))
+            elif kind == "spill":
+                count = await loop.run_in_executor(None, _spill_now)
+                outbox.put((message[1], "spilled", count))
+            # Unknown message kinds are ignored: a newer front speaking to an
+            # older worker must degrade, not crash the shard.
+    finally:
+        if spill_task is not None:
+            spill_task.cancel()
+        if answer_tasks:
+            await asyncio.gather(*tuple(answer_tasks), return_exceptions=True)
+        await scheduler.close()
+        await loop.run_in_executor(None, _spill_now)
+        outbox.put(None)
+        await loop.run_in_executor(None, writer.join)

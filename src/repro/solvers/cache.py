@@ -31,11 +31,15 @@ three moments.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
 from collections.abc import Mapping
+from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..exceptions import CachePersistenceError
 from .base import SolveOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -84,6 +88,67 @@ def solution_cache_key(model: "UnreliableQueueModel", policy: "SolverPolicy") ->
         distribution_key(model.inoperative),
         policy,
     )
+
+
+#: Snapshot format version written by :meth:`SolutionCache.spill`; bumped on
+#: any incompatible change to the key/outcome encoding.
+SPILL_FORMAT_VERSION = 1
+
+
+class _UnspillableKeyError(Exception):
+    """A cache key contains a value the JSON snapshot codec cannot represent."""
+
+
+def _encode_key_part(value: object) -> object:
+    """One key component as a tagged, JSON-representable value.
+
+    Cache keys are hashable trees of value types (numbers, strings, tuples,
+    :class:`~repro.solvers.policy.SolverPolicy` instances); the tags make the
+    round trip exact — ``["t", ...]`` decodes back to a tuple, never a list,
+    so a loaded key is *equal* to the key it was spilled from.  Third-party
+    objects that fall back to instance keying are unspillable: the entry is
+    skipped rather than persisted under a key that could never match again.
+    """
+    from .policy import SolverPolicy
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["f", value]
+    if isinstance(value, tuple):
+        return ["t", [_encode_key_part(item) for item in value]]
+    if isinstance(value, SolverPolicy):
+        return [
+            "p",
+            {
+                "order": list(value.order),
+                "simulate_horizon": value.simulate_horizon,
+                "simulate_seed": value.simulate_seed,
+                "simulate_num_batches": value.simulate_num_batches,
+                "simulate_warmup_fraction": value.simulate_warmup_fraction,
+                "transient_times": list(value.transient_times),
+                "representation": value.representation,
+            },
+        ]
+    raise _UnspillableKeyError(f"cannot persist key component of type {type(value).__name__}")
+
+
+def _decode_key_part(value: object) -> object:
+    """The inverse of :func:`_encode_key_part` (raises on malformed input)."""
+    from .policy import SolverPolicy
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, list) and len(value) == 2 and value[0] == "f":
+        return float(value[1])
+    if isinstance(value, list) and len(value) == 2 and value[0] == "t":
+        return tuple(_decode_key_part(item) for item in value[1])
+    if isinstance(value, list) and len(value) == 2 and value[0] == "p":
+        options = dict(value[1])
+        options["order"] = tuple(options.get("order", ()))
+        options["transient_times"] = tuple(options.get("transient_times", ()))
+        return SolverPolicy(**options)
+    raise _UnspillableKeyError(f"unrecognised encoded key component {value!r}")
 
 
 class SolutionCache:
@@ -222,6 +287,95 @@ class SolutionCache:
                 "solves": self._solves,
                 "evictions": self._evictions,
             }
+
+    # -- persistence -------------------------------------------------------
+
+    def spill(self, path: str | Path) -> int:
+        """Snapshot the memoised outcomes to ``path`` as JSON, atomically.
+
+        The snapshot is written to a sibling temporary file first and moved
+        into place with :func:`os.replace`, so a reader (or a crash mid-write)
+        never observes a torn file.  Entries whose key cannot be represented
+        in JSON (third-party objects without ``parameter_key()``) are skipped
+        — persistence is best-effort by design.  Returns the number of
+        entries written.  Counters are *not* persisted: a loaded cache starts
+        its statistics fresh, recording only what this process observes.
+        """
+        path = Path(path)
+        with self._lock:
+            items = list(self._data.items())
+        entries: list[dict[str, object]] = []
+        for key, outcome in items:
+            try:
+                encoded = _encode_key_part(key)
+            except _UnspillableKeyError:
+                continue
+            entries.append(
+                {
+                    "key": encoded,
+                    "outcome": {
+                        "solver": outcome.solver,
+                        "stable": outcome.stable,
+                        "metrics": dict(outcome.metrics),
+                        "error": outcome.error,
+                    },
+                }
+            )
+        payload = {"version": SPILL_FORMAT_VERSION, "entries": entries}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        temporary.write_text(json.dumps(payload) + "\n")
+        os.replace(temporary, path)
+        return len(entries)
+
+    def load(self, path: str | Path) -> int:
+        """Merge a :meth:`spill` snapshot back in; returns the entries loaded.
+
+        A missing file is a cold start, not an error (returns ``0``).  A
+        corrupt or incompatible snapshot raises
+        :class:`~repro.exceptions.CachePersistenceError` so the caller can
+        decide whether to serve cold or abort.  Entries referencing solvers
+        absent from this process's registry are skipped individually.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return 0
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CachePersistenceError(f"cache snapshot {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != SPILL_FORMAT_VERSION:
+            raise CachePersistenceError(
+                f"cache snapshot {path} has version {payload.get('version')!r}; "
+                f"this build reads version {SPILL_FORMAT_VERSION}"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise CachePersistenceError(f"cache snapshot {path} has no entry list")
+        loaded: dict[CacheKey, SolveOutcome] = {}
+        from ..exceptions import ParameterError
+
+        for entry in entries:
+            try:
+                key = _decode_key_part(entry["key"])
+                record = entry["outcome"]
+                outcome = SolveOutcome(
+                    solver=record["solver"],
+                    stable=bool(record["stable"]),
+                    metrics={str(name): value for name, value in record["metrics"].items()},
+                    error=record["error"],
+                )
+            except (_UnspillableKeyError, ParameterError, KeyError, TypeError, AttributeError):
+                # One bad entry (an unknown solver name in a policy, a
+                # hand-edited file) must not poison the rest of the snapshot.
+                continue
+            if not isinstance(key, tuple):
+                continue
+            loaded[key] = outcome
+        self.merge(loaded)
+        return len(loaded)
 
     def clear(self) -> None:
         """Drop all memoised outcomes and reset every counter."""

@@ -286,6 +286,50 @@ def _execute_serial(
     return results
 
 
+def _solve_chunk(
+    chunk: list[tuple[int, "UnreliableQueueModel", SolverPolicy]],
+) -> list[tuple[int, SolveOutcome]]:
+    """Worker entry point for one contiguous grid neighbourhood.
+
+    Each worker process receives a *contiguous* run of the greedy
+    nearest-neighbour ordering and replays the serial warm-start walk inside
+    it, so every solve (after the chunk's first) is seeded from a solved
+    neighbour of its own process — the parallel counterpart of the serial
+    sweep seeding.  Workers dispatch through their own process-global
+    registry, exactly like :func:`_solve_task` did.
+    """
+    return _execute_serial(chunk, None)
+
+
+def _neighbourhood_chunks(
+    tasks: list[tuple[int, "UnreliableQueueModel", SolverPolicy]],
+    workers: int,
+) -> list[list[tuple[int, "UnreliableQueueModel", SolverPolicy]]] | None:
+    """Partition a batch into per-worker contiguous grid neighbourhoods.
+
+    The batch is ordered by the same greedy nearest-neighbour walk the serial
+    path uses, then cut into ``workers`` contiguous runs of near-equal size;
+    consecutive members of a run are close on the parameter grid, which is
+    what makes within-chunk warm starts effective.  ``None`` when the batch
+    has no common parameterisation (mixed model families), in which case the
+    caller falls back to unseeded per-task fan-out.
+    """
+    vectors = [_parameter_vector(model) for _, model, _ in tasks]
+    order = _grid_order(vectors)
+    if order is None:
+        return None
+    ordered = [tasks[position] for position in order]
+    chunk_count = min(workers, len(ordered))
+    size, remainder = divmod(len(ordered), chunk_count)
+    chunks: list[list[tuple[int, "UnreliableQueueModel", SolverPolicy]]] = []
+    start = 0
+    for index in range(chunk_count):
+        stop = start + size + (1 if index < remainder else 0)
+        chunks.append(ordered[start:stop])
+        start = stop
+    return chunks
+
+
 def _pool_probe() -> bool:
     """Trivial task used to check that worker processes can start at all."""
     return True
@@ -325,13 +369,18 @@ def _execute_parallel(
             stacklevel=4,
         )
         # The degraded path runs in-process, so unlike real workers it can —
-        # and must — honour the caller's registry.
-        return [
-            (index, evaluate(model, policy, registry=registry))
-            for index, model, policy in tasks
-        ]
+        # and must — honour the caller's registry.  Running serially also
+        # restores the full warm-start walk over the whole batch.
+        return _execute_serial(tasks, registry)
+    chunks = _neighbourhood_chunks(tasks, workers)
     try:
-        results = list(executor.map(_solve_task, tasks, chunksize=chunksize))
+        if chunks is not None:
+            # One contiguous neighbourhood per worker: each process seeds its
+            # solves from its own already-solved neighbours.
+            mapped = executor.map(_solve_chunk, chunks, chunksize=1)
+            results = [result for chunk_results in mapped for result in chunk_results]
+        else:
+            results = list(executor.map(_solve_task, tasks, chunksize=chunksize))
     except BaseException:
         # A KeyboardInterrupt (or an async cancellation surfacing here) must
         # abort the batch promptly: cancel every queued item and return

@@ -731,6 +731,95 @@ class TestDenseGeneratorRule:
 
 
 # --------------------------------------------------------------------------- #
+# RPR009 — multiprocessing primitives created inside async def
+# --------------------------------------------------------------------------- #
+
+
+class TestAsyncMultiprocessingRule:
+    def test_pipe_in_async_def_fires(self) -> None:
+        findings = lint(
+            """
+            import multiprocessing
+
+            async def start_pool():
+                parent, child = multiprocessing.Pipe()
+                return parent, child
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR009"}
+        assert "run_in_executor" in findings[0].message
+
+    def test_from_import_process_fires(self) -> None:
+        findings = lint(
+            """
+            from multiprocessing import Process
+
+            async def start_worker(target):
+                worker = Process(target=target)
+                worker.start()
+                return worker
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR009"}
+
+    def test_module_alias_does_not_evade(self) -> None:
+        findings = lint(
+            """
+            import multiprocessing as mp
+
+            async def plumbing():
+                return mp.Queue()
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR009"}
+
+    def test_sync_pool_helper_is_clean(self) -> None:
+        findings = lint(
+            """
+            import multiprocessing
+
+            def start_pool():
+                return multiprocessing.Pipe()
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_outside_the_service_layer_is_clean(self) -> None:
+        findings = lint(
+            """
+            import multiprocessing
+
+            async def start_pool():
+                return multiprocessing.Pipe()
+            """,
+            module="repro.solvers.fixture",
+        )
+        assert findings == []
+
+    def test_opaque_context_objects_are_not_resolved(self) -> None:
+        # Documented limitation: a context object is untrackable textually.
+        findings = lint(
+            """
+            import multiprocessing
+
+            async def start_pool():
+                ctx = multiprocessing.get_context("spawn")
+                return ctx.Pipe()
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_service_layer_is_clean(self) -> None:
+        report = analyze_paths([str(REPO_ROOT / "src" / "repro" / "service")])
+        assert not any(finding.rule == "RPR009" for finding in report.findings)
+
+
+# --------------------------------------------------------------------------- #
 # Suppression comments
 # --------------------------------------------------------------------------- #
 

@@ -1,0 +1,294 @@
+"""Tests for the sharded multi-process serving tier.
+
+Pure units first (the consistent-hash ring, the tiered shedding rule, the
+shard worker protocol driven in-thread over a real pipe), then the headline
+routing invariants against a live 4-shard :class:`ThreadedService`: identical
+concurrent requests collapse onto one shard and one solve, a killed worker
+surfaces the structured retryable ``worker-crashed`` error and the pool
+recovers, and a spill → restart → load cycle serves the old answer without
+re-solving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.queueing import sun_fitted_model
+from repro.service import (
+    DEFAULT_SHED_THRESHOLDS,
+    AsyncServiceClient,
+    ConsistentHashRing,
+    LoadShedError,
+    ServiceClient,
+    ServiceConfig,
+    ShardWorkerConfig,
+    ShardedService,
+    SolverService,
+    ThreadedService,
+    WorkerCrashedError,
+    build_service,
+    shard_cache_path,
+    shed_decision,
+    stable_key_digest,
+    worker_main,
+)
+from repro.solvers import SolverPolicy, solution_cache_key
+
+
+class TestConsistentHashRing:
+    def test_same_key_always_lands_on_the_same_shard(self):
+        ring = ConsistentHashRing(4)
+        rebuilt = ConsistentHashRing(4)
+        for servers in range(3, 30):
+            key = solution_cache_key(
+                sun_fitted_model(num_servers=servers, arrival_rate=0.4 * servers),
+                SolverPolicy(),
+            )
+            shard = ring.shard_for(key)
+            assert 0 <= shard < 4
+            assert rebuilt.shard_for(key) == shard
+
+    def test_vnode_replicas_spread_keys_across_shards(self):
+        ring = ConsistentHashRing(4)
+        counts = [0, 0, 0, 0]
+        for index in range(1000):
+            counts[ring.shard_for(("key", index))] += 1
+        # With 64 vnodes per shard no shard gets starved or swamped.
+        assert min(counts) > 100
+        assert max(counts) < 500
+
+    def test_digest_is_independent_of_the_process_hash_seed(self):
+        key = ("steady-state", 4, 2.0, ("Exponential", (1.0,)))
+        script = (
+            "from repro.service import stable_key_digest;"
+            f"print(stable_key_digest({key!r}))"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+        )
+        reported = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert int(reported.stdout) == stable_key_digest(key)
+
+    def test_invalid_shapes_are_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ConsistentHashRing(0)
+        with pytest.raises(ValueError, match="replicas"):
+            ConsistentHashRing(2, replicas=0)
+
+
+class TestShedDecision:
+    def test_admits_everything_under_the_lowest_threshold(self):
+        for query in ("steady-state", "scenario", "transient"):
+            assert shed_decision(query, 69, 100) is None
+
+    def test_sheds_cheapest_tiers_first_as_load_rises(self):
+        assert shed_decision("steady-state", 70, 100) == "steady-state"
+        assert shed_decision("scenario", 70, 100) is None
+        assert shed_decision("transient", 70, 100) is None
+        assert shed_decision("scenario", 85, 100) == "scenario"
+        assert shed_decision("transient", 85, 100) is None
+        assert shed_decision("transient", 100, 100) == "transient"
+
+    def test_unknown_kinds_get_the_most_expensive_tier(self):
+        assert shed_decision("mystery", 85, 100) is None
+        assert shed_decision("mystery", 100, 100) == "mystery"
+
+    def test_zero_capacity_sheds_everything(self):
+        assert shed_decision("transient", 0, 0) == "transient"
+
+    def test_default_thresholds_are_monotone(self):
+        assert DEFAULT_SHED_THRESHOLDS == (0.7, 0.85, 1.0)
+        assert list(DEFAULT_SHED_THRESHOLDS) == sorted(DEFAULT_SHED_THRESHOLDS)
+
+    def test_structured_shed_and_crash_payloads(self):
+        shed = LoadShedError("overloaded", shard=2, tier="steady-state", retry_after=0.2)
+        assert shed.http_status == 429
+        assert shed.payload()["shard"] == 2
+        assert shed.payload()["shed_tier"] == "steady-state"
+        crash = WorkerCrashedError("died", shard=1)
+        assert crash.http_status == 503
+        assert crash.payload()["retryable"] is True
+        assert crash.payload()["shard"] == 1
+
+
+class TestBuildService:
+    def test_single_worker_builds_the_plain_service(self):
+        service = build_service(ServiceConfig(port=0, workers=1))
+        assert type(service) is SolverService
+
+    def test_multiple_workers_build_the_sharded_service(self):
+        service = build_service(ServiceConfig(port=0, workers=3))
+        assert isinstance(service, ShardedService)
+
+
+class TestWorkerProtocol:
+    def test_worker_main_speaks_the_pipe_protocol_in_a_thread(self, tmp_path):
+        """Drive one shard worker end to end without spawning a process."""
+        parent, child = multiprocessing.Pipe()
+        config = ShardWorkerConfig(
+            shard=3, batch_window=0.001, cache_dir=str(tmp_path), spill_interval=0.0
+        )
+        thread = threading.Thread(target=worker_main, args=(config, child), daemon=True)
+        thread.start()
+
+        def receive(timeout: float = 60.0) -> tuple:
+            assert parent.poll(timeout), "worker sent nothing in time"
+            return parent.recv()
+
+        assert receive() == ("ready", 3)
+        model = sun_fitted_model(num_servers=4, arrival_rate=2.0)
+        parent.send(("solve", 1, model, SolverPolicy(), None))
+        request_id, kind, result = receive()
+        assert (request_id, kind) == (1, "ok")
+        assert result["solver"] == "spectral"
+        assert result["cached"] is False
+
+        parent.send(("solve", 2, model, SolverPolicy(), None))
+        _, _, repeat = receive()
+        assert repeat["cached"] is True
+
+        parent.send(("unknown-kind", 99))  # ignored, must not kill the shard
+        parent.send(("stats", 4))
+        request_id, kind, stats = receive()
+        assert (request_id, kind) == (4, "stats")
+        assert stats["shard"] == 3
+        assert stats["cache"]["solves"] == 1
+
+        parent.send(("spill", 5))
+        request_id, kind, count = receive()
+        assert (request_id, kind, count) == (5, "spilled", 1)
+        assert shard_cache_path(tmp_path, 3).exists()
+
+        parent.send(("shutdown",))
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+
+@pytest.fixture(scope="module")
+def sharded_service():
+    """One live 4-shard service shared by the routing-invariant tests."""
+    with ThreadedService(ServiceConfig(port=0, workers=4, batch_window=0.005)) as running:
+        yield running
+
+
+class TestShardedRouting:
+    def test_identical_concurrent_requests_cost_one_solve_on_one_shard(
+        self, sharded_service
+    ):
+        request = {"model": {"servers": 7, "arrival_rate": 4.31}}
+        with ServiceClient(
+            sharded_service.host, sharded_service.port, timeout=120.0
+        ) as client:
+            before = client.stats().payload["totals"]["solves"]
+
+        async def run():
+            async_client = AsyncServiceClient(
+                sharded_service.host, sharded_service.port, timeout=120.0
+            )
+            return await asyncio.gather(*(async_client.solve(request) for _ in range(100)))
+
+        responses = asyncio.run(run())
+        assert [response.status for response in responses] == [200] * 100
+        shards = {response.payload["shard"] for response in responses}
+        assert len(shards) == 1  # same key, same shard, every time
+        with ServiceClient(
+            sharded_service.host, sharded_service.port, timeout=120.0
+        ) as client:
+            after = client.stats().payload["totals"]["solves"]
+        assert after - before == 1
+
+    def test_stats_aggregates_all_shards(self, sharded_service):
+        with ServiceClient(
+            sharded_service.host, sharded_service.port, timeout=120.0
+        ) as client:
+            client.solve_ok({"model": {"servers": 3, "arrival_rate": 1.1}})
+            payload = client.stats().payload
+        assert payload["workers"] == 4
+        assert len(payload["shards"]) == 4
+        assert {entry["shard"] for entry in payload["shards"]} == {0, 1, 2, 3}
+        assert all(entry["state"] == "ready" for entry in payload["shards"])
+        shedding = payload["shedding"]
+        assert shedding["tier_order"] == ["steady-state", "scenario", "transient"]
+        assert shedding["capacity"] > 0
+        assert payload["totals"]["requests_total"] >= 1
+
+    def test_healthz_reports_pool_readiness(self, sharded_service):
+        with ServiceClient(
+            sharded_service.host, sharded_service.port, timeout=120.0
+        ) as client:
+            payload = client.healthz().payload
+        assert payload["workers"] == 4
+        assert payload["workers_ready"] == 4
+
+
+class TestCrashRecovery:
+    def test_killed_worker_surfaces_retryable_error_then_recovers(self):
+        request = {"model": {"servers": 6, "arrival_rate": 3.3}}
+        with ThreadedService(
+            ServiceConfig(port=0, workers=2, batch_window=0.002)
+        ) as running:
+            with ServiceClient(running.host, running.port, timeout=120.0) as client:
+                first = client.solve_ok(request)
+                shard = first["shard"]
+                handle = running.service._handles[shard]
+                handle.process.kill()
+                handle.process.join()
+
+                saw_crash_error = False
+                recovered = None
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    response = client.solve(request)
+                    if response.ok:
+                        recovered = response.payload
+                        break
+                    error = response.payload["error"]
+                    assert error["code"] == "worker-crashed"
+                    assert error["shard"] == shard
+                    assert error["retryable"] is True
+                    saw_crash_error = True
+                    time.sleep(0.2)
+                assert saw_crash_error, "the crash window surfaced no structured error"
+                assert recovered is not None, "the shard never recovered"
+                assert recovered["shard"] == shard  # identity rehash
+                stats = client.stats().payload
+                assert stats["shards"][shard]["restarts"] >= 1
+
+
+class TestSpillRestartLoad:
+    def test_restart_serves_yesterdays_answer_without_resolving(self, tmp_path):
+        request = {"model": {"servers": 5, "arrival_rate": 2.57}}
+        config = ServiceConfig(
+            port=0,
+            workers=2,
+            batch_window=0.002,
+            cache_dir=str(tmp_path),
+            spill_interval=0.0,
+        )
+        with ThreadedService(config) as running:
+            with ServiceClient(running.host, running.port, timeout=120.0) as client:
+                first = client.solve_ok(request)
+                assert first["cached"] is False
+        # Graceful shutdown spilled every shard's snapshot.
+        snapshots = sorted(entry.name for entry in tmp_path.iterdir())
+        assert snapshots == ["shard-0.json", "shard-1.json"]
+
+        with ThreadedService(config) as running:
+            with ServiceClient(running.host, running.port, timeout=120.0) as client:
+                second = client.solve_ok(request)
+                stats = client.stats().payload
+        assert second["cached"] is True
+        assert second["shard"] == first["shard"]
+        assert second["metrics"] == first["metrics"]
+        assert stats["totals"]["solves"] == 0  # served from the loaded snapshot

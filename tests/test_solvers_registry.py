@@ -496,6 +496,44 @@ class TestWarmStartedSweeps:
                 cold.metrics["mean_queue_length"], abs=1e-8
             )
 
+    def test_neighbourhood_chunks_partition_the_grid_walk(self):
+        from repro.solvers.facade import _grid_order, _neighbourhood_chunks, _parameter_vector
+
+        rates = (2.9, 1.1, 2.0, 1.4, 2.5, 1.7, 2.2)
+        tasks = [
+            (index, sun_fitted_model(num_servers=4, arrival_rate=rate), SolverPolicy())
+            for index, rate in enumerate(rates)
+        ]
+        chunks = _neighbourhood_chunks(tasks, 3)
+        assert chunks is not None
+        # Every task appears exactly once and each worker gets a contiguous,
+        # near-equal run of the greedy nearest-neighbour walk.
+        flattened = [task for chunk in chunks for task in chunk]
+        assert sorted(index for index, _, _ in flattened) == list(range(len(rates)))
+        order = _grid_order([_parameter_vector(model) for _, model, _ in tasks])
+        assert [index for index, _, _ in flattened] == [tasks[i][0] for i in order]
+        assert max(len(chunk) for chunk in chunks) - min(len(chunk) for chunk in chunks) <= 1
+        # Structurally mixed batches have no common grid: no chunking.
+        from repro.scenarios import scenario_preset
+
+        mixed = tasks[:2] + [(9, scenario_preset("single-repairman"), SolverPolicy())]
+        assert _neighbourhood_chunks(mixed, 2) is None
+
+    def test_parallel_sweep_matches_serial_warm_started_results(self):
+        rates = (2.9, 1.1, 2.0, 1.4, 2.5, 1.7, 2.2, 1.05)
+        models = [sun_fitted_model(num_servers=4, arrival_rate=rate) for rate in rates]
+        serial = solve_many(models, "ctmc", cache=SolutionCache())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = solve_many(
+                models, "ctmc", parallel=True, max_workers=2, cache=SolutionCache()
+            )
+        for swept, cold in zip(parallel, serial):
+            assert swept.solver == "ctmc"
+            assert swept.metrics["mean_queue_length"] == pytest.approx(
+                cold.metrics["mean_queue_length"], abs=1e-8
+            )
+
 
 class TestSweepRunnerDeduplication:
     def test_duplicated_grid_points_perform_no_redundant_solves(self):

@@ -199,7 +199,12 @@ class _WorkerHandle:
         self.process: multiprocessing.process.BaseProcess | None = None
         self.conn: Connection | None = None
         self.send_queue: queue.Queue[tuple | None] | None = None
+        #: In-flight /solve futures — the load that admission and /healthz
+        #: count.  Control-plane stats/spill queries live in their own map so
+        #: observability polling never pushes real traffic over a shed
+        #: threshold.
         self.pending: dict[int, asyncio.Future] = {}
+        self.control_pending: dict[int, asyncio.Future] = {}
         self.ready: asyncio.Event | None = None
         self.state = "starting"
         self.generation = 0
@@ -292,6 +297,12 @@ class ShardedService(SolverService):
         would duplicate into a corrupt child.  The child connection is closed
         on the parent side so a worker death surfaces as EOF on the reader.
         """
+        previous = handle.process
+        if previous is not None:
+            # Reap the dead generation before replacing it: nobody else joins
+            # a crashed worker, and unreaped children pile up as zombies for
+            # the life of the front.
+            previous.join(timeout=5.0)
         context = multiprocessing.get_context("spawn")
         parent_conn, child_conn = context.Pipe()
         worker_config = ShardWorkerConfig(
@@ -380,6 +391,8 @@ class ShardedService(SolverService):
             return
         request_id, kind, payload = message
         future = handle.pending.pop(request_id, None)
+        if future is None:
+            future = handle.control_pending.pop(request_id, None)
         if future is None or future.done():
             return
         if kind == "error":
@@ -390,6 +403,11 @@ class ShardedService(SolverService):
     def _on_worker_down(self, handle: _WorkerHandle, generation: int) -> None:
         if generation != handle.generation or self._stopping:
             return
+        # Retire the dead generation here, on the loop: the health sweep and
+        # the reader thread's EOF can both report the same death, and the
+        # _spawn_worker bump happens later in an executor — too late to stop
+        # the second report from scheduling a second respawn.
+        handle.generation += 1
         handle.state = "dead"
         handle.restarts += 1
         self._fail_pending(
@@ -407,8 +425,9 @@ class ShardedService(SolverService):
             task.add_done_callback(self._respawn_tasks.discard)
 
     def _fail_pending(self, handle: _WorkerHandle, error: ServiceError) -> None:
-        pending = list(handle.pending.values())
+        pending = list(handle.pending.values()) + list(handle.control_pending.values())
         handle.pending.clear()
+        handle.control_pending.clear()
         for future in pending:
             if not future.done():
                 future.set_exception(error)
@@ -517,12 +536,12 @@ class ShardedService(SolverService):
         request_id = next(self._request_ids)
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        handle.pending[request_id] = future
+        handle.control_pending[request_id] = future
         handle.send_queue.put((kind, request_id))
         try:
             answer = await asyncio.wait_for(asyncio.shield(future), timeout)
         except (TimeoutError, ServiceError):
-            handle.pending.pop(request_id, None)
+            handle.control_pending.pop(request_id, None)
             return None
         _kind, payload = answer
         return dict(payload) if isinstance(payload, dict) else {"value": payload}

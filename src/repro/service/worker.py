@@ -87,21 +87,7 @@ def shard_cache_path(cache_dir: str | Path, shard: int) -> Path:
 
 def worker_main(config: ShardWorkerConfig, conn: "Connection") -> None:
     """Run one shard worker until told to shut down (process entry point)."""
-    if threading.current_thread() is threading.main_thread():
-        # A worker process dies gracefully on SIGTERM: the handler converts
-        # the signal into the same shutdown message the front would send, so
-        # the cache still spills.  Inside a thread (the coverage harness)
-        # signals belong to the host process and are left alone.
-        signal.signal(signal.SIGTERM, lambda _signum, _frame: _request_shutdown(conn))
     asyncio.run(_worker_async(config, conn))
-
-
-def _request_shutdown(conn: "Connection") -> None:
-    """Best-effort self-delivered shutdown (SIGTERM path)."""
-    try:
-        conn.send(("__self_shutdown__",))
-    except (OSError, ValueError):  # pragma: no cover - pipe already gone
-        pass
 
 
 async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
@@ -130,6 +116,24 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
     outbox: queue.Queue[tuple | None] = queue.Queue()
     answer_tasks: set[asyncio.Task] = set()
 
+    sigterm_installed = False
+    if threading.current_thread() is threading.main_thread():
+        # A worker process dies gracefully on SIGTERM: the handler enqueues
+        # the same shutdown message the front would send onto the worker's
+        # *own* inbox, so the cache still spills.  Inside a thread (the
+        # coverage harness) signals belong to the host process and are left
+        # alone.
+        try:
+            loop.add_signal_handler(signal.SIGTERM, inbox.put_nowait, ("shutdown",))
+            sigterm_installed = True
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-Unix
+            signal.signal(
+                signal.SIGTERM,
+                lambda _signum, _frame: loop.call_soon_threadsafe(
+                    inbox.put_nowait, ("shutdown",)
+                ),
+            )
+
     def _read_loop() -> None:
         while True:
             try:
@@ -138,8 +142,6 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
                 message = ("shutdown",)
             if not isinstance(message, tuple) or not message:
                 continue
-            if message[0] == "__self_shutdown__":
-                message = ("shutdown",)
             try:
                 loop.call_soon_threadsafe(inbox.put_nowait, message)
             except RuntimeError:  # pragma: no cover - loop already closed
@@ -251,6 +253,8 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
             # Unknown message kinds are ignored: a newer front speaking to an
             # older worker must degrade, not crash the shard.
     finally:
+        if sigterm_installed:
+            loop.remove_signal_handler(signal.SIGTERM)
         if spill_task is not None:
             spill_task.cancel()
         if answer_tasks:

@@ -40,7 +40,7 @@ from repro.service import (
     stable_key_digest,
     worker_main,
 )
-from repro.solvers import SolverPolicy, solution_cache_key
+from repro.solvers import SolutionCache, SolverPolicy, solution_cache_key
 
 
 class TestConsistentHashRing:
@@ -174,6 +174,42 @@ class TestWorkerProtocol:
         thread.join(timeout=30.0)
         assert not thread.is_alive()
 
+    def test_sigterm_on_a_real_process_spills_then_exits_cleanly(self, tmp_path):
+        """A spawned worker traps SIGTERM itself: spill the shard cache, exit 0.
+
+        This must run against a real process, not the in-thread harness: the
+        handler only installs in a process's main thread, and the regression
+        being pinned here (shutdown written to the front-facing pipe end
+        instead of the worker's own inbox) is invisible when the test itself
+        holds the other pipe end.
+        """
+        context = multiprocessing.get_context("spawn")
+        parent, child = context.Pipe()
+        config = ShardWorkerConfig(
+            shard=1, batch_window=0.001, cache_dir=str(tmp_path), spill_interval=0.0
+        )
+        process = context.Process(target=worker_main, args=(config, child))
+        process.start()
+        child.close()
+        try:
+            assert parent.poll(120.0), "worker never finished the ready handshake"
+            assert parent.recv() == ("ready", 1)
+            model = sun_fitted_model(num_servers=4, arrival_rate=2.0)
+            parent.send(("solve", 1, model, SolverPolicy(), None))
+            assert parent.poll(120.0), "worker never answered the solve"
+            _, kind, _ = parent.recv()
+            assert kind == "ok"
+
+            process.terminate()  # SIGTERM, the orchestrator stop signal
+            process.join(timeout=60.0)
+        finally:
+            if process.is_alive():  # pragma: no cover - debugging aid
+                process.kill()
+                process.join(timeout=10.0)
+        assert process.exitcode == 0, "SIGTERM must shut the worker down, not hang it"
+        restored = SolutionCache()
+        assert restored.load(shard_cache_path(tmp_path, 1)) == 1
+
 
 @pytest.fixture(scope="module")
 def sharded_service():
@@ -264,6 +300,50 @@ class TestCrashRecovery:
                 assert recovered["shard"] == shard  # identity rehash
                 stats = client.stats().payload
                 assert stats["shards"][shard]["restarts"] >= 1
+
+    def test_simultaneous_crash_reports_respawn_only_once(self):
+        """The health sweep and the pipe-EOF callback can both report one
+        death; retiring the generation on the loop lets only the first
+        schedule a respawn, so a shard never ends up with two processes."""
+
+        async def run():
+            service = ShardedService(ServiceConfig(port=0, workers=2))
+            service._loop = asyncio.get_running_loop()
+            respawned: list[int] = []
+
+            async def fake_respawn(handle):
+                respawned.append(handle.shard)
+
+            service._respawn = fake_respawn
+            handle = service._handles[0]
+            handle.state = "ready"
+            generation = handle.generation
+            service._on_worker_down(handle, generation)  # health sweep wins
+            service._on_worker_down(handle, generation)  # stale EOF report
+            await asyncio.sleep(0)
+            assert respawned == [0]
+            assert handle.restarts == 1
+
+        asyncio.run(run())
+
+
+class TestControlPlaneAdmission:
+    def test_stats_polling_does_not_count_toward_admission_or_healthz(self):
+        """In-flight stats/spill queries must never shed real solve traffic
+        or inflate the reported queue depth."""
+
+        async def run():
+            service = ShardedService(ServiceConfig(port=0, workers=2, max_queue=4))
+            loop = asyncio.get_running_loop()
+            handle = service._handles[0]
+            handle.state = "ready"
+            for request_id in range(100):
+                handle.control_pending[request_id] = loop.create_future()
+            service._admit("steady-state", 0, handle)  # must not raise
+            payload = await service._healthz_payload()
+            assert payload["queue_depth"] == 0
+
+        asyncio.run(run())
 
 
 class TestSpillRestartLoad:

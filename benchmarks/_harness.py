@@ -37,6 +37,18 @@ def peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RSS_TO_MB
 
 
+def child_peak_rss_mb() -> float:
+    """The largest high-water RSS among *reaped* child processes, in megabytes.
+
+    ``RUSAGE_CHILDREN`` only covers children that have been waited on, and
+    ``ru_maxrss`` there is the *maximum over children*, not their sum — which
+    is exactly the right shape for the sharded service benchmark: after the
+    pool shuts down it reports the hungriest worker, where the parent-only
+    number used to under-report the tier's footprint entirely.
+    """
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * _RSS_TO_MB
+
+
 def run_benchmarks(
     benchmarks: dict[str, Callable[[bool], object]], *, quick: bool, repeats: int
 ) -> dict[str, dict[str, object]]:
@@ -44,9 +56,11 @@ def run_benchmarks(
 
     Each record carries the best ``seconds``, the process-wide ``peak_rss_mb``
     observed after the benchmark (monotone over the run — it attributes the
-    high-water mark, not the increment), and whatever metadata dict the
-    workload chose to return (state-space sizes, truncation levels, ...), so
-    the uploaded JSON explains *what* was timed, not just how long it took.
+    high-water mark, not the increment), the reaped-children high-water
+    ``child_peak_rss_mb`` (the hungriest worker process, for benchmarks that
+    spawn a sharded pool), and whatever metadata dict the workload chose to
+    return (state-space sizes, truncation levels, ...), so the uploaded JSON
+    explains *what* was timed, not just how long it took.
     """
     records: dict[str, dict[str, object]] = {}
     for name, function in benchmarks.items():
@@ -58,7 +72,12 @@ def run_benchmarks(
             best = min(best, time.perf_counter() - start)
             if isinstance(returned, dict):
                 metadata = {str(key): value for key, value in returned.items()}
-        records[name] = {"seconds": best, "peak_rss_mb": round(peak_rss_mb(), 1), **metadata}
+        records[name] = {
+            "seconds": best,
+            "peak_rss_mb": round(peak_rss_mb(), 1),
+            "child_peak_rss_mb": round(child_peak_rss_mb(), 1),
+            **metadata,
+        }
         sizes = ", ".join(f"{key}={value}" for key, value in metadata.items())
         print(f"{name:>24}: {best:8.3f}s" + (f"  [{sizes}]" if sizes else ""))
     return records

@@ -49,7 +49,6 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
-import statistics
 import sys
 import threading
 import time
@@ -57,7 +56,7 @@ from collections.abc import Callable
 from pathlib import Path
 from urllib.parse import urlparse
 
-from _harness import BASELINE_PADDING, bench_main
+from _harness import BASELINE_PADDING, bench_main, child_peak_rss_mb, peak_rss_mb
 
 #: Closed-loop concurrency levels tracked by CI.
 CONCURRENCY_LEVELS = (1, 8, 32)
@@ -85,11 +84,18 @@ def _request_mix() -> list[dict]:
 
 
 def _drive(host: str, port: int, *, concurrency: int, total: int, label: str) -> None:
-    """Run one closed loop and print its throughput and latency percentiles."""
+    """Run one closed loop and print its throughput and latency percentiles.
+
+    Latencies land in the same log-bucket :class:`repro.obs.Histogram` the
+    service's ``/metrics`` endpoint exposes, so the benchmark's percentiles
+    and the service's telemetry agree on bucket resolution by construction.
+    """
+    from repro.obs import Histogram
     from repro.service import ServiceClient
 
     mix = _request_mix()
     ticket = itertools.count()
+    histogram = Histogram()
     latencies: list[float] = []
     failures: list[str] = []
     lock = threading.Lock()
@@ -126,11 +132,12 @@ def _drive(host: str, port: int, *, concurrency: int, total: int, label: str) ->
     elapsed = time.perf_counter() - started
     if failures:
         raise RuntimeError(f"{label}: {len(failures)} failed requests, first: {failures[0]}")
-    latencies.sort()
-    quantiles = statistics.quantiles(latencies, n=100)
+    for latency in latencies:
+        histogram.observe(latency)
     print(
         f"    {label}: {len(latencies)} requests, {len(latencies) / elapsed:8.1f} req/s, "
-        f"p50 {quantiles[49] * 1e3:7.2f} ms, p99 {quantiles[98] * 1e3:7.2f} ms"
+        f"p50 {histogram.percentile(0.50) * 1e3:7.2f} ms, "
+        f"p99 {histogram.percentile(0.99) * 1e3:7.2f} ms"
     )
 
 
@@ -193,6 +200,7 @@ def _run_sustained(
     to the requests that suffered it instead of silently stretching the
     schedule.
     """
+    from repro.obs import Histogram
     from repro.service import ServiceClient
 
     total = max(1, int(rps * duration))
@@ -233,13 +241,13 @@ def _run_sustained(
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - start
-    latencies.sort()
-    if len(latencies) >= 2:
-        quantiles = statistics.quantiles(latencies, n=100)
-        p50_ms = quantiles[49] * 1e3
-        p99_ms = quantiles[98] * 1e3
-    else:
-        p50_ms = p99_ms = latencies[0] * 1e3 if latencies else 0.0
+    # The same log-bucket histogram the service's /metrics exposition uses:
+    # percentile resolution here matches the telemetry by construction.
+    histogram = Histogram()
+    for latency in latencies:
+        histogram.observe(latency)
+    p50_ms = histogram.percentile(0.50) * 1e3
+    p99_ms = histogram.percentile(0.99) * 1e3
     if errors:
         print(f"    first error: {errors[0]}", file=sys.stderr)
     return {
@@ -351,7 +359,16 @@ def sustained_main(argv: list[str]) -> int:
                 service.host, service.port, rps=rps, duration=duration, senders=args.senders
             )
 
-    record = {"mode": mode, "kind": "sustained", "workers": args.workers, **metrics}
+    record = {
+        "mode": mode,
+        "kind": "sustained",
+        "workers": args.workers,
+        **metrics,
+        # child_peak_rss_mb covers the sharded tier's reaped worker processes
+        # (the hungriest one); peak_rss_mb is this driver/front process.
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "child_peak_rss_mb": round(child_peak_rss_mb(), 1),
+    }
     print(
         f"    scheduled {record['scheduled']}, completed {record['completed']}, "
         f"shed {record['shed']} ({record['shed_rate']:.2%}), errors {record['errors']}; "

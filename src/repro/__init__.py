@@ -117,8 +117,20 @@ from .transient import (
 
 __version__ = "1.0.0"
 
+
+def package_version() -> str:
+    """The installed distribution's version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-unreliable-servers")
+    except PackageNotFoundError:
+        return __version__
+
+
 __all__ = [
     "__version__",
+    "package_version",
     # distributions
     "Distribution",
     "Exponential",

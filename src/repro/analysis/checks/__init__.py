@@ -19,6 +19,8 @@ Rule        Contract it enforces
             in the CTMC hot paths (``markov``/``scenarios``/``transient``)
 ``RPR009``  no multiprocessing primitives (``Process``/``Pipe``/``Queue``…)
             created inside ``async def`` bodies in the service layer
+``RPR010``  no bare ``print()`` or stdlib root-logger calls in the service
+            and obs layers (telemetry flows through the structured logger)
 ==========  ==================================================================
 """
 
@@ -32,6 +34,7 @@ from .density import DenseGeneratorRule
 from .distributions import DistributionParameterKeyRule
 from .errors import ErrorCodeStabilityRule
 from .floats import FloatEqualityRule
+from .printing import StructuredLoggingRule
 from .processes import AsyncMultiprocessingRule
 from .scenarios import ScenarioContractRule
 
@@ -48,6 +51,7 @@ def builtin_rules() -> tuple[LintRule, ...]:
         MutableDefaultRule(),
         DenseGeneratorRule(),
         AsyncMultiprocessingRule(),
+        StructuredLoggingRule(),
     )
 
 
@@ -62,6 +66,7 @@ BUILTIN_RULE_IDS = (
     "RPR007",
     "RPR008",
     "RPR009",
+    "RPR010",
 )
 
 __all__ = [
@@ -74,6 +79,7 @@ __all__ = [
     "FloatEqualityRule",
     "MutableDefaultRule",
     "ScenarioContractRule",
+    "StructuredLoggingRule",
     "SwallowedCancellationRule",
     "builtin_rules",
 ]

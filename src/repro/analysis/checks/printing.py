@@ -1,0 +1,85 @@
+"""RPR010 — bare ``print()`` / root-logger calls in the service and obs layers.
+
+The serving tier and the observability package own the process's telemetry
+contract: every operational event must flow through
+:class:`repro.obs.StructuredLogger` so that ``--log-format json`` yields one
+machine-parseable object per line and every record can carry its
+``trace_id``.  A stray ``print()`` (or a stdlib ``logging.info(...)``-style
+call on the *root* logger) bypasses that contract — it ignores the
+configured format and sink, interleaves raw text into JSON log streams, and
+drops trace correlation.
+
+Flagged, anywhere in a ``repro.service.*`` or ``repro.obs.*`` module:
+
+* bare ``print(...)`` calls (the builtin, not a local attribute such as
+  ``console.print``);
+* stdlib root-logger level calls — ``logging.debug/info/warning/warn/
+  error/critical/exception/log(...)``, including the same functions reached
+  via ``from logging import info`` or ``import logging as log`` aliasing.
+
+Not flagged (near misses):
+
+* bound-logger calls such as ``self._log.info(...)`` or ``logger.error(...)``
+  — those go through :func:`repro.obs.get_logger` and honour the config;
+* ``logging.getLogger(...)`` and other non-emitting ``logging`` attributes;
+* ``print()`` in any module outside the service/obs packages (the CLI's
+  tables are its user interface, not telemetry).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import import_table, resolve_call_target
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+#: Emitting calls on the stdlib root logger (``logging.<name>(...)``).
+_ROOT_LOGGER_CALLS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
+)
+
+
+class StructuredLoggingRule(LintRule):
+    """Flag output that bypasses the structured logger in service/obs code."""
+
+    rule_id = "RPR010"
+    title = "bare print() or stdlib root-logger call in the service/obs layers"
+    rationale = (
+        "service and obs modules must emit through repro.obs.StructuredLogger "
+        "so --log-format json stays machine-parseable and records keep their "
+        "trace_id; print() and logging.<level>() bypass both"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return bool({"service", "obs"} & set(context.module_parts))
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        imports = import_table(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target is None:
+                continue
+            if target == "print":
+                yield context.finding(
+                    self,
+                    node,
+                    "bare print() in a service/obs module bypasses the "
+                    "structured logger; use repro.obs.get_logger(...) so the "
+                    "record honours --log-format and carries a trace_id",
+                )
+            elif (
+                target.startswith("logging.")
+                and target.count(".") == 1
+                and target.rsplit(".", 1)[-1] in _ROOT_LOGGER_CALLS
+            ):
+                yield context.finding(
+                    self,
+                    node,
+                    f"stdlib root-logger call {target}() in a service/obs "
+                    "module bypasses the structured logger; use "
+                    "repro.obs.get_logger(...) instead",
+                )

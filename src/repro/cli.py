@@ -65,6 +65,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections.abc import Callable, Sequence
 from pathlib import Path
 from typing import NoReturn, TypeVar
@@ -141,6 +142,16 @@ endpoints:
   GET /stats     uptime, scheduler counters (coalesced/batched/rejected)
                  and solution-cache statistics; with --workers N > 1 also
                  per-shard breakdowns, pool totals and shedding counters
+  GET /metrics   Prometheus text exposition (version 0.0.4): per-shard
+                 solve/queue-wait/cache-lookup latency histograms plus the
+                 scheduler, cache and front counters as repro_* series
+
+observability:
+  Every response carries an X-Trace-Id header and echoes the same id as
+  "trace_id" in its JSON payload; requests slower than
+  --slow-request-seconds emit their completed span trees to the log.
+  --log-format json switches the service log to one JSON object per line
+  (ts, level, event, trace_id, ...) for machine ingestion.
 
 tuning:
   --batch-window trades first-request latency for batching: concurrent
@@ -200,6 +211,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("both", *solver_names()),
         default="both",
         help="which registered solver to use ('both' = spectral and geometric)",
+    )
+    solve.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-backend timing and the fallback-chain attempt record "
+            "alongside the metrics (disables the solution cache for the run)"
+        ),
     )
 
     fit = subparsers.add_parser(
@@ -459,6 +478,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds between periodic cache spills under --cache-dir (default: %(default)s)",
     )
+    serve.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="service log format: human-readable text or JSON lines (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--slow-request-seconds",
+        type=float,
+        default=1.0,
+        help=(
+            "requests slower than this emit their completed trace (span tree) "
+            "to the log (default: %(default)s)"
+        ),
+    )
 
     cache_stats = subparsers.add_parser(
         "cache-stats",
@@ -483,7 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repro static analyzer (RPR rules) over python sources",
         description=(
             "Run the repro.analysis static analyzer: repo-specific AST lint rules "
-            "(RPR001...RPR009) encoding the solver/service stack's correctness "
+            "(RPR001...RPR010) encoding the solver/service stack's correctness "
             "contracts.  Exit code 0 = clean, 1 = findings, 2 = usage error.  "
             "Suppress a finding per line with '# repro: noqa RPRxxx'."
         ),
@@ -553,8 +587,39 @@ def _command_solve(arguments: argparse.Namespace) -> int:
     if not model.is_stable:
         print("\nThe queue is unstable (paper Eq. 11); add servers or reduce the load.")
         return 1
+    from .obs.profiling import capture_attempts
+
+    with capture_attempts() as attempts:
+        _print_solutions(model, arguments)
+    if arguments.profile:
+        print()
+        print(
+            format_table(
+                ("solver", "seconds", "ok", "warm start", "error"),
+                [
+                    (
+                        attempt.solver,
+                        f"{attempt.seconds:.6f}",
+                        "yes" if attempt.ok else "no",
+                        "yes" if attempt.warm_start else "no",
+                        attempt.error or "",
+                    )
+                    for attempt in attempts
+                ],
+                title="Backend attempts (fallback chain)",
+            )
+        )
+    return 0
+
+
+def _print_solutions(model: UnreliableQueueModel, arguments: argparse.Namespace) -> None:
+    """Print the solution tables for ``repro solve``, recording backend timings."""
+    from .obs.profiling import record_attempt
+
     if arguments.method in ("spectral", "both"):
+        started = time.perf_counter()
         solution = model.solve_spectral()
+        record_attempt("spectral", time.perf_counter() - started, ok=True)
         print()
         print(
             format_key_values(
@@ -569,7 +634,9 @@ def _command_solve(arguments: argparse.Namespace) -> int:
             )
         )
     if arguments.method in ("geometric", "both"):
+        started = time.perf_counter()
         approximation = model.solve_geometric()
+        record_attempt("geometric", time.perf_counter() - started, ok=True)
         print()
         print(
             format_key_values(
@@ -582,7 +649,9 @@ def _command_solve(arguments: argparse.Namespace) -> int:
             )
         )
     if arguments.method not in ("spectral", "geometric", "both"):
-        outcome = solve_model(model, arguments.method)
+        # Under --profile the cache is bypassed so the fallback chain's
+        # attempts actually execute (a memoised hit records nothing).
+        outcome = solve_model(model, arguments.method, cache=False if arguments.profile else None)
         if outcome.solver is None:
             raise ReproError(outcome.error or "no solver succeeded")
         preferred = [
@@ -603,7 +672,6 @@ def _command_solve(arguments: argparse.Namespace) -> int:
                 title=f"Solution ({outcome.solver})",
             )
         )
-    return 0
 
 
 def _command_fit(arguments: argparse.Namespace) -> int:
@@ -970,6 +1038,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             cache_maxsize=arguments.cache_size,
             cache_dir=arguments.cache_dir,
             spill_interval=arguments.spill_interval,
+            log_format=arguments.log_format,
+            slow_request_seconds=arguments.slow_request_seconds,
         )
         return run_service(config)
     except ValueError as error:
@@ -994,6 +1064,57 @@ def _service_address(url: str) -> tuple[str, int]:
     return parsed.hostname, port or 80
 
 
+def _print_sharded_cache_stats(url: str, payload: dict) -> None:
+    """Render a sharded /stats payload: pool totals plus per-shard hit rates."""
+    totals = payload.get("totals", {})
+    shedding = payload.get("shedding", {})
+    print(
+        format_key_values(
+            [
+                ("uptime seconds", payload.get("uptime_seconds")),
+                ("workers", payload.get("workers")),
+                ("responses total", payload.get("responses_total")),
+                ("errors total", payload.get("errors_total")),
+                ("shed total", shedding.get("shed_total")),
+                ("requests total", totals.get("requests_total")),
+                ("coalesced total", totals.get("coalesced_total")),
+                ("batches total", totals.get("batches_total")),
+                ("cache hits total", totals.get("cache_hits_total")),
+                ("cache solves total", totals.get("solves")),
+                ("cache entries total", totals.get("cache_size")),
+            ],
+            title=f"Service {url}",
+        )
+    )
+    rows = []
+    for entry in payload.get("shards", []):
+        scheduler = entry.get("scheduler") or {}
+        cache = scheduler.get("cache", {})
+        hits = int(cache.get("hits", 0))
+        misses = int(cache.get("misses", 0))
+        lookups = hits + misses
+        hit_rate = f"{hits / lookups:.3f}" if lookups else "n/a"
+        rows.append(
+            (
+                entry.get("shard"),
+                entry.get("state", "?"),
+                scheduler.get("requests_total", 0),
+                hits,
+                misses,
+                hit_rate,
+                cache.get("size", 0),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("shard", "state", "requests", "hits", "misses", "hit rate", "entries"),
+            rows,
+            title="Per-shard solution caches",
+        )
+    )
+
+
 def _command_cache_stats(arguments: argparse.Namespace) -> int:
     from .solvers import shared_cache
 
@@ -1011,6 +1132,9 @@ def _command_cache_stats(arguments: argparse.Namespace) -> int:
         payload = response.payload
         if arguments.json:
             print(json.dumps(payload, indent=2))
+            return 0
+        if "shards" in payload:
+            _print_sharded_cache_stats(arguments.url, payload)
             return 0
         scheduler = payload.get("scheduler", {})
         cache = scheduler.get("cache", {})

@@ -1,0 +1,63 @@
+"""Observability substrate: metrics, tracing, structured logs, profiling.
+
+Stdlib-only telemetry for the serving stack, in the same spirit as
+:mod:`repro.analysis` — no new dependencies, process-safe by construction:
+
+:mod:`repro.obs.metrics`
+    Counters, gauges and fixed log-bucket latency histograms behind a
+    :class:`MetricsRegistry`.  Every metric serialises to a plain dict
+    (:meth:`MetricsRegistry.to_dict`) that travels over the shard workers'
+    existing stats pipe and merges *exactly* in the front process — bucket
+    counts are summed, so the aggregated histogram is identical to one
+    recorded in a single process.  :meth:`MetricsRegistry.render` emits the
+    Prometheus text exposition format served by ``GET /metrics``.
+
+:mod:`repro.obs.tracing`
+    Request traces: a trace id minted at admission, spans recorded through
+    the scheduler and solver facade, a bounded in-memory ring of recent
+    traces (:class:`TraceRecorder`) and a slow-request threshold that emits
+    completed traces to the structured log.
+
+:mod:`repro.obs.log`
+    A structured logger (text or JSON lines) with bound fields for trace-id
+    correlation — the only sanctioned logging surface in ``repro.service``
+    and ``repro.obs`` modules (lint rule RPR010).
+
+:mod:`repro.obs.profiling`
+    Thread-local capture of per-backend fallback-chain attempts recorded by
+    the solver facade; surfaced by ``repro solve --profile``.
+"""
+
+from __future__ import annotations
+
+from .log import StructuredLogger, configure_logging, get_logger, logging_config
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiling import AttemptRecord, capture_attempts, record_attempt
+from .tracing import Span, Trace, TraceBuilder, TraceRecorder, new_span_id, new_trace_id
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "AttemptRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Trace",
+    "TraceBuilder",
+    "TraceRecorder",
+    "capture_attempts",
+    "configure_logging",
+    "get_logger",
+    "logging_config",
+    "new_span_id",
+    "new_trace_id",
+    "record_attempt",
+]

@@ -1,0 +1,132 @@
+"""Structured logging: one line per event, text or JSON, with bound fields.
+
+The serving stack logs through :class:`StructuredLogger` instead of bare
+``print`` or the stdlib root logger (lint rule RPR010 pins this).  Every
+record carries a timestamp, a level, the logger name, a short machine-greppable
+``event`` and arbitrary key/value fields — ``repro serve --log-format json``
+switches the rendering to JSON lines so a collector can parse them without
+regexes, and traces are correlated by passing ``trace_id=...`` as a field
+(what :meth:`bind` makes ergonomic).
+
+The module-level configuration (:func:`configure_logging`) is read at *emit*
+time, so loggers created before configuration — module-level singletons,
+objects built before the CLI parsed ``--log-format`` — honour it without
+re-plumbing.  The default sink is ``sys.stderr``, resolved per record so
+test harnesses that rebind the stream still capture output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import IO
+
+#: The accepted ``--log-format`` values.
+LOG_FORMATS = ("text", "json")
+
+
+@dataclass(frozen=True)
+class LoggingConfig:
+    """The process-wide logging configuration."""
+
+    format: str = "text"
+    stream: IO[str] | None = None  # None = sys.stderr at emit time
+
+
+_lock = threading.Lock()
+_config = LoggingConfig()
+
+
+def configure_logging(format: str = "text", stream: IO[str] | None = None) -> None:
+    """Set the process-wide log format (``text`` or ``json``) and sink."""
+    if format not in LOG_FORMATS:
+        raise ValueError(f"log format must be one of {LOG_FORMATS}, got {format!r}")
+    global _config
+    with _lock:
+        _config = LoggingConfig(format=format, stream=stream)
+
+
+def logging_config() -> LoggingConfig:
+    """The current process-wide logging configuration."""
+    with _lock:
+        return _config
+
+
+def _render_field(value: object) -> str:
+    """A compact text-mode rendering: scalars bare, structures as JSON."""
+    if isinstance(value, str):
+        return value if " " not in value and '"' not in value else json.dumps(value)
+    if isinstance(value, (int, float, bool)) or value is None:
+        return str(value)
+    return json.dumps(value, default=str, separators=(",", ":"))
+
+
+class StructuredLogger:
+    """A named logger emitting structured records through the global config.
+
+    ``bind(**fields)`` returns a child logger whose records always carry the
+    given fields — the idiom for trace-id correlation::
+
+        log = get_logger("repro.service").bind(trace_id=trace.trace_id)
+        log.info("request-admitted", shard=3)
+    """
+
+    __slots__ = ("name", "_bound")
+
+    def __init__(self, name: str, bound: Mapping[str, object] | None = None) -> None:
+        self.name = name
+        self._bound: dict[str, object] = dict(bound or {})
+
+    def bind(self, **fields: object) -> "StructuredLogger":
+        """A child logger with ``fields`` merged into every record."""
+        return StructuredLogger(self.name, {**self._bound, **fields})
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._emit("DEBUG", event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._emit("INFO", event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._emit("WARNING", event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._emit("ERROR", event, fields)
+
+    def _emit(self, level: str, event: str, fields: Mapping[str, object]) -> None:
+        config = logging_config()
+        now = time.time()
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now))
+        timestamp = f"{timestamp}.{int((now % 1.0) * 1e3):03d}Z"
+        merged = {**self._bound, **fields}
+        if config.format == "json":
+            record: dict[str, object] = {
+                "ts": timestamp,
+                "level": level,
+                "logger": self.name,
+                "event": event,
+                **merged,
+            }
+            line = json.dumps(record, default=str, separators=(",", ":"))
+        else:
+            rendered = " ".join(
+                f"{name}={_render_field(value)}" for name, value in merged.items()
+            )
+            line = f"{timestamp} {level:<7} {self.name} {event}"
+            if rendered:
+                line = f"{line} {rendered}"
+        stream = config.stream if config.stream is not None else sys.stderr
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (ValueError, OSError):  # pragma: no cover - closed sink at teardown
+            pass
+
+
+def get_logger(name: str, **bound: object) -> StructuredLogger:
+    """A :class:`StructuredLogger` named ``name`` with optional bound fields."""
+    return StructuredLogger(name, bound or None)

@@ -1,0 +1,246 @@
+"""Request tracing: trace ids, spans, and a bounded ring of recent traces.
+
+A trace is born at admission (:class:`TraceBuilder` mints the id the HTTP
+layer echoes in every response), accumulates :class:`Span` records as the
+request moves through the scheduler — admission, cache lookup, batch window,
+queue wait, the solve itself, each backend fallback attempt — and is sealed
+into an immutable :class:`Trace` when the response is written.
+
+Span times are **offsets in milliseconds from the trace's start**, measured
+with ``time.perf_counter``.  Offsets rather than absolute clocks is what
+makes cross-process assembly possible: a shard worker's ``perf_counter`` is
+not comparable to the front's, so the worker reports spans relative to its
+own trace start and the front re-bases them by the pipe-send offset
+(:meth:`TraceBuilder.add_span` with ``shift_ms``).  The re-based offsets are
+approximate by one pipe hop; durations are exact.
+
+:class:`TraceRecorder` keeps the most recent traces in a bounded deque (no
+unbounded memory under sustained load) and emits any trace slower than the
+configured threshold to the structured log — the "why did p99 trip" artifact
+the CI gate lacked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .log import StructuredLogger
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (unique per request, cheap to mint)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-digit span id."""
+    return uuid.uuid4().hex[:8]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named, timed step of a trace.
+
+    ``start_ms`` is the offset from the trace's start; ``annotations`` carry
+    step-specific facts (cache hit?, batch size, winning solver, ...).  The
+    ``span_id`` is what lets coalesced requests prove they shared work: every
+    waiter attached to one in-flight computation records the *same* solve
+    span id.
+    """
+
+    name: str
+    span_id: str
+    start_ms: float
+    duration_ms: float
+    annotations: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "annotations": dict(self.annotations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Span":
+        annotations = payload.get("annotations")
+        return cls(
+            name=str(payload.get("name", "")),
+            span_id=str(payload.get("span_id", "")),
+            start_ms=float(payload.get("start_ms", 0.0)),  # type: ignore[arg-type]
+            duration_ms=float(payload.get("duration_ms", 0.0)),  # type: ignore[arg-type]
+            annotations=dict(annotations) if isinstance(annotations, Mapping) else {},
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A completed request trace (immutable; what the recorder ring holds)."""
+
+    trace_id: str
+    started_at: float  # wall-clock epoch seconds of the trace's start
+    status: str  # "ok" or the structured error code
+    duration_ms: float
+    spans: tuple[Span, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "started_at": self.started_at,
+            "status": self.status,
+            "duration_ms": round(self.duration_ms, 3),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+class TraceBuilder:
+    """A trace under construction: the id plus a growing span list.
+
+    Not thread-safe by design — one builder belongs to one request path.
+    The scheduler and server record spans from the event loop; workers build
+    their own and ship the spans across the pipe.
+    """
+
+    __slots__ = ("trace_id", "started_at", "_t0", "_spans")
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self._spans: list[Span] = []
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def offset_ms(self, at: float) -> float:
+        """The trace-relative offset of a ``perf_counter`` instant, in ms."""
+        return (at - self._t0) * 1e3
+
+    def add(
+        self,
+        name: str,
+        started: float,
+        ended: float,
+        *,
+        span_id: str | None = None,
+        **annotations: object,
+    ) -> Span:
+        """Record a span from two ``perf_counter`` instants of this process."""
+        span = Span(
+            name=name,
+            span_id=span_id if span_id else new_span_id(),
+            start_ms=self.offset_ms(started),
+            duration_ms=max(0.0, (ended - started) * 1e3),
+            annotations=dict(annotations),
+        )
+        self._spans.append(span)
+        return span
+
+    def add_span(self, span: Span, *, shift_ms: float = 0.0) -> None:
+        """Adopt a span built elsewhere (a shard worker), re-based by ``shift_ms``."""
+        if shift_ms:
+            span = Span(
+                name=span.name,
+                span_id=span.span_id,
+                start_ms=span.start_ms + shift_ms,
+                duration_ms=span.duration_ms,
+                annotations=span.annotations,
+            )
+        self._spans.append(span)
+
+    @contextmanager
+    def timed(self, name: str, **annotations: object) -> Iterator[None]:
+        """Record a span around a ``with`` block."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, started, time.perf_counter(), **annotations)
+
+    def finish(self, status: str = "ok") -> Trace:
+        """Seal the builder into an immutable :class:`Trace`."""
+        spans = sorted(self._spans, key=lambda span: span.start_ms)
+        return Trace(
+            trace_id=self.trace_id,
+            started_at=self.started_at,
+            status=status,
+            duration_ms=(time.perf_counter() - self._t0) * 1e3,
+            spans=tuple(spans),
+        )
+
+
+class TraceRecorder:
+    """A bounded ring of recent traces plus slow-request log emission.
+
+    ``capacity`` bounds memory under sustained load (the oldest trace falls
+    off); a completed trace slower than ``slow_threshold_seconds`` is emitted
+    through ``logger`` with its full span breakdown, so a tripped latency SLO
+    leaves a where-did-the-time-go record behind.  Thread-safe: the serving
+    loop records while tests and embedders snapshot.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        slow_threshold_seconds: float = 1.0,
+        logger: StructuredLogger | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self._logger = logger
+        self._lock = threading.Lock()
+        self._ring: deque[Trace] = deque(maxlen=self.capacity)
+        self._recorded_total = 0
+        self._slow_total = 0
+
+    def record(self, trace: Trace) -> None:
+        slow = trace.duration_ms >= self.slow_threshold_seconds * 1e3
+        with self._lock:
+            self._ring.append(trace)
+            self._recorded_total += 1
+            if slow:
+                self._slow_total += 1
+        if slow and self._logger is not None:
+            self._logger.warning(
+                "slow-request",
+                trace_id=trace.trace_id,
+                status=trace.status,
+                duration_ms=round(trace.duration_ms, 3),
+                threshold_ms=round(self.slow_threshold_seconds * 1e3, 3),
+                spans=[span.to_dict() for span in trace.spans],
+            )
+
+    def snapshot(self) -> list[Trace]:
+        """The recorded traces, oldest first (a copy; safe to iterate)."""
+        with self._lock:
+            return list(self._ring)
+
+    def find(self, trace_id: str) -> Trace | None:
+        """The recorded trace with ``trace_id``, or ``None`` if it fell off."""
+        with self._lock:
+            for trace in reversed(self._ring):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    @property
+    def recorded_total(self) -> int:
+        with self._lock:
+            return self._recorded_total
+
+    @property
+    def slow_total(self) -> int:
+        with self._lock:
+            return self._slow_total

@@ -136,6 +136,21 @@ class ServiceClient:
     def stats(self) -> ServiceResponse:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> tuple[int, str]:
+        """GET /metrics: the raw Prometheus text exposition, not JSON.
+
+        Served over its own short-lived connection — the keep-alive
+        :meth:`_request` path decodes JSON, and the exposition format is a
+        different content type with its own parsers downstream.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            connection.close()
+
     def raw(self, method: str, target: str, body: bytes | None = None) -> ServiceResponse:
         """An escape hatch for protocol tests (wrong methods, bad bodies)."""
         return self._request(method, target, body)

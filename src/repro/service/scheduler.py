@@ -37,8 +37,11 @@ solver work runs off-loop via :func:`~repro.solvers.solve_many_async`.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
+from ..obs import MetricsRegistry, TraceBuilder, new_span_id
+from ..obs.profiling import AttemptRecord
 from ..solvers import SolutionCache, SolveOutcome, SolverPolicy, solve_many_async
 from ..solvers.cache import CacheKey
 from .errors import DeadlineExceededError, QueueFullError, ServiceClosedError
@@ -69,12 +72,27 @@ class ScheduledResult:
 
 @dataclass
 class _Pending:
-    """One distinct computation waiting for (or undergoing) evaluation."""
+    """One distinct computation waiting for (or undergoing) evaluation.
+
+    The ``*_at`` stamps (``time.perf_counter`` instants) trace the pending's
+    life: created at admission, dispatched when its batch flushes, executed
+    when the batch starts solving, completed when its outcome lands.  The
+    ``solve_span_id`` is shared by *every* waiter coalesced onto this
+    computation — identical concurrent requests all reference the same solve
+    span, which is how a trace proves single-flight coalescing worked.
+    """
 
     key: CacheKey
     model: object
     policy: SolverPolicy
     future: asyncio.Future = field(repr=False)
+    created_at: float = field(default_factory=time.perf_counter)
+    dispatched_at: float | None = None
+    executed_at: float | None = None
+    completed_at: float | None = None
+    solve_span_id: str = field(default_factory=new_span_id)
+    batch_size: int = 0
+    attempts: list[AttemptRecord] = field(default_factory=list)
 
 
 class BatchScheduler:
@@ -99,6 +117,14 @@ class BatchScheduler:
         The :class:`SolutionCache` answers repeat queries instantly and
         provides the coalescing key; defaults to a scheduler-owned bounded
         cache so services never share state accidentally.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` latency histograms record
+        into; defaults to a scheduler-owned registry.  Shard workers ship
+        its :meth:`metrics_snapshot` over the stats pipe for exact merging
+        in the front process.
+    shard:
+        The shard index stamped onto every metric series as the ``shard``
+        label (``0`` for the single-process service).
     """
 
     def __init__(
@@ -109,6 +135,8 @@ class BatchScheduler:
         max_batch: int = DEFAULT_MAX_BATCH,
         workers: int = 1,
         cache: SolutionCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        shard: int = 0,
     ) -> None:
         if batch_window < 0.0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
@@ -123,6 +151,29 @@ class BatchScheduler:
         self.max_batch = int(max_batch)
         self.workers = int(workers)
         self.cache = cache if cache is not None else SolutionCache(maxsize=DEFAULT_CACHE_MAXSIZE)
+        self.shard = int(shard)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        shard_labels = {"shard": str(self.shard)}
+        self._solve_latency = self.metrics.histogram(
+            "repro_solve_latency_seconds",
+            "End-to-end scheduler latency per request (cache hits included).",
+            labels=shard_labels,
+        )
+        self._queue_wait = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Time a scheduled computation waited between flush and execution.",
+            labels=shard_labels,
+        )
+        self._cache_lookup = self.metrics.histogram(
+            "repro_cache_lookup_seconds",
+            "Solution-cache probe latency at admission.",
+            labels=shard_labels,
+        )
+        self._batch_solve = self.metrics.histogram(
+            "repro_batch_solve_seconds",
+            "Wall-clock of one dispatched solve_many batch.",
+            labels=shard_labels,
+        )
         self._inflight: dict[CacheKey, _Pending] = {}
         self._buffer: list[_Pending] = []
         self._flush_handle: asyncio.TimerHandle | None = None
@@ -146,15 +197,37 @@ class BatchScheduler:
         policy: SolverPolicy,
         *,
         deadline: float | None = None,
+        trace: TraceBuilder | None = None,
     ) -> ScheduledResult:
         """Answer one query, coalescing/batching it with concurrent work."""
         if self._closed:
             raise ServiceClosedError("the scheduler is closed")
         self._requests_total += 1
+        started = time.perf_counter()
+        # The try/finally sits directly under the increment so the latency
+        # histogram's count equals ``requests_total`` exactly: cache hits,
+        # rejections, deadline expiries and successes all observe once.
+        try:
+            return await self._submit_admitted(model, policy, deadline, trace)
+        finally:
+            self._solve_latency.observe(time.perf_counter() - started)
+
+    async def _submit_admitted(
+        self,
+        model: object,
+        policy: SolverPolicy,
+        deadline: float | None,
+        trace: TraceBuilder | None,
+    ) -> ScheduledResult:
         key = self.cache.key(model, policy)
         # probe(), not lookup(): a miss here is re-counted by solve_many when
         # the batch executes, so only the hit side registers in cache stats.
+        probe_started = time.perf_counter()
         cached = self.cache.probe(key)
+        probe_ended = time.perf_counter()
+        self._cache_lookup.observe(probe_ended - probe_started)
+        if trace is not None:
+            trace.add("cache-lookup", probe_started, probe_ended, hit=cached is not None)
         if cached is not None:
             self._cache_hits_total += 1
             return ScheduledResult(outcome=cached, cached=True)
@@ -191,7 +264,52 @@ class BatchScheduler:
                 f"deadline of {deadline:g}s expired before the solution was ready; "
                 "the computation continues and will be cached — retry to collect it"
             ) from None
+        if trace is not None:
+            self._record_spans(trace, pending, coalesced, outcome)
         return ScheduledResult(outcome=outcome, coalesced=coalesced)
+
+    def _record_spans(
+        self,
+        trace: TraceBuilder,
+        pending: _Pending,
+        coalesced: bool,
+        outcome: SolveOutcome,
+    ) -> None:
+        """Reconstruct the pending's life as spans on ``trace``.
+
+        Every waiter coalesced onto the computation records the *same*
+        ``solve`` span id (:attr:`_Pending.solve_span_id`).  Backend attempt
+        spans are laid out sequentially from the batch's execution start —
+        their durations are measured, their offsets approximate (attempts of
+        different batch members interleave on the executor thread).
+        """
+        if pending.dispatched_at is not None:
+            trace.add("batch-window", pending.created_at, pending.dispatched_at)
+            if pending.executed_at is not None:
+                trace.add("queue-wait", pending.dispatched_at, pending.executed_at)
+        if pending.executed_at is None or pending.completed_at is None:
+            return
+        trace.add(
+            "solve",
+            pending.executed_at,
+            pending.completed_at,
+            span_id=pending.solve_span_id,
+            solver=outcome.solver,
+            batch_size=pending.batch_size,
+            coalesced=coalesced,
+        )
+        attempt_started = pending.executed_at
+        for attempt in pending.attempts:
+            attempt_ended = attempt_started + attempt.seconds
+            annotations: dict[str, object] = {"ok": attempt.ok}
+            if attempt.error:
+                annotations["error"] = attempt.error
+            if attempt.warm_start:
+                annotations["warm_start"] = True
+            trace.add(
+                f"backend:{attempt.solver}", attempt_started, attempt_ended, **annotations
+            )
+            attempt_started = attempt_ended
 
     def _retry_after(self) -> float:
         """A client back-off hint: roughly one batch generation's worth."""
@@ -219,6 +337,9 @@ class BatchScheduler:
         del self._buffer[: self.max_batch]
         if not batch:
             return
+        dispatched_at = time.perf_counter()
+        for pending in batch:
+            pending.dispatched_at = dispatched_at
         loop = asyncio.get_running_loop()
         if self._buffer:
             # More than one batch accumulated within the window: dispatch the
@@ -231,6 +352,16 @@ class BatchScheduler:
         task.add_done_callback(self._batch_tasks.discard)
 
     async def _run_batch(self, batch: list[_Pending]) -> None:
+        executed_at = time.perf_counter()
+        for pending in batch:
+            pending.executed_at = executed_at
+            waited_since = (
+                pending.dispatched_at if pending.dispatched_at is not None else pending.created_at
+            )
+            self._queue_wait.observe(executed_at - waited_since)
+        # solve_many fills ``profile`` with each batch member's fallback-chain
+        # attempts (serial path only); they become per-backend trace spans.
+        profile: dict[int, list[AttemptRecord]] = {}
         try:
             outcomes = await solve_many_async(
                 [pending.model for pending in batch],
@@ -238,6 +369,7 @@ class BatchScheduler:
                 parallel=self.workers > 1 and len(batch) > 1,
                 max_workers=self.workers,
                 cache=self.cache,
+                profile=profile,
             )
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
             for pending in batch:
@@ -248,7 +380,12 @@ class BatchScheduler:
             if isinstance(exc, asyncio.CancelledError):
                 raise
             return
-        for pending, outcome in zip(batch, outcomes):
+        completed_at = time.perf_counter()
+        self._batch_solve.observe(completed_at - executed_at)
+        for index, (pending, outcome) in enumerate(zip(batch, outcomes)):
+            pending.completed_at = completed_at
+            pending.batch_size = len(batch)
+            pending.attempts = profile.get(index, [])
             self._inflight.pop(pending.key, None)
             if not pending.future.done():
                 pending.future.set_result(outcome)
@@ -279,6 +416,15 @@ class BatchScheduler:
     def queue_depth(self) -> int:
         """Distinct computations currently queued or executing."""
         return len(self._inflight)
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """A mergeable :meth:`~repro.obs.MetricsRegistry.to_dict` snapshot.
+
+        Shard workers attach this to their ``stats`` pipe reply; the front
+        merges the payloads bucket-wise, so the aggregated histograms equal
+        single-process recordings exactly.
+        """
+        return self.metrics.to_dict()
 
     def stats(self) -> dict[str, object]:
         """The scheduler section of the ``/stats`` payload."""

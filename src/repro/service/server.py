@@ -2,18 +2,29 @@
 
 A deliberately small HTTP/1.1 implementation over
 :func:`asyncio.start_server` — no frameworks, no new dependencies — serving
-three endpoints:
+four endpoints:
 
 ``POST /solve``
     The work endpoint: one JSON query in, one JSON answer out (see
     :mod:`.protocol` for the schema).
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "uptime_seconds": ...}`` plus the current
-    queue depth, so load balancers can shed before the admission controller
-    has to.
+    Liveness: ``{"status": "ok", "uptime_seconds": ..., "version": ...}``
+    plus the current queue depth, so load balancers can shed before the
+    admission controller has to.
 ``GET /stats``
     The full observability payload: uptime, scheduler counters (queue depth,
     coalesced/batched/rejected totals) and the solution-cache statistics.
+``GET /metrics``
+    The same telemetry in Prometheus text exposition format (0.0.4):
+    per-shard latency histograms recorded by the scheduler plus counter and
+    gauge series derived from the stats counters — what a scraper ingests
+    without knowing the JSON schema.
+
+Every request is assigned a trace id, echoed as ``trace_id`` in JSON
+payloads and as an ``X-Trace-Id`` response header; ``/solve`` requests
+additionally build a full span trace through the scheduler, kept in a
+bounded in-memory ring (:class:`~repro.obs.TraceRecorder`) with slow
+requests emitted to the structured log.
 
 Connections are persistent (HTTP/1.1 keep-alive) and each *connection* is
 served by its own task, so one slow solve never blocks the accept loop or
@@ -33,10 +44,20 @@ import asyncio
 import signal
 import threading
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import package_version
 from ..exceptions import CachePersistenceError
+from ..obs import (
+    MetricsRegistry,
+    TraceBuilder,
+    TraceRecorder,
+    configure_logging,
+    get_logger,
+    new_trace_id,
+)
 from ..solvers import SolutionCache
 from . import protocol
 from .errors import (
@@ -105,6 +126,12 @@ class ServiceConfig:
     cache_dir: str | None = None
     spill_interval: float = DEFAULT_SPILL_INTERVAL
     shed_thresholds: tuple[float, ...] = field(default=DEFAULT_SHED_THRESHOLDS)
+    #: Log rendering: ``"text"`` or ``"json"`` (``repro serve --log-format``).
+    log_format: str = "text"
+    #: Completed traces at least this slow are emitted to the log in full.
+    slow_request_seconds: float = 1.0
+    #: Bound on the in-memory ring of recent request traces.
+    trace_ring: int = 256
 
 
 class SolverService:
@@ -122,6 +149,13 @@ class SolverService:
             max_batch=self.config.max_batch,
             workers=self.config.workers,
             cache=cache,
+            shard=0,
+        )
+        self._log = get_logger("repro.service")
+        self.traces = TraceRecorder(
+            self.config.trace_ring,
+            slow_threshold_seconds=self.config.slow_request_seconds,
+            logger=self._log,
         )
         self._server: asyncio.Server | None = None
         self._spill_task: asyncio.Task | None = None
@@ -316,18 +350,26 @@ class SolverService:
     def _render_response(
         self,
         status: int,
-        payload: dict,
+        payload: dict | bytes,
         extra_headers: dict[str, str] | None,
         keep_alive: bool,
     ) -> bytes:
-        body = protocol.encode_response(payload)
+        headers = dict(extra_headers or {})
+        if isinstance(payload, bytes):
+            # A pre-encoded body (the /metrics text exposition); the handler
+            # supplies its Content-Type through the extra headers.
+            body = payload
+            content_type = headers.pop("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = protocol.encode_response(payload)
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
-        for name, value in (extra_headers or {}).items():
+        for name, value in headers.items():
             lines.append(f"{name}: {value}")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         self._responses_total += 1
@@ -339,52 +381,89 @@ class SolverService:
 
     async def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str] | None]:
-        """Route one request; every failure becomes a structured error."""
+    ) -> tuple[int, dict | bytes, dict[str, str] | None]:
+        """Route one request; every failure becomes a structured error.
+
+        A trace id is minted here for every request and travels with it:
+        ``/solve`` builds a full span trace through the scheduler, the other
+        endpoints simply echo the id (payload ``trace_id`` + ``X-Trace-Id``
+        header) so any answer can be matched to a log line.
+        """
         target = target.split("?", 1)[0]
+        trace = TraceBuilder()
+        headers = {"X-Trace-Id": trace.trace_id}
         try:
             if target == "/solve":
                 if method != "POST":
                     raise MethodNotAllowedError("/solve accepts POST only")
-                return await self._solve(body)
+                return await self._solve(body, trace)
             if target == "/healthz":
                 if method != "GET":
                     raise MethodNotAllowedError("/healthz accepts GET only")
-                return 200, await self._healthz_payload(), None
+                payload = await self._healthz_payload()
+                payload["trace_id"] = trace.trace_id
+                return 200, payload, headers
             if target == "/stats":
                 if method != "GET":
                     raise MethodNotAllowedError("/stats accepts GET only")
-                return 200, await self._stats_payload(), None
+                payload = await self._stats_payload()
+                payload["trace_id"] = trace.trace_id
+                return 200, payload, headers
+            if target == "/metrics":
+                if method != "GET":
+                    raise MethodNotAllowedError("/metrics accepts GET only")
+                text = await self._metrics_payload()
+                return 200, text.encode("utf-8"), {
+                    **headers,
+                    "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+                }
             raise NotFoundError(
-                f"no such endpoint {target!r}; available: /solve, /healthz, /stats"
+                f"no such endpoint {target!r}; "
+                "available: /solve, /healthz, /stats, /metrics"
             )
         except ServiceError as error:
-            return self._error_response(error)
+            return self._error_response(error, trace_id=trace.trace_id)
         except Exception as error:  # noqa: BLE001 - last-resort 500, never a dropped socket
             return self._error_response(
-                ServiceError(f"internal error: {type(error).__name__}: {error}")
+                ServiceError(f"internal error: {type(error).__name__}: {error}"),
+                trace_id=trace.trace_id,
             )
 
-    def _error_response(self, error: ServiceError) -> tuple[int, dict, dict[str, str] | None]:
+    def _error_response(
+        self, error: ServiceError, trace_id: str | None = None
+    ) -> tuple[int, dict, dict[str, str] | None]:
         self._errors_by_code[error.code] = self._errors_by_code.get(error.code, 0) + 1
-        headers: dict[str, str] | None = None
+        trace_id = trace_id if trace_id else new_trace_id()
+        headers: dict[str, str] = {"X-Trace-Id": trace_id}
         if error.retry_after is not None:
-            headers = {"Retry-After": f"{error.retry_after:g}"}
-        return error.http_status, {"status": "error", "error": error.payload()}, headers
+            headers["Retry-After"] = f"{error.retry_after:g}"
+        payload = {"status": "error", "trace_id": trace_id, "error": error.payload()}
+        return error.http_status, payload, headers
 
-    async def _solve(self, body: bytes) -> tuple[int, dict, None]:
+    async def _solve(
+        self, body: bytes, trace: TraceBuilder
+    ) -> tuple[int, dict, dict[str, str]]:
         started = time.perf_counter()
-        if not body:
-            raise BadRequestError("POST /solve requires a JSON body")
-        request = protocol.parse_solve_request(protocol.parse_body(body))
-        result = await self.scheduler.submit(
-            request.model, request.policy, deadline=request.deadline
-        )
-        outcome = result.outcome
-        if outcome.solver is None:
-            raise SolveFailedError(outcome.error or "no solver succeeded")
+        try:
+            if not body:
+                raise BadRequestError("POST /solve requires a JSON body")
+            with trace.timed("admission"):
+                request = protocol.parse_solve_request(protocol.parse_body(body))
+            result = await self.scheduler.submit(
+                request.model, request.policy, deadline=request.deadline, trace=trace
+            )
+            outcome = result.outcome
+            if outcome.solver is None:
+                raise SolveFailedError(outcome.error or "no solver succeeded")
+        except ServiceError as error:
+            # Failed requests leave a trace too — a shed or timed-out request
+            # is exactly the one worth a where-did-the-time-go record.
+            self.traces.record(trace.finish(error.code))
+            raise
+        self.traces.record(trace.finish("ok"))
         payload = {
             "status": "ok",
+            "trace_id": trace.trace_id,
             "query": request.query,
             "solver": outcome.solver,
             "stable": outcome.stable,
@@ -393,12 +472,13 @@ class SolverService:
             "coalesced": result.coalesced,
             "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
         }
-        return 200, payload, None
+        return 200, payload, {"X-Trace-Id": trace.trace_id}
 
     async def _healthz_payload(self) -> dict:
         """The liveness payload (async so the sharded tier can poll workers)."""
         return {
             "status": "ok",
+            "version": package_version(),
             "uptime_seconds": round(time.monotonic() - (self._started_monotonic or 0.0), 3),
             "queue_depth": self.scheduler.queue_depth,
             "max_queue": self.scheduler.max_queue,
@@ -415,6 +495,121 @@ class SolverService:
             "errors_by_code": dict(self._errors_by_code),
             "scheduler": self.scheduler.stats(),
         }
+
+    async def _metrics_payload(self) -> str:
+        """The ``GET /metrics`` body: a fresh snapshot registry, rendered.
+
+        Built per scrape rather than kept live: histogram series come from
+        the scheduler's registry (exact copies), counter/gauge series are
+        derived from the same stats integers ``/stats`` reports — one source
+        of truth, two encodings.
+        """
+        registry = MetricsRegistry()
+        registry.merge_dict(self.scheduler.metrics_snapshot())
+        merge_shard_stats_metrics(registry, 0, self.scheduler.stats())
+        self._front_metrics(registry)
+        return registry.render()
+
+    def _front_metrics(self, registry: MetricsRegistry) -> None:
+        """Front-process series every tier exposes: HTTP, uptime, traces."""
+        registry.counter("repro_http_responses_total", "HTTP responses written.").inc(
+            float(self._responses_total)
+        )
+        registry.counter("repro_http_errors_total", "HTTP error responses written.").inc(
+            float(self._errors_total)
+        )
+        for code, count in self._errors_by_code.items():
+            registry.counter(
+                "repro_http_errors_by_code_total",
+                "HTTP error responses by structured error code.",
+                labels={"code": code},
+            ).inc(float(count))
+        registry.gauge(
+            "repro_uptime_seconds", "Seconds since the service started."
+        ).set(time.monotonic() - (self._started_monotonic or time.monotonic()))
+        registry.counter(
+            "repro_traces_recorded_total", "Request traces recorded in the ring."
+        ).inc(float(self.traces.recorded_total))
+        registry.counter(
+            "repro_traces_slow_total", "Traces over the slow-request threshold."
+        ).inc(float(self.traces.slow_total))
+
+
+#: ``/stats`` scheduler counters exported as Prometheus counter families —
+#: the mapping both serving tiers use, so metric names cannot drift by tier.
+_SCHEDULER_COUNTERS: dict[str, tuple[str, str]] = {
+    "requests_total": (
+        "repro_requests_total",
+        "Requests admitted by the scheduler.",
+    ),
+    "cache_hits_total": (
+        "repro_cache_hits_total",
+        "Requests answered straight from the solution cache.",
+    ),
+    "coalesced_total": (
+        "repro_coalesced_total",
+        "Requests attached to an identical in-flight computation.",
+    ),
+    "scheduled_total": (
+        "repro_scheduled_total",
+        "Distinct computations scheduled.",
+    ),
+    "batches_total": (
+        "repro_batches_total",
+        "Solve batches dispatched.",
+    ),
+    "rejected_total": (
+        "repro_rejected_total",
+        "Requests rejected by admission control.",
+    ),
+    "deadline_exceeded_total": (
+        "repro_deadline_exceeded_total",
+        "Requests whose deadline expired before the solution was ready.",
+    ),
+}
+
+#: Solution-cache counters exported per shard, same contract.
+_CACHE_COUNTERS: dict[str, tuple[str, str]] = {
+    "hits": ("repro_cache_lookup_hits_total", "Solution-cache lookup hits."),
+    "misses": ("repro_cache_lookup_misses_total", "Solution-cache lookup misses."),
+    "solves": ("repro_cache_solves_total", "Fresh solves recorded by the cache."),
+    "evictions": ("repro_cache_evictions_total", "Cache entries evicted by the LRU bound."),
+}
+
+
+def merge_shard_stats_metrics(
+    registry: MetricsRegistry, shard: int, stats: Mapping[str, object]
+) -> None:
+    """Derive one shard's counter/gauge series from its ``/stats`` section.
+
+    The integers are the very ones ``/stats`` reports (scheduler counters and
+    the cache's hit/miss/solve/eviction totals), re-encoded as labelled
+    Prometheus series; missing or non-numeric entries are skipped so an older
+    worker's stats payload degrades instead of failing the scrape.
+    """
+    labels = {"shard": str(shard)}
+    for stats_key, (name, help_text) in _SCHEDULER_COUNTERS.items():
+        value = stats.get(stats_key)
+        if isinstance(value, (int, float)):
+            registry.counter(name, help_text, labels=labels).inc(float(value))
+    depth = stats.get("queue_depth")
+    if isinstance(depth, (int, float)):
+        registry.gauge(
+            "repro_queue_depth",
+            "Distinct computations queued or executing.",
+            labels=labels,
+        ).set(float(depth))
+    cache_stats = stats.get("cache")
+    if isinstance(cache_stats, Mapping):
+        for stats_key, (name, help_text) in _CACHE_COUNTERS.items():
+            value = cache_stats.get(stats_key)
+            if isinstance(value, (int, float)):
+                registry.counter(name, help_text, labels=labels).inc(float(value))
+        size = cache_stats.get("size")
+        if isinstance(size, (int, float)):
+            registry.gauge(
+                "repro_cache_entries", "Entries in the solution cache.", labels=labels
+            ).set(float(size))
 
 
 def build_service(
@@ -444,6 +639,7 @@ def run_service(config: ServiceConfig | None = None) -> int:
 
     async def _main() -> None:
         service = build_service(config)
+        configure_logging(service.config.log_format)
         await service.start()
         stopped = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -452,11 +648,13 @@ def run_service(config: ServiceConfig | None = None) -> int:
         except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
             pass
         workers = service.config.workers
-        print(
-            f"repro.service listening on http://{service.host}:{service.port} "
-            f"({'sharded, ' + str(workers) + ' workers' if workers > 1 else 'single process'}; "
-            "endpoints: POST /solve, GET /healthz, GET /stats; Ctrl-C or SIGTERM to stop)",
-            flush=True,
+        get_logger("repro.service").info(
+            "service-started",
+            url=f"http://{service.host}:{service.port}",
+            mode="sharded" if workers > 1 else "single-process",
+            workers=workers,
+            endpoints="POST /solve, GET /healthz, GET /stats, GET /metrics",
+            stop="Ctrl-C or SIGTERM",
         )
         serve_task = loop.create_task(service.serve_forever())
         stop_task = loop.create_task(stopped.wait())
@@ -471,7 +669,8 @@ def run_service(config: ServiceConfig | None = None) -> int:
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        print("repro.service stopped")
+        pass
+    get_logger("repro.service").info("service-stopped")
     return 0
 
 

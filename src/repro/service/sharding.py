@@ -1,7 +1,7 @@
 """Consistent-hash sharding: the multi-process serving tier.
 
 :class:`ShardedService` keeps the existing HTTP surface (``/solve``,
-``/healthz``, ``/stats``) on one asyncio front process and moves the solver
+``/healthz``, ``/stats``, ``/metrics``) on one asyncio front process and moves the solver
 work onto a pool of ``multiprocessing`` workers, one shard each.  Every
 request is routed by consistent-hashing its solution key
 (:func:`~repro.solvers.cache.solution_cache_key`) onto the ring, so a given
@@ -55,6 +55,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
+from ..obs import MetricsRegistry, Span, TraceBuilder
 from ..solvers import SolutionCache
 from ..solvers.cache import solution_cache_key
 from . import protocol
@@ -66,7 +67,12 @@ from .errors import (
     SolveFailedError,
     WorkerCrashedError,
 )
-from .server import DEFAULT_SHED_THRESHOLDS, ServiceConfig, SolverService
+from .server import (
+    DEFAULT_SHED_THRESHOLDS,
+    ServiceConfig,
+    SolverService,
+    merge_shard_stats_metrics,
+)
 from .worker import ShardWorkerConfig, worker_main
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -460,21 +466,37 @@ class ShardedService(SolverService):
 
     # -- request path ------------------------------------------------------
 
-    async def _solve(self, body: bytes) -> tuple[int, dict, None]:
+    async def _solve(
+        self, body: bytes, trace: TraceBuilder
+    ) -> tuple[int, dict, dict[str, str]]:
         started = time.perf_counter()
-        if not body:
-            raise BadRequestError("POST /solve requires a JSON body")
-        request = protocol.parse_solve_request(protocol.parse_body(body))
-        key = solution_cache_key(request.model, request.policy)  # type: ignore[arg-type]
-        shard = self._ring.shard_for(key)
-        handle = self._handles[shard]
-        self._admit(request.query, shard, handle)
-        handle.routed_total += 1
-        result = await self._submit(handle, request)
-        if result["solver"] is None:
-            raise SolveFailedError(result["error"] or "no solver succeeded")
+        try:
+            if not body:
+                raise BadRequestError("POST /solve requires a JSON body")
+            admission_started = time.perf_counter()
+            request = protocol.parse_solve_request(protocol.parse_body(body))
+            key = solution_cache_key(request.model, request.policy)  # type: ignore[arg-type]
+            shard = self._ring.shard_for(key)
+            handle = self._handles[shard]
+            self._admit(request.query, shard, handle)
+            trace.add(
+                "admission",
+                admission_started,
+                time.perf_counter(),
+                shard=shard,
+                query=request.query,
+            )
+            handle.routed_total += 1
+            result = await self._submit(handle, request, trace)
+            if result["solver"] is None:
+                raise SolveFailedError(result["error"] or "no solver succeeded")
+        except ServiceError as error:
+            self.traces.record(trace.finish(error.code))
+            raise
+        self.traces.record(trace.finish("ok"))
         payload = {
             "status": "ok",
+            "trace_id": trace.trace_id,
             "query": request.query,
             "shard": shard,
             "solver": result["solver"],
@@ -484,7 +506,7 @@ class ShardedService(SolverService):
             "coalesced": result["coalesced"],
             "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
         }
-        return 200, payload, None
+        return 200, payload, {"X-Trace-Id": trace.trace_id}
 
     def _admit(self, query: str, shard: int, handle: _WorkerHandle) -> None:
         """Front-side admission: worker availability, then tiered shedding."""
@@ -513,7 +535,9 @@ class ShardedService(SolverService):
                 retry_after=retry_after,
             )
 
-    async def _submit(self, handle: _WorkerHandle, request: "SolveRequest") -> dict:
+    async def _submit(
+        self, handle: _WorkerHandle, request: "SolveRequest", trace: TraceBuilder
+    ) -> dict:
         request_id = next(self._request_ids)
         loop = asyncio.get_running_loop()
         future = loop.create_future()
@@ -521,11 +545,31 @@ class ShardedService(SolverService):
         if handle.send_queue is None:  # pragma: no cover - defensive
             handle.pending.pop(request_id, None)
             raise ServiceClosedError("the shard pool is not running")
+        sent_at = time.perf_counter()
         handle.send_queue.put(
-            ("solve", request_id, request.model, request.policy, request.deadline)
+            (
+                "solve",
+                request_id,
+                request.model,
+                request.policy,
+                request.deadline,
+                trace.trace_id,
+            )
         )
         _kind, payload = await future
-        return dict(payload)
+        result = dict(payload)
+        # The worker's spans are offsets from *its* trace start; perf_counter
+        # is not comparable across processes, so re-base them by the front's
+        # pipe-send instant — exact durations, offsets off by one pipe hop.
+        worker_trace = result.pop("trace", None)
+        if isinstance(worker_trace, dict):
+            shift_ms = trace.offset_ms(sent_at)
+            spans = worker_trace.get("spans")
+            if isinstance(spans, list):
+                for span_payload in spans:
+                    if isinstance(span_payload, dict):
+                        trace.add_span(Span.from_dict(span_payload), shift_ms=shift_ms)
+        return result
 
     async def _query_worker(
         self, handle: _WorkerHandle, kind: str, timeout: float = 5.0
@@ -583,6 +627,10 @@ class ShardedService(SolverService):
                 "pending": len(handle.pending),
             }
             if stats is not None:
+                stats = dict(stats)
+                # The registry dump rides the same pipe reply but belongs to
+                # /metrics; /stats keeps its established JSON shape.
+                stats.pop("metrics", None)
                 entry["scheduler"] = stats
                 for counter in (
                     "requests_total",
@@ -616,3 +664,48 @@ class ShardedService(SolverService):
             "shards": shards,
             "totals": totals,
         }
+
+    async def _metrics_payload(self) -> str:
+        """The sharded ``GET /metrics``: every shard's registry, merged exactly.
+
+        Each worker ships its scheduler's histogram registry inside its stats
+        reply; bucket-wise summation makes the aggregated histograms identical
+        to a single process having recorded every observation.  Shard counters
+        are derived from the same stats integers ``/stats`` totals, plus the
+        pool's own series (worker restarts, readiness, shed tiers).
+        """
+        worker_stats = await asyncio.gather(
+            *(self._query_worker(handle, "stats") for handle in self._handles)
+        )
+        registry = MetricsRegistry()
+        for handle, stats in zip(self._handles, worker_stats):
+            registry.counter(
+                "repro_worker_restarts_total",
+                "Times this shard's worker process was respawned.",
+                labels={"shard": str(handle.shard)},
+            ).inc(float(handle.restarts))
+            registry.counter(
+                "repro_routed_total",
+                "Requests routed to this shard by the ring.",
+                labels={"shard": str(handle.shard)},
+            ).inc(float(handle.routed_total))
+            if stats is None:
+                continue
+            metrics_payload = stats.get("metrics")
+            if isinstance(metrics_payload, dict):
+                registry.merge_dict(metrics_payload)
+            merge_shard_stats_metrics(registry, handle.shard, stats)
+        registry.gauge(
+            "repro_workers_ready", "Shard workers currently in the ready state."
+        ).set(float(sum(1 for handle in self._handles if handle.state == "ready")))
+        registry.counter("repro_shed_total", "Requests shed by tiered admission.").inc(
+            float(self._shed_total)
+        )
+        for tier, count in self._shed_by_tier.items():
+            registry.counter(
+                "repro_shed_by_tier_total",
+                "Requests shed by tiered admission, by query tier.",
+                labels={"tier": tier},
+            ).inc(float(count))
+        self._front_metrics(registry)
+        return registry.render()

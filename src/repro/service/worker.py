@@ -11,17 +11,18 @@ cost one solve, no matter which front connection carried them.
 The front talks to workers over one :class:`multiprocessing.connection.Connection`
 per worker.  Messages front → worker::
 
-    ("solve", request_id, model, policy, deadline)
+    ("solve", request_id, model, policy, deadline, trace_id)
     ("stats", request_id)       # scheduler + cache counters for this shard
     ("spill", request_id)       # snapshot the shard cache to disk now
     ("shutdown",)               # graceful: spill, drain, exit
 
-and worker → front::
+(the trailing ``trace_id`` is optional — a worker unpacks tolerantly, so an
+older front sending 5-tuples keeps working) and worker → front::
 
     ("ready", shard)                      # startup handshake
-    (request_id, "ok", result_dict)
+    (request_id, "ok", result_dict)       # includes a "trace" span payload
     (request_id, "error", error_dict)     # structured ServiceError fields
-    (request_id, "stats", stats_dict)
+    (request_id, "stats", stats_dict)     # includes a "metrics" registry dump
     (request_id, "spilled", entry_count)
 
 Blocking pipe I/O never touches the event loop: a reader thread feeds
@@ -50,6 +51,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..exceptions import CachePersistenceError
+from ..obs import TraceBuilder
 from ..solvers import SolutionCache
 from .errors import ServiceError
 from .scheduler import (
@@ -110,6 +112,7 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
         max_batch=config.max_batch,
         workers=1,
         cache=cache,
+        shard=config.shard,
     )
 
     inbox: asyncio.Queue[tuple] = asyncio.Queue()
@@ -165,11 +168,18 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
     writer.start()
 
     async def _answer(
-        request_id: int, model: object, policy: object, deadline: float | None
+        request_id: int,
+        model: object,
+        policy: object,
+        deadline: float | None,
+        trace_id: str | None,
     ) -> None:
+        # The worker builds its own span set relative to its own clock; the
+        # front re-bases the offsets by the pipe-send instant on its side.
+        trace = TraceBuilder(trace_id=trace_id)
         try:
             result = await scheduler.submit(
-                model, policy, deadline=deadline  # type: ignore[arg-type]
+                model, policy, deadline=deadline, trace=trace  # type: ignore[arg-type]
             )
         except asyncio.CancelledError:
             raise
@@ -213,6 +223,7 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
                     "error": outcome.error,
                     "cached": result.cached,
                     "coalesced": result.coalesced,
+                    "trace": {"spans": [span.to_dict() for span in trace.spans]},
                 },
             )
         )
@@ -239,13 +250,17 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
             if kind == "shutdown":
                 break
             if kind == "solve":
-                _, request_id, model, policy, deadline = message
-                task = loop.create_task(_answer(request_id, model, policy, deadline))
+                _, request_id, model, policy, deadline = message[:5]
+                trace_id = message[5] if len(message) > 5 else None
+                task = loop.create_task(
+                    _answer(request_id, model, policy, deadline, trace_id)
+                )
                 answer_tasks.add(task)
                 task.add_done_callback(answer_tasks.discard)
             elif kind == "stats":
                 stats = dict(scheduler.stats())
                 stats["shard"] = config.shard
+                stats["metrics"] = scheduler.metrics_snapshot()
                 outbox.put((message[1], "stats", stats))
             elif kind == "spill":
                 count = await loop.run_in_executor(None, _spill_now)

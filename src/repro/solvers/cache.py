@@ -181,6 +181,10 @@ class SolutionCache:
         self._misses = 0
         self._solves = 0
         self._evictions = 0
+        self._spills = 0
+        self._spilled_entries = 0
+        self._loads = 0
+        self._loaded_entries = 0
 
     @property
     def enabled(self) -> bool:
@@ -274,7 +278,8 @@ class SolutionCache:
         ``repro cache-stats`` subcommand report verbatim, so the keys are
         part of the serving protocol: ``hits``, ``misses``, ``hit_rate``
         (``0.0`` before the first lookup), ``size``, ``maxsize`` (``None``
-        = unbounded), ``solves`` and ``evictions``.
+        = unbounded), ``solves``, ``evictions``, and the persistence
+        counters ``spills``/``spilled_entries``/``loads``/``loaded_entries``.
         """
         with self._lock:
             lookups = self._hits + self._misses
@@ -286,6 +291,10 @@ class SolutionCache:
                 "maxsize": self._maxsize,
                 "solves": self._solves,
                 "evictions": self._evictions,
+                "spills": self._spills,
+                "spilled_entries": self._spilled_entries,
+                "loads": self._loads,
+                "loaded_entries": self._loaded_entries,
             }
 
     # -- persistence -------------------------------------------------------
@@ -326,6 +335,9 @@ class SolutionCache:
         temporary = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         temporary.write_text(json.dumps(payload) + "\n")
         os.replace(temporary, path)
+        with self._lock:
+            self._spills += 1
+            self._spilled_entries += len(entries)
         return len(entries)
 
     def load(self, path: str | Path) -> int:
@@ -375,6 +387,9 @@ class SolutionCache:
                 continue
             loaded[key] = outcome
         self.merge(loaded)
+        with self._lock:
+            self._loads += 1
+            self._loaded_entries += len(loaded)
         return len(loaded)
 
     def clear(self) -> None:
@@ -385,6 +400,10 @@ class SolutionCache:
             self._misses = 0
             self._solves = 0
             self._evictions = 0
+            self._spills = 0
+            self._spilled_entries = 0
+            self._loads = 0
+            self._loaded_entries = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -19,12 +19,14 @@ from __future__ import annotations
 import asyncio
 import functools
 import os
+import time
 import warnings
 from collections.abc import Iterable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
 from ..exceptions import ParameterError, SimulationError, SolverError
+from ..obs.profiling import AttemptRecord, capture_attempts, record_attempt
 from .base import INFINITE_METRICS, SolveOutcome
 from .cache import CacheKey, SolutionCache, distribution_key, shared_cache
 from .policy import SolverPolicy, as_policy
@@ -58,20 +60,33 @@ def _evaluate_capturing(
     failures: list[str] = []
     for name in policy.order:
         warm = False
+        seeded = False
+        attempt_started = time.perf_counter()
         try:
             solver = registry.get(name)
             if not solver.supports(model):
-                failures.append(f"{name}: {solver.unsupported_reason(model)}")
+                reason = solver.unsupported_reason(model)
+                failures.append(f"{name}: {reason}")
+                record_attempt(
+                    name, time.perf_counter() - attempt_started, ok=False, error=reason
+                )
                 continue
             options = solver.options_from_policy(policy)
             warm = bool(getattr(solver, "supports_warm_start", False))
-            if warm and seeds and name in seeds:
+            seeded = bool(warm and seeds and name in seeds)
+            if seeded and seeds is not None:
                 options["warm_start"] = seeds[name]
             solution = solver.solve(model, **options)
             metrics = dict(solver.metrics(solution))
         except FALLBACK_EXCEPTIONS as exc:
             failures.append(f"{name}: {exc}")
+            record_attempt(
+                name, time.perf_counter() - attempt_started, ok=False, error=str(exc)
+            )
             continue
+        record_attempt(
+            name, time.perf_counter() - attempt_started, ok=True, warm_start=seeded
+        )
         return SolveOutcome(name, True, metrics, None), ({name: solution} if warm else {})
     return SolveOutcome(None, True, {}, "; ".join(failures) or "no solver succeeded"), {}
 
@@ -240,9 +255,27 @@ def _grid_order(vectors: list[tuple[float, ...]]) -> list[int] | None:
     return order
 
 
+def _evaluate_recorded(
+    model: "UnreliableQueueModel",
+    policy: SolverPolicy | None,
+    registry: SolverRegistry | None,
+    seeds: dict[str, object] | None,
+    profile: dict[int, list[AttemptRecord]] | None,
+    index: int,
+) -> tuple[SolveOutcome, dict[str, object]]:
+    """One evaluation, optionally capturing its attempts into ``profile[index]``."""
+    if profile is None:
+        return _evaluate_capturing(model, policy, registry, seeds)
+    with capture_attempts() as attempts:
+        result = _evaluate_capturing(model, policy, registry, seeds)
+    profile[index] = list(attempts)
+    return result
+
+
 def _execute_serial(
     tasks: list[tuple[int, "UnreliableQueueModel", SolverPolicy]],
     registry: SolverRegistry | None,
+    profile: dict[int, list[AttemptRecord]] | None = None,
 ) -> list[tuple[int, SolveOutcome]]:
     """Evaluate a batch in-process, warm-starting along the parameter grid.
 
@@ -256,14 +289,14 @@ def _execute_serial(
     """
     if len(tasks) < 2:
         return [
-            (index, evaluate(model, policy, registry=registry))
+            (index, _evaluate_recorded(model, policy, registry, None, profile, index)[0])
             for index, model, policy in tasks
         ]
     vectors = [_parameter_vector(model) for _, model, _ in tasks]
     order = _grid_order(vectors)
     if order is None:
         return [
-            (index, evaluate(model, policy, registry=registry))
+            (index, _evaluate_recorded(model, policy, registry, None, profile, index)[0])
             for index, model, policy in tasks
         ]
     results: list[tuple[int, SolveOutcome]] = []
@@ -279,7 +312,9 @@ def _execute_serial(
             _, seeds = min(
                 solved, key=lambda item: distance(vectors[item[0]], vectors[position])
             )
-        outcome, solutions = _evaluate_capturing(model, policy, registry, seeds)
+        outcome, solutions = _evaluate_recorded(
+            model, policy, registry, seeds, profile, index
+        )
         if solutions:
             solved.append((position, solutions))
         results.append((index, outcome))
@@ -401,6 +436,7 @@ def solve_many(
     max_workers: int | None = None,
     cache: SolutionCache | bool | None = None,
     registry: SolverRegistry | None = None,
+    profile: dict[int, list[AttemptRecord]] | None = None,
 ) -> list[SolveOutcome]:
     """Solve a batch of models, deduplicated and optionally in parallel.
 
@@ -425,6 +461,12 @@ def solve_many(
         An alternative registry for the serial path.  Worker processes always
         dispatch through their own process-global registry, so parallel
         batches require solvers registered at import time.
+    profile:
+        A mapping the serial path fills with per-backend
+        :class:`~repro.obs.profiling.AttemptRecord` lists, keyed by batch
+        index.  Only *freshly solved* models appear (cache hits and coalesced
+        duplicates made no attempts), and the parallel path skips it —
+        attempts made in worker processes do not travel back.
     """
     models = list(models)
     policies = _broadcast_policies(policy, len(models), registry)
@@ -464,7 +506,7 @@ def solve_many(
         if parallel and len(tasks) > 1 and max_workers > 1:
             solved = _execute_parallel(tasks, max_workers, registry)
         else:
-            solved = _execute_serial(tasks, registry)
+            solved = _execute_serial(tasks, registry, profile)
         count = 0
         for index, outcome in solved:
             count += 1
@@ -490,6 +532,7 @@ async def solve_many_async(
     cache: SolutionCache | bool | None = None,
     registry: SolverRegistry | None = None,
     executor: Executor | None = None,
+    profile: dict[int, list[AttemptRecord]] | None = None,
 ) -> list[SolveOutcome]:
     """Awaitable :func:`solve_many`: the batch runs off the event loop.
 
@@ -510,5 +553,6 @@ async def solve_many_async(
         max_workers=max_workers,
         cache=cache,
         registry=registry,
+        profile=profile,
     )
     return await asyncio.get_running_loop().run_in_executor(executor, call)

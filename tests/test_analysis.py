@@ -820,6 +820,92 @@ class TestAsyncMultiprocessingRule:
 
 
 # --------------------------------------------------------------------------- #
+# RPR010 — bare print() / root-logger calls in the service and obs layers
+# --------------------------------------------------------------------------- #
+
+
+class TestStructuredLoggingRule:
+    def test_bare_print_in_service_fires(self) -> None:
+        findings = lint(
+            """
+            def announce(url):
+                print(f"serving on {url}")
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR010"}
+        assert "structured logger" in findings[0].message
+
+    def test_root_logger_call_in_obs_fires(self) -> None:
+        findings = lint(
+            """
+            import logging
+
+            def emit(event):
+                logging.info("event=%s", event)
+            """,
+            module="repro.obs.fixture",
+        )
+        assert fired(findings) == {"RPR010"}
+
+    def test_from_import_root_logger_does_not_evade(self) -> None:
+        findings = lint(
+            """
+            from logging import warning
+
+            def emit(event):
+                warning("event=%s", event)
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR010"}
+
+    def test_bound_structured_logger_is_clean(self) -> None:
+        # Near miss: a bound logger call honours the configured format.
+        findings = lint(
+            """
+            from repro.obs import get_logger
+
+            logger = get_logger("repro.service")
+
+            def emit(event):
+                logger.info(event, shard=0)
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_get_logger_attribute_is_clean(self) -> None:
+        # Near miss: logging.getLogger is configuration, not emission.
+        findings = lint(
+            """
+            import logging
+
+            def quiet():
+                logging.getLogger("asyncio").setLevel(logging.WARNING)
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_print_outside_scoped_packages_is_clean(self) -> None:
+        # Near miss: the CLI's tables are its user interface, not telemetry.
+        findings = lint(
+            """
+            def render(rows):
+                print(rows)
+            """,
+            module="repro.cli",
+        )
+        assert findings == []
+
+    def test_service_and_obs_layers_are_clean(self) -> None:
+        for package in ("service", "obs"):
+            report = analyze_paths([str(REPO_ROOT / "src" / "repro" / package)])
+            assert not any(finding.rule == "RPR010" for finding in report.findings)
+
+
+# --------------------------------------------------------------------------- #
 # Suppression comments
 # --------------------------------------------------------------------------- #
 

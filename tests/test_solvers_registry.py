@@ -296,6 +296,10 @@ class TestSolveCaching:
             "maxsize": None,
             "solves": 1,
             "evictions": 0,
+            "spills": 0,
+            "spilled_entries": 0,
+            "loads": 0,
+            "loaded_entries": 0,
         }
 
     def test_cached_metrics_are_isolated_from_caller_mutation(self):
@@ -693,6 +697,10 @@ class TestBoundedCache:
             "maxsize": None,
             "solves": 0,
             "evictions": 0,
+            "spills": 0,
+            "spilled_entries": 0,
+            "loads": 0,
+            "loaded_entries": 0,
         }
         with pytest.raises(ValueError, match="maxsize"):
             SolutionCache(maxsize=0)

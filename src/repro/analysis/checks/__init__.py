@@ -21,6 +21,8 @@ Rule        Contract it enforces
             created inside ``async def`` bodies in the service layer
 ``RPR010``  no bare ``print()`` or stdlib root-logger calls in the service
             and obs layers (telemetry flows through the structured logger)
+``RPR011``  no ``time.time()`` in duration arithmetic in the service and obs
+            layers (durations come from ``monotonic``/``perf_counter``)
 ==========  ==================================================================
 """
 
@@ -37,6 +39,7 @@ from .floats import FloatEqualityRule
 from .printing import StructuredLoggingRule
 from .processes import AsyncMultiprocessingRule
 from .scenarios import ScenarioContractRule
+from .walltime import WallClockDurationRule
 
 
 def builtin_rules() -> tuple[LintRule, ...]:
@@ -52,6 +55,7 @@ def builtin_rules() -> tuple[LintRule, ...]:
         DenseGeneratorRule(),
         AsyncMultiprocessingRule(),
         StructuredLoggingRule(),
+        WallClockDurationRule(),
     )
 
 
@@ -67,6 +71,7 @@ BUILTIN_RULE_IDS = (
     "RPR008",
     "RPR009",
     "RPR010",
+    "RPR011",
 )
 
 __all__ = [
@@ -81,5 +86,6 @@ __all__ = [
     "ScenarioContractRule",
     "StructuredLoggingRule",
     "SwallowedCancellationRule",
+    "WallClockDurationRule",
     "builtin_rules",
 ]

@@ -1,0 +1,113 @@
+"""RPR011 — ``time.time()`` used for duration measurement in service/obs code.
+
+The wall clock is not a stopwatch: ``time.time()`` jumps backwards and
+forwards under NTP slew, manual clock changes and leap-second smearing, so a
+difference of two wall-clock reads can be negative or wildly wrong.  Every
+duration that feeds a latency histogram, an SLO tracker or a retry budget in
+``repro.service`` and ``repro.obs`` must come from the monotonic sources —
+``time.monotonic()`` or ``time.perf_counter()`` — which exist for exactly
+this purpose.  ``time.time()`` remains the right call for *timestamps*:
+values that are displayed, logged or compared across processes, never
+subtracted from one another.
+
+Flagged, anywhere in a ``repro.service.*`` or ``repro.obs.*`` module:
+
+* a ``time.time()`` call as either operand of a binary ``-`` (including the
+  aliased forms reached via ``from time import time`` or
+  ``import time as clock``), or as the value of a ``-=``;
+* a local name assigned from ``time.time()`` and later used as an operand of
+  a ``-``/``-=`` within the same function scope.
+
+Not flagged (near misses):
+
+* bare wall-clock stamps that are never subtracted — ``started_at =
+  time.time()`` recorded on a trace, the uptime anchor kept for display;
+* monotonic arithmetic — ``time.monotonic() - started``,
+  ``time.perf_counter() - t0``;
+* wall-clock arithmetic other than subtraction (``time.time() + ttl`` is an
+  absolute deadline, not a duration);
+* any module outside the service/obs packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..asthelpers import import_table, resolve_call_target, walk_body
+from ..findings import Finding
+from ..registry import LintRule, ModuleContext
+
+
+def _is_wall_clock_call(node: ast.expr, imports: dict[str, str]) -> bool:
+    """Whether an expression is a (possibly aliased) ``time.time()`` call."""
+    return isinstance(node, ast.Call) and resolve_call_target(node, imports) == "time.time"
+
+
+class WallClockDurationRule(LintRule):
+    """Flag durations measured with the wall clock in service/obs code."""
+
+    rule_id = "RPR011"
+    title = "time.time() used for duration measurement in the service/obs layers"
+    rationale = (
+        "the wall clock jumps under NTP slew and clock changes, so subtracting "
+        "time.time() reads yields corrupt durations; latency and timeout "
+        "arithmetic in repro.service/repro.obs must use time.monotonic() or "
+        "time.perf_counter(), keeping time.time() for display-only timestamps"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return bool({"service", "obs"} & set(context.module_parts))
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        imports = import_table(context.tree)
+        yield from self._check_scope(context, context.tree.body, imports)
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(context, node.body, imports)
+
+    def _check_scope(
+        self, context: ModuleContext, body: list[ast.stmt], imports: dict[str, str]
+    ) -> Iterator[Finding]:
+        """Check one lexical scope, not descending into nested functions.
+
+        Wall-clock names are collected scope-wide first so an assignment
+        after the subtraction (loop bodies re-stamping a variable) is still
+        seen; a nested function is its own scope and gets its own pass.
+        """
+        wall_names: set[str] = set()
+        for statement in walk_body(body):
+            value: ast.expr | None = None
+            targets: list[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                value, targets = statement.value, statement.targets
+            elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                value, targets = statement.value, [statement.target]
+            if value is not None and _is_wall_clock_call(value, imports):
+                wall_names.update(
+                    target.id for target in targets if isinstance(target, ast.Name)
+                )
+        for node in walk_body(body):
+            operands: list[ast.expr] = []
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Sub):
+                operands = [node.value]
+            for operand in operands:
+                if _is_wall_clock_call(operand, imports):
+                    yield context.finding(
+                        self,
+                        node,
+                        "time.time() in a subtraction measures a duration with "
+                        "the wall clock, which jumps under NTP slew; use "
+                        "time.monotonic() or time.perf_counter()",
+                    )
+                elif isinstance(operand, ast.Name) and operand.id in wall_names:
+                    yield context.finding(
+                        self,
+                        node,
+                        f"{operand.id!r} holds a time.time() stamp and is "
+                        "subtracted here, measuring a duration with the wall "
+                        "clock; stamp it with time.monotonic() or "
+                        "time.perf_counter() instead",
+                    )

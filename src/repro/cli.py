@@ -45,13 +45,20 @@ Four subcommands cover the everyday workflows:
     Print solution-cache statistics: of a running ``repro serve`` instance
     (``--url``), or of this process's shared cache.
 
+``top``
+    A live terminal dashboard over a running service's ``/metrics`` and
+    ``/stats``: per-shard RPS, p50/p99 latency, queue depth, cache hit
+    rates, shedding tiers and SLO budget burn, redrawn every ``--interval``
+    seconds (``--once --json`` emits one machine-readable summary instead).
+
 ``lint``
     Run the :mod:`repro.analysis` static analyzer — the repo-specific
-    ``RPR001`` ... ``RPR009`` rules (blocking calls in async code, cache-unsafe
+    ``RPR001`` ... ``RPR011`` rules (blocking calls in async code, cache-unsafe
     distributions, float equality in the numerical core, undeclared scenario
     support, unstable error codes, swallowed cancellation, mutable defaults,
     dense generator allocations on the CTMC hot paths, multiprocessing
-    primitives created on the event loop) — over files or
+    primitives created on the event loop, print/root-logger use in the
+    service stack, wall-clock duration measurement) — over files or
     directories.  Text or ``--format json`` output; exit
     code 0 when clean, 1 with findings, 2 on usage errors.
 
@@ -143,15 +150,32 @@ endpoints:
                  and solution-cache statistics; with --workers N > 1 also
                  per-shard breakdowns, pool totals and shedding counters
   GET /metrics   Prometheus text exposition (version 0.0.4): per-shard
-                 solve/queue-wait/cache-lookup latency histograms plus the
-                 scheduler, cache and front counters as repro_* series
+                 solve/queue-wait/cache-lookup latency histograms, the
+                 scheduler, cache and front counters, solver numerical-health
+                 series and the repro_slo_* gauges, all as repro_* series
+  GET /traces    recently retained traces newest-first; ?slow=1 restricts to
+                 the slow ring, ?limit=N bounds the count (default 32).
+                 Sharded fronts fan the listing out to every shard worker.
+  GET /traces/<id>  one retained trace's span tree (admission, queue-wait,
+                 solve, ...); sharded fronts merge the owning worker's spans
+                 into the front's re-based copy
 
 observability:
   Every response carries an X-Trace-Id header and echoes the same id as
   "trace_id" in its JSON payload; requests slower than
-  --slow-request-seconds emit their completed span trees to the log.
+  --slow-request-seconds emit their completed span trees to the log and
+  stay queryable via GET /traces?slow=1.  Independently, every
+  --trace-exemplar-interval-th trace is retained regardless of latency, so
+  a representative healthy request survives ring churn.  'repro top --url
+  http://host:port' renders the live dashboard over /metrics + /stats.
   --log-format json switches the service log to one JSON object per line
   (ts, level, event, trace_id, ...) for machine ingestion.
+
+  --slo-queue-wait and --slo-solve-latency set rolling p99 targets; when
+  either rolling p99 breaches its target the admission controller sheds
+  cheapest-to-recompute query kinds first (429 load-shed) even while the
+  queue is still shallow, and repro_slo_error_budget_total counts every
+  request that individually missed a target.
 
 tuning:
   --batch-window trades first-request latency for batching: concurrent
@@ -490,8 +514,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help=(
             "requests slower than this emit their completed trace (span tree) "
-            "to the log (default: %(default)s)"
+            "to the log and land in the /traces?slow=1 ring (default: %(default)s)"
         ),
+    )
+    serve.add_argument(
+        "--trace-exemplar-interval",
+        type=int,
+        default=32,
+        help=(
+            "retain every Nth trace regardless of latency so /traces keeps "
+            "healthy exemplars; 0 disables sampling (default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--slo-queue-wait",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help=(
+            "rolling p99 queue-wait target; breaching it triggers "
+            "latency-aware load shedding (default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--slo-solve-latency",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "rolling p99 solve-latency target for the SLO tracker "
+            "(default: %(default)s)"
+        ),
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live dashboard over a running service (/metrics + /stats)",
+        description=(
+            "Poll a running 'repro serve' instance's /metrics and /stats and "
+            "render a live terminal dashboard: per-shard request rates, p50/p99 "
+            "solve latency, queue depth, cache hit rates, shedding tiers and "
+            "SLO error-budget burn.  Press q to quit.  With --once the current "
+            "snapshot is printed to stdout instead (add --json for the "
+            "machine-readable summary)."
+        ),
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the running service (default: %(default)s)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between dashboard refreshes (default: %(default)s)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit instead of entering the live view",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once, emit the summary as JSON for scripts",
     )
 
     cache_stats = subparsers.add_parser(
@@ -517,7 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repro static analyzer (RPR rules) over python sources",
         description=(
             "Run the repro.analysis static analyzer: repo-specific AST lint rules "
-            "(RPR001...RPR010) encoding the solver/service stack's correctness "
+            "(RPR001...RPR011) encoding the solver/service stack's correctness "
             "contracts.  Exit code 0 = clean, 1 = findings, 2 = usage error.  "
             "Suppress a finding per line with '# repro: noqa RPRxxx'."
         ),
@@ -1040,10 +1127,51 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             spill_interval=arguments.spill_interval,
             log_format=arguments.log_format,
             slow_request_seconds=arguments.slow_request_seconds,
+            trace_exemplar_interval=arguments.trace_exemplar_interval,
+            slo_queue_wait_seconds=arguments.slo_queue_wait,
+            slo_solve_latency_seconds=arguments.slo_solve_latency,
         )
         return run_service(config)
     except ValueError as error:
         raise ReproError(str(error)) from error
+
+
+def _command_top(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the dashboard (and the service client) are only
+    # needed by this subcommand.
+    from .obs.dashboard import DashboardSnapshot, render_dashboard, run_dashboard, summarize
+    from .service import ServiceClient
+
+    if arguments.json and not arguments.once:
+        raise ReproError("--json needs --once (the live view is curses-drawn)")
+    host, port = _service_address(arguments.url)
+    if arguments.interval <= 0:
+        raise ReproError(f"--interval must be positive, got {arguments.interval}")
+
+    def fetch() -> DashboardSnapshot:
+        with ServiceClient(host, port, timeout=10.0) as client:
+            status, metrics_text = client.metrics()
+            if status != 200:
+                raise ReproError(f"/metrics returned HTTP {status}")
+            stats = client.stats()
+            if stats.status != 200:
+                raise ReproError(f"/stats returned HTTP {stats.status}: {stats.payload}")
+        return DashboardSnapshot.from_payloads(
+            metrics_text, stats.payload, at=time.monotonic()
+        )
+
+    try:
+        snapshot = fetch()
+        if arguments.once:
+            if arguments.json:
+                print(json.dumps(summarize(snapshot), indent=2, sort_keys=True))
+            else:
+                print("\n".join(render_dashboard(snapshot)))
+            return 0
+        run_dashboard(fetch, interval=arguments.interval)
+    except OSError as error:
+        raise ReproError(f"could not reach {arguments.url}: {error}") from error
+    return 0
 
 
 def _service_address(url: str) -> tuple[str, int]:
@@ -1082,6 +1210,10 @@ def _print_sharded_cache_stats(url: str, payload: dict) -> None:
                 ("cache hits total", totals.get("cache_hits_total")),
                 ("cache solves total", totals.get("solves")),
                 ("cache entries total", totals.get("cache_size")),
+                ("cache spills total", totals.get("cache_spills")),
+                ("cache entries spilled", totals.get("cache_spilled_entries")),
+                ("cache loads total", totals.get("cache_loads")),
+                ("cache entries loaded", totals.get("cache_loaded_entries")),
             ],
             title=f"Service {url}",
         )
@@ -1154,14 +1286,41 @@ def _command_cache_stats(arguments: argparse.Namespace) -> int:
             )
         )
         print()
-        print(format_key_values(sorted(cache.items()), title="Solution cache"))
+        print(format_key_values(_cache_lines(cache), title="Solution cache"))
         return 0
     stats = shared_cache().stats()
     if arguments.json:
         print(json.dumps(stats, indent=2))
         return 0
-    print(format_key_values(sorted(stats.items()), title="Shared solution cache (this process)"))
+    print(format_key_values(_cache_lines(stats), title="Shared solution cache (this process)"))
     return 0
+
+
+#: Canonical ordering of the solution-cache counters, persistence included —
+#: ``spills``/``loads`` must render even when zero, so a PR-9 snapshot setup
+#: is visible at a glance against a single-process server too.
+_CACHE_STAT_KEYS = (
+    "hits",
+    "misses",
+    "hit_rate",
+    "size",
+    "maxsize",
+    "solves",
+    "evictions",
+    "spills",
+    "spilled_entries",
+    "loads",
+    "loaded_entries",
+)
+
+
+def _cache_lines(cache: dict) -> list[tuple[str, object]]:
+    """Cache stats as ordered key/value rows, spill/load counters always shown."""
+    lines: list[tuple[str, object]] = [
+        (key, cache.get(key, 0)) for key in _CACHE_STAT_KEYS
+    ]
+    lines.extend(sorted((k, v) for k, v in cache.items() if k not in _CACHE_STAT_KEYS))
+    return lines
 
 
 def _command_lint(arguments: argparse.Namespace) -> int:
@@ -1192,6 +1351,7 @@ _COMMANDS = {
     "scenario": _command_scenario,
     "transient": _command_transient,
     "serve": _command_serve,
+    "top": _command_top,
     "cache-stats": _command_cache_stats,
     "lint": _command_lint,
 }

@@ -56,6 +56,7 @@ import scipy.sparse
 import scipy.sparse.linalg
 
 from ..exceptions import ParameterError, SolverError
+from ..obs.metrics import RESIDUAL_BUCKETS, SWEEP_COUNT_BUCKETS, numerics_registry
 
 #: Default absolute tolerance on ``max |pi Q|`` for the iterative solver.
 DEFAULT_STEADY_STATE_TOL = 1e-12
@@ -239,19 +240,38 @@ def _steady_state_direct(matrix: scipy.sparse.csr_matrix) -> np.ndarray:
     size = matrix.shape[0]
     transposed = matrix.T.tocsc()
     scale = max(1.0, float(np.max(np.abs(matrix.diagonal()))))
+    registry = numerics_registry()
     failure: Exception | None = None
     for pivot in _pivot_candidates(matrix):
         try:
             solution = _pinned_solve(transposed, pivot, size)
         except (RuntimeError, ValueError) as exc:
             failure = exc
+            registry.counter(
+                "repro_direct_pivot_rejections_total",
+                "Pinned pivots rejected by the direct steady-state solver.",
+            ).inc()
             continue
         candidate = _validate_stationary(transposed, solution, scale)
-        if candidate is not None:
-            return candidate
+        if candidate is None:
+            registry.counter(
+                "repro_direct_pivot_rejections_total",
+                "Pinned pivots rejected by the direct steady-state solver.",
+            ).inc()
+            continue
+        registry.histogram(
+            "repro_direct_residual",
+            "Balance residual max|pi Q| of accepted direct solves.",
+            buckets=RESIDUAL_BUCKETS,
+        ).observe(float(np.max(np.abs(transposed @ candidate))))
+        return candidate
     if size <= 5000:
         from .ctmc import steady_state_from_generator
 
+        registry.counter(
+            "repro_direct_dense_fallbacks_total",
+            "Direct solves that fell back to the dense eigen-solver.",
+        ).inc()
         return steady_state_from_generator(matrix.toarray())
     if failure is not None:
         raise SolverError(f"sparse steady-state solve failed: {failure}") from failure
@@ -297,14 +317,19 @@ def _steady_state_iad(
     ).tocsc()
     mode_factor = scipy.sparse.linalg.splu(mode_matrix)
 
+    registry = numerics_registry()
     marginals = structure.mode_marginals
     if x0 is not None and x0.shape == (size,) and float(np.sum(np.clip(x0, 0.0, None))) > 0.0:
         vector = np.clip(np.asarray(x0, dtype=float), 0.0, None)
+        registry.counter(
+            "repro_iad_warm_starts_total",
+            "IAD solves seeded from a caller-supplied warm start.",
+        ).inc()
     else:
         vector = np.tile(marginals / num_levels, num_levels)
 
     positive = marginals > 0.0
-    for _ in range(max_sweeps):
+    for sweep in range(1, max_sweeps + 1):
         residual = transposed @ vector
         vector = vector - (permute.T @ level_factor.solve(permute @ residual))
         residual = transposed @ vector
@@ -317,8 +342,23 @@ def _steady_state_iad(
         if total <= 0.0:  # pragma: no cover - defensive
             raise SolverError("aggregation-disaggregation iterate lost all mass")
         vector = vector / total
-        if float(np.max(np.abs(transposed @ vector))) < tol:
+        residual_norm = float(np.max(np.abs(transposed @ vector)))
+        if residual_norm < tol:
+            registry.histogram(
+                "repro_iad_sweeps",
+                "Sweeps the aggregation-disaggregation iteration needed to converge.",
+                buckets=SWEEP_COUNT_BUCKETS,
+            ).observe(sweep)
+            registry.histogram(
+                "repro_iad_residual",
+                "Final balance residual max|pi Q| of converged IAD solves.",
+                buckets=RESIDUAL_BUCKETS,
+            ).observe(residual_norm)
             return vector
+    registry.counter(
+        "repro_iad_nonconverged_total",
+        "IAD solves that hit the sweep cap without converging.",
+    ).inc()
     raise SolverError(
         f"aggregation-disaggregation did not reach tol={tol} in {max_sweeps} sweeps; "
         "the chain may violate the level-independent mode-rate structure"
@@ -364,7 +404,17 @@ def steady_state_csr(
         and structure.num_levels > 1
         and size * structure.num_modes > _DIRECT_FILL_BUDGET
     ):
+        numerics_registry().counter(
+            "repro_steady_state_solves_total",
+            "Sparse steady-state solves, by solver path.",
+            labels={"path": "iad"},
+        ).inc()
         return _steady_state_iad(matrix, structure, x0, tol, max_sweeps)
+    numerics_registry().counter(
+        "repro_steady_state_solves_total",
+        "Sparse steady-state solves, by solver path.",
+        labels={"path": "direct"},
+    ).inc()
     return _steady_state_direct(matrix)
 
 

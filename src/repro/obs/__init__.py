@@ -26,10 +26,22 @@ Stdlib-only telemetry for the serving stack, in the same spirit as
 :mod:`repro.obs.profiling`
     Thread-local capture of per-backend fallback-chain attempts recorded by
     the solver facade; surfaced by ``repro solve --profile``.
+
+:mod:`repro.obs.slo`
+    Rolling-window p99 tracking over the live latency histograms
+    (:class:`SloTracker`): the ``repro_slo_*`` gauge families, exact
+    error-budget counters, and the latency-pressure signal admission
+    control's tiered shedding consults.
+
+:mod:`repro.obs.dashboard`
+    The ``repro top`` live dashboard: a Prometheus-text parser plus a pure
+    renderer over ``/metrics`` + ``/stats`` snapshots (curses drives the
+    live loop; ``--once --json`` serves scripts).
 """
 
 from __future__ import annotations
 
+from .dashboard import DashboardSnapshot, parse_prometheus_text, render_dashboard
 from .log import StructuredLogger, configure_logging, get_logger, logging_config
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -37,17 +49,22 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    numerics_registry,
 )
 from .profiling import AttemptRecord, capture_attempts, record_attempt
+from .slo import SloTargets, SloTracker
 from .tracing import Span, Trace, TraceBuilder, TraceRecorder, new_span_id, new_trace_id
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "AttemptRecord",
     "Counter",
+    "DashboardSnapshot",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SloTargets",
+    "SloTracker",
     "Span",
     "StructuredLogger",
     "Trace",
@@ -59,5 +76,7 @@ __all__ = [
     "logging_config",
     "new_span_id",
     "new_trace_id",
+    "numerics_registry",
+    "parse_prometheus_text",
     "record_attempt",
 ]

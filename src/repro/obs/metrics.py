@@ -463,3 +463,27 @@ class MetricsRegistry:
                         f"{family.name}{_render_labels(key)} {_format_value(series.value)}"
                     )
         return "\n".join(lines) + "\n" if lines else ""
+
+
+#: The process-global registry for numerical-health metrics.  The solver
+#: facade and the Markov kernels record here (IAD sweeps, residuals,
+#: truncation growth, fallback attempts) without any service plumbing; the
+#: scheduler folds this registry into its metrics snapshot, so the numbers
+#: ride the existing stats pipe from shard workers and surface on
+#: ``/metrics`` in both serving tiers.
+_NUMERICS_REGISTRY = MetricsRegistry()
+
+#: Bucket bounds for IAD sweep-count histograms: small integer counts up to
+#: the kernel's ``MAX_IAD_SWEEPS`` cap.
+SWEEP_COUNT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0,
+)
+
+#: Bucket bounds for residual histograms: log-spaced from convergence-level
+#: (1e-16) up to hopeless (1.0).
+RESIDUAL_BUCKETS: tuple[float, ...] = tuple(10.0**exponent for exponent in range(-16, 1))
+
+
+def numerics_registry() -> MetricsRegistry:
+    """The process-global numerical-health :class:`MetricsRegistry`."""
+    return _NUMERICS_REGISTRY

@@ -14,10 +14,12 @@ own trace start and the front re-bases them by the pipe-send offset
 (:meth:`TraceBuilder.add_span` with ``shift_ms``).  The re-based offsets are
 approximate by one pipe hop; durations are exact.
 
-:class:`TraceRecorder` keeps the most recent traces in a bounded deque (no
-unbounded memory under sustained load) and emits any trace slower than the
-configured threshold to the structured log — the "why did p99 trip" artifact
-the CI gate lacked.
+:class:`TraceRecorder` keeps three bounded rings — every recent trace, the
+slow ones, and periodic *exemplars* (every Nth trace retained regardless of
+latency, so healthy requests stay inspectable even when the recent ring
+churns under load) — and emits any trace slower than the configured
+threshold to the structured log.  ``GET /traces/<id>`` and ``GET /traces``
+are served straight from the recorder.
 """
 
 from __future__ import annotations
@@ -179,13 +181,22 @@ class TraceBuilder:
 
 
 class TraceRecorder:
-    """A bounded ring of recent traces plus slow-request log emission.
+    """Bounded rings of completed traces plus slow-request log emission.
 
-    ``capacity`` bounds memory under sustained load (the oldest trace falls
-    off); a completed trace slower than ``slow_threshold_seconds`` is emitted
-    through ``logger`` with its full span breakdown, so a tripped latency SLO
-    leaves a where-did-the-time-go record behind.  Thread-safe: the serving
-    loop records while tests and embedders snapshot.
+    Three rings, each capped at ``capacity`` traces:
+
+    * the *recent* ring holds every completed trace (the oldest falls off);
+    * the *slow* ring retains traces slower than ``slow_threshold_seconds``,
+      which are also emitted through ``logger`` with their full span
+      breakdown — the "why did p99 trip" artifact;
+    * the *exemplar* ring retains every ``exemplar_interval``-th trace
+      regardless of latency (``0`` disables sampling), so a representative
+      healthy request survives long after the recent ring has churned.
+
+    Thread-safe under one lock, mirroring :class:`MetricsRegistry`: the
+    serving loop records from the event loop while the sharded front's pipe
+    reader threads and ``/traces`` handlers look traces up concurrently —
+    ring eviction, lookup and listing all hold the same lock.
     """
 
     def __init__(
@@ -193,17 +204,24 @@ class TraceRecorder:
         capacity: int = 256,
         *,
         slow_threshold_seconds: float = 1.0,
+        exemplar_interval: int = 32,
         logger: StructuredLogger | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if exemplar_interval < 0:
+            raise ValueError(f"exemplar_interval must be >= 0, got {exemplar_interval}")
         self.capacity = int(capacity)
         self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self.exemplar_interval = int(exemplar_interval)
         self._logger = logger
         self._lock = threading.Lock()
         self._ring: deque[Trace] = deque(maxlen=self.capacity)
+        self._slow_ring: deque[Trace] = deque(maxlen=self.capacity)
+        self._exemplar_ring: deque[Trace] = deque(maxlen=self.capacity)
         self._recorded_total = 0
         self._slow_total = 0
+        self._exemplar_total = 0
 
     def record(self, trace: Trace) -> None:
         slow = trace.duration_ms >= self.slow_threshold_seconds * 1e3
@@ -211,7 +229,12 @@ class TraceRecorder:
             self._ring.append(trace)
             self._recorded_total += 1
             if slow:
+                self._slow_ring.append(trace)
                 self._slow_total += 1
+            interval = self.exemplar_interval
+            if interval and (self._recorded_total - 1) % interval == 0:
+                self._exemplar_ring.append(trace)
+                self._exemplar_total += 1
         if slow and self._logger is not None:
             self._logger.warning(
                 "slow-request",
@@ -223,17 +246,44 @@ class TraceRecorder:
             )
 
     def snapshot(self) -> list[Trace]:
-        """The recorded traces, oldest first (a copy; safe to iterate)."""
+        """The recent-ring traces, oldest first (a copy; safe to iterate)."""
         with self._lock:
             return list(self._ring)
 
     def find(self, trace_id: str) -> Trace | None:
-        """The recorded trace with ``trace_id``, or ``None`` if it fell off."""
+        """The retained trace with ``trace_id``, or ``None`` if it fell off.
+
+        Searches the recent ring newest-first, then the slow and exemplar
+        rings — a trace evicted from the recent ring is still findable while
+        a retention ring holds it.
+        """
         with self._lock:
-            for trace in reversed(self._ring):
-                if trace.trace_id == trace_id:
-                    return trace
+            for ring in (self._ring, self._slow_ring, self._exemplar_ring):
+                for trace in reversed(ring):
+                    if trace.trace_id == trace_id:
+                        return trace
         return None
+
+    def query(self, *, slow: bool = False, limit: int = 32) -> list[Trace]:
+        """Retained traces, newest first, at most ``limit`` of them.
+
+        ``slow=True`` lists the slow ring only; otherwise the recent and
+        exemplar rings are combined (deduplicated by trace id).
+        """
+        limit = max(0, int(limit))
+        with self._lock:
+            if slow:
+                candidates = list(self._slow_ring)
+            else:
+                seen: set[str] = set()
+                candidates = []
+                for ring in (self._ring, self._exemplar_ring):
+                    for trace in ring:
+                        if trace.trace_id not in seen:
+                            seen.add(trace.trace_id)
+                            candidates.append(trace)
+        candidates.sort(key=lambda trace: trace.started_at, reverse=True)
+        return candidates[:limit]
 
     @property
     def recorded_total(self) -> int:
@@ -244,3 +294,8 @@ class TraceRecorder:
     def slow_total(self) -> int:
         with self._lock:
             return self._slow_total
+
+    @property
+    def exemplar_total(self) -> int:
+        with self._lock:
+            return self._exemplar_total

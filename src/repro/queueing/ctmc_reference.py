@@ -28,6 +28,7 @@ import scipy.sparse
 from .._validation import check_positive_int
 from ..exceptions import ReproError, SolverError
 from ..markov import LevelModeStructure, assemble_level_mode_generator, steady_state_csr
+from ..obs.metrics import numerics_registry
 from .model import UnreliableQueueModel
 from .solution_base import QueueSolution
 
@@ -238,6 +239,10 @@ def solve_truncated_ctmc(
     ):
         extra = min(2 * (level - model.num_servers), _MAX_EXTRA_LEVELS)
         level = model.num_servers + extra
+        numerics_registry().counter(
+            "repro_ctmc_truncation_growths_total",
+            "Adaptive re-solves after the boundary mass exceeded its target.",
+        ).inc()
         solution = _solve_at_level(model, level, warm_start)
     return solution
 

@@ -67,16 +67,21 @@ from .protocol import (
     parse_body,
     parse_solve_request,
 )
-from .scheduler import BatchScheduler, ScheduledResult
-from .server import (
+from .scheduler import (
     DEFAULT_SHED_THRESHOLDS,
+    SHED_TIER_ORDER,
+    BatchScheduler,
+    ScheduledResult,
+    shed_decision,
+)
+from .server import (
     ServiceConfig,
     SolverService,
     ThreadedService,
     build_service,
     run_service,
 )
-from .sharding import ConsistentHashRing, ShardedService, shed_decision, stable_key_digest
+from .sharding import ConsistentHashRing, ShardedService, stable_key_digest
 from .worker import ShardWorkerConfig, shard_cache_path, worker_main
 
 __all__ = [
@@ -94,6 +99,7 @@ __all__ = [
     "PayloadTooLargeError",
     "QUERY_KINDS",
     "QueueFullError",
+    "SHED_TIER_ORDER",
     "ScheduledResult",
     "ServiceCallError",
     "ServiceClient",

@@ -136,6 +136,20 @@ class ServiceClient:
     def stats(self) -> ServiceResponse:
         return self._request("GET", "/stats")
 
+    def trace(self, trace_id: str) -> ServiceResponse:
+        """GET /traces/<id>: one retained trace's span tree."""
+        return self._request("GET", f"/traces/{trace_id}")
+
+    def traces(self, *, slow: bool = False, limit: int | None = None) -> ServiceResponse:
+        """GET /traces: retained traces newest-first (``slow=True`` filters)."""
+        params = []
+        if slow:
+            params.append("slow=1")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/traces{query}")
+
     def metrics(self) -> tuple[int, str]:
         """GET /metrics: the raw Prometheus text exposition, not JSON.
 
@@ -203,3 +217,6 @@ class AsyncServiceClient:
 
     async def stats(self) -> ServiceResponse:
         return await self._request("GET", "/stats")
+
+    async def trace(self, trace_id: str) -> ServiceResponse:
+        return await self._request("GET", f"/traces/{trace_id}")

@@ -41,10 +41,17 @@ import time
 from dataclasses import dataclass, field
 
 from ..obs import MetricsRegistry, TraceBuilder, new_span_id
+from ..obs.metrics import numerics_registry
 from ..obs.profiling import AttemptRecord
+from ..obs.slo import SloTracker
 from ..solvers import SolutionCache, SolveOutcome, SolverPolicy, solve_many_async
 from ..solvers.cache import CacheKey
-from .errors import DeadlineExceededError, QueueFullError, ServiceClosedError
+from .errors import (
+    DeadlineExceededError,
+    LoadShedError,
+    QueueFullError,
+    ServiceClosedError,
+)
 
 #: Default seconds the scheduler waits for further requests before flushing.
 DEFAULT_BATCH_WINDOW = 0.005
@@ -57,6 +64,52 @@ DEFAULT_MAX_BATCH = 64
 
 #: Default eviction bound of a scheduler-owned solution cache.
 DEFAULT_CACHE_MAXSIZE = 4096
+
+#: Query kinds cheapest-to-recompute first: the order tiers shed under load.
+SHED_TIER_ORDER = ("steady-state", "scenario", "transient")
+
+#: Default load fractions of capacity at which each query tier sheds,
+#: cheapest-to-recompute first (steady-state, scenario, transient).
+DEFAULT_SHED_THRESHOLDS = (0.7, 0.85, 1.0)
+
+
+def shed_decision(
+    query: str,
+    pending_total: int,
+    capacity: int,
+    thresholds: tuple[float, ...] = DEFAULT_SHED_THRESHOLDS,
+    *,
+    latency_pressure: float = 0.0,
+) -> str | None:
+    """The pure tiered-admission rule: the tier to shed, or ``None`` to admit.
+
+    ``thresholds[i]`` is the load fraction at which tier ``i`` of
+    :data:`SHED_TIER_ORDER` starts shedding; cheaper-to-recompute kinds have
+    lower thresholds, so under rising load steady-state queries are turned
+    away first while transient grids keep their queue slots until the pool is
+    genuinely full.  Unknown query kinds are treated as the most expensive
+    tier.
+
+    The load fraction is the *worse* of two signals: queue occupancy
+    (``pending_total / capacity``) and ``latency_pressure``, the SLO
+    tracker's ``rolling p99 / target`` ratio
+    (:meth:`repro.obs.slo.SloTracker.pressure`).  A slow backend therefore
+    trips the same tiered response as a full queue — shedding engages on
+    *measured latency*, even while depth sits below its thresholds.  Kept
+    free of any service state so the policy is unit testable against exact
+    load fractions.
+    """
+    if capacity < 1:
+        return query
+    try:
+        tier = SHED_TIER_ORDER.index(query)
+    except ValueError:
+        tier = len(SHED_TIER_ORDER) - 1
+    threshold = thresholds[min(tier, len(thresholds) - 1)]
+    load = max(pending_total / capacity, latency_pressure)
+    if load >= threshold:
+        return query
+    return None
 
 
 @dataclass(frozen=True)
@@ -125,6 +178,16 @@ class BatchScheduler:
     shard:
         The shard index stamped onto every metric series as the ``shard``
         label (``0`` for the single-process service).
+    slo:
+        An optional :class:`~repro.obs.slo.SloTracker`.  When set, the
+        scheduler feeds it every request's queue wait and end-to-end latency
+        and consults its pressure at admission: a rolling p99 beyond a shed
+        tier's threshold fraction of its target rejects that tier with
+        :class:`~.errors.LoadShedError` even while queue depth is below
+        ``max_queue``.
+    shed_thresholds:
+        The per-tier load fractions the latency-pressure consult uses
+        (mirrors the sharded front's depth thresholds).
     """
 
     def __init__(
@@ -137,6 +200,8 @@ class BatchScheduler:
         cache: SolutionCache | None = None,
         metrics: MetricsRegistry | None = None,
         shard: int = 0,
+        slo: SloTracker | None = None,
+        shed_thresholds: tuple[float, ...] = DEFAULT_SHED_THRESHOLDS,
     ) -> None:
         if batch_window < 0.0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
@@ -152,6 +217,8 @@ class BatchScheduler:
         self.workers = int(workers)
         self.cache = cache if cache is not None else SolutionCache(maxsize=DEFAULT_CACHE_MAXSIZE)
         self.shard = int(shard)
+        self.shed_thresholds = tuple(shed_thresholds)
+        self._slo = slo
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         shard_labels = {"shard": str(self.shard)}
         self._solve_latency = self.metrics.histogram(
@@ -188,6 +255,8 @@ class BatchScheduler:
         self._largest_batch = 0
         self._rejected_total = 0
         self._deadline_exceeded_total = 0
+        self._shed_total = 0
+        self._shed_by_tier: dict[str, int] = {}
 
     # -- admission ---------------------------------------------------------
 
@@ -198,6 +267,7 @@ class BatchScheduler:
         *,
         deadline: float | None = None,
         trace: TraceBuilder | None = None,
+        query: str | None = None,
     ) -> ScheduledResult:
         """Answer one query, coalescing/batching it with concurrent work."""
         if self._closed:
@@ -208,9 +278,12 @@ class BatchScheduler:
         # histogram's count equals ``requests_total`` exactly: cache hits,
         # rejections, deadline expiries and successes all observe once.
         try:
-            return await self._submit_admitted(model, policy, deadline, trace)
+            return await self._submit_admitted(model, policy, deadline, trace, query)
         finally:
-            self._solve_latency.observe(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            self._solve_latency.observe(elapsed)
+            if self._slo is not None:
+                self._slo.observe_solve_latency(elapsed)
 
     async def _submit_admitted(
         self,
@@ -218,6 +291,7 @@ class BatchScheduler:
         policy: SolverPolicy,
         deadline: float | None,
         trace: TraceBuilder | None,
+        query: str | None,
     ) -> ScheduledResult:
         key = self.cache.key(model, policy)
         # probe(), not lookup(): a miss here is re-counted by solve_many when
@@ -237,6 +311,30 @@ class BatchScheduler:
         if coalesced:
             self._coalesced_total += 1
         else:
+            if query is not None and self._slo is not None and self._slo.enabled:
+                # Latency-aware overload control: pending_total is passed as 0
+                # so depth admission stays the QueueFullError below — only the
+                # SLO tracker's measured-latency pressure can shed here, which
+                # is exactly what lets a slow backend trip tiered rejection
+                # while the queue sits far below max_queue.
+                tier = shed_decision(
+                    query,
+                    0,
+                    max(1, self.max_queue),
+                    self.shed_thresholds,
+                    latency_pressure=self._slo.pressure(),
+                )
+                if tier is not None:
+                    self._rejected_total += 1
+                    self._shed_total += 1
+                    self._shed_by_tier[tier] = self._shed_by_tier.get(tier, 0) + 1
+                    raise LoadShedError(
+                        f"shedding {tier!r} queries: rolling latency is over its "
+                        "SLO target; retry shortly",
+                        shard=self.shard,
+                        tier=tier,
+                        retry_after=self._retry_after(),
+                    )
             if len(self._inflight) >= self.max_queue:
                 self._rejected_total += 1
                 raise QueueFullError(
@@ -359,6 +457,8 @@ class BatchScheduler:
                 pending.dispatched_at if pending.dispatched_at is not None else pending.created_at
             )
             self._queue_wait.observe(executed_at - waited_since)
+            if self._slo is not None:
+                self._slo.observe_queue_wait(executed_at - waited_since)
         # solve_many fills ``profile`` with each batch member's fallback-chain
         # attempts (serial path only); they become per-backend trace spans.
         profile: dict[int, list[AttemptRecord]] = {}
@@ -423,8 +523,15 @@ class BatchScheduler:
         Shard workers attach this to their ``stats`` pipe reply; the front
         merges the payloads bucket-wise, so the aggregated histograms equal
         single-process recordings exactly.
+
+        The process-global numerical-health registry rides along: kernels and
+        the solver facade record into :func:`numerics_registry` from whatever
+        process ran the math, and attaching it here is what carries those
+        series from shard workers back to the front's ``/metrics``.
         """
-        return self.metrics.to_dict()
+        payload = self.metrics.to_dict()
+        payload.update(numerics_registry().to_dict())
+        return payload
 
     def stats(self) -> dict[str, object]:
         """The scheduler section of the ``/stats`` payload."""
@@ -442,5 +549,7 @@ class BatchScheduler:
             "largest_batch": self._largest_batch,
             "rejected_total": self._rejected_total,
             "deadline_exceeded_total": self._deadline_exceeded_total,
+            "shed_total": self._shed_total,
+            "shed_by_tier": dict(self._shed_by_tier),
             "cache": self.cache.stats(),
         }

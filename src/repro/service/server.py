@@ -2,7 +2,7 @@
 
 A deliberately small HTTP/1.1 implementation over
 :func:`asyncio.start_server` — no frameworks, no new dependencies — serving
-four endpoints:
+these endpoints:
 
 ``POST /solve``
     The work endpoint: one JSON query in, one JSON answer out (see
@@ -19,6 +19,12 @@ four endpoints:
     per-shard latency histograms recorded by the scheduler plus counter and
     gauge series derived from the stats counters — what a scraper ingests
     without knowing the JSON schema.
+``GET /traces/<id>`` and ``GET /traces``
+    The trace query API, served from the :class:`~repro.obs.TraceRecorder`
+    rings: one retained trace's span tree by id, or the newest retained
+    traces (``?slow=1`` filters to the slow ring, ``?limit=N`` bounds the
+    listing).  The sharded front additionally fans lookups out to its shard
+    workers and merges their spans.
 
 Every request is assigned a trace id, echoed as ``trace_id`` in JSON
 payloads and as an ``X-Trace-Id`` response header; ``/solve`` requests
@@ -44,6 +50,7 @@ import asyncio
 import signal
 import threading
 import time
+import urllib.parse
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,6 +64,12 @@ from ..obs import (
     configure_logging,
     get_logger,
     new_trace_id,
+)
+from ..obs.slo import (
+    DEFAULT_QUEUE_WAIT_TARGET_SECONDS,
+    DEFAULT_SOLVE_LATENCY_TARGET_SECONDS,
+    SloTargets,
+    SloTracker,
 )
 from ..solvers import SolutionCache
 from . import protocol
@@ -73,14 +86,10 @@ from .scheduler import (
     DEFAULT_CACHE_MAXSIZE,
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_QUEUE,
+    DEFAULT_SHED_THRESHOLDS,
     BatchScheduler,
 )
 from .worker import DEFAULT_SPILL_INTERVAL, shard_cache_path
-
-#: Default load fractions of total capacity at which the sharded front sheds
-#: each query tier, cheapest-to-recompute first (steady-state, scenario,
-#: transient) — see :func:`repro.service.sharding.shed_decision`.
-DEFAULT_SHED_THRESHOLDS = (0.7, 0.85, 1.0)
 
 #: Largest declared over-bound body the server drains before answering 413.
 _MAX_DRAIN_BYTES = 16_000_000
@@ -132,6 +141,14 @@ class ServiceConfig:
     slow_request_seconds: float = 1.0
     #: Bound on the in-memory ring of recent request traces.
     trace_ring: int = 256
+    #: Every Nth trace is retained as an exemplar regardless of latency
+    #: (``0`` disables exemplar sampling).
+    trace_exemplar_interval: int = 32
+    #: Rolling-p99 queue-wait SLO target in seconds (``0`` disables the
+    #: objective and its latency-pressure shedding).
+    slo_queue_wait_seconds: float = DEFAULT_QUEUE_WAIT_TARGET_SECONDS
+    #: Rolling-p99 end-to-end solve-latency SLO target in seconds.
+    slo_solve_latency_seconds: float = DEFAULT_SOLVE_LATENCY_TARGET_SECONDS
 
 
 class SolverService:
@@ -143,6 +160,12 @@ class SolverService:
         self.config = config if config is not None else ServiceConfig()
         if cache is None:
             cache = SolutionCache(maxsize=self.config.cache_maxsize)
+        self.slo = SloTracker(
+            SloTargets(
+                queue_wait_p99_seconds=self.config.slo_queue_wait_seconds,
+                solve_latency_p99_seconds=self.config.slo_solve_latency_seconds,
+            )
+        )
         self.scheduler = BatchScheduler(
             batch_window=self.config.batch_window,
             max_queue=self.config.max_queue,
@@ -150,11 +173,14 @@ class SolverService:
             workers=self.config.workers,
             cache=cache,
             shard=0,
+            slo=self.slo,
+            shed_thresholds=self.config.shed_thresholds,
         )
         self._log = get_logger("repro.service")
         self.traces = TraceRecorder(
             self.config.trace_ring,
             slow_threshold_seconds=self.config.slow_request_seconds,
+            exemplar_interval=self.config.trace_exemplar_interval,
             logger=self._log,
         )
         self._server: asyncio.Server | None = None
@@ -389,10 +415,20 @@ class SolverService:
         endpoints simply echo the id (payload ``trace_id`` + ``X-Trace-Id``
         header) so any answer can be matched to a log line.
         """
-        target = target.split("?", 1)[0]
+        target, _, query_string = target.partition("?")
         trace = TraceBuilder()
         headers = {"X-Trace-Id": trace.trace_id}
         try:
+            if target == "/traces" or target.startswith("/traces/"):
+                if method != "GET":
+                    raise MethodNotAllowedError("/traces accepts GET only")
+                if target == "/traces":
+                    slow, limit = _parse_traces_query(query_string)
+                    payload = await self._traces_payload(slow=slow, limit=limit)
+                else:
+                    payload = await self._trace_payload(target[len("/traces/") :])
+                payload["trace_id"] = trace.trace_id
+                return 200, payload, headers
             if target == "/solve":
                 if method != "POST":
                     raise MethodNotAllowedError("/solve accepts POST only")
@@ -419,7 +455,7 @@ class SolverService:
                 }
             raise NotFoundError(
                 f"no such endpoint {target!r}; "
-                "available: /solve, /healthz, /stats, /metrics"
+                "available: /solve, /healthz, /stats, /metrics, /traces, /traces/<id>"
             )
         except ServiceError as error:
             return self._error_response(error, trace_id=trace.trace_id)
@@ -450,7 +486,11 @@ class SolverService:
             with trace.timed("admission"):
                 request = protocol.parse_solve_request(protocol.parse_body(body))
             result = await self.scheduler.submit(
-                request.model, request.policy, deadline=request.deadline, trace=trace
+                request.model,
+                request.policy,
+                deadline=request.deadline,
+                trace=trace,
+                query=request.query,
             )
             outcome = result.outcome
             if outcome.solver is None:
@@ -474,6 +514,26 @@ class SolverService:
         }
         return 200, payload, {"X-Trace-Id": trace.trace_id}
 
+    async def _trace_payload(self, trace_id: str) -> dict:
+        """``GET /traces/<id>``: the retained trace's full span tree."""
+        found = self.traces.find(trace_id)
+        if found is None:
+            raise NotFoundError(
+                f"no retained trace {trace_id!r}; it may have fallen off the ring "
+                f"(capacity {self.traces.capacity})"
+            )
+        return {"status": "ok", "trace": found.to_dict()}
+
+    async def _traces_payload(self, *, slow: bool, limit: int) -> dict:
+        """``GET /traces``: retained traces newest-first (``?slow=1`` filters)."""
+        listed = self.traces.query(slow=slow, limit=limit)
+        return {
+            "status": "ok",
+            "count": len(listed),
+            "slow": slow,
+            "traces": [retained.to_dict() for retained in listed],
+        }
+
     async def _healthz_payload(self) -> dict:
         """The liveness payload (async so the sharded tier can poll workers)."""
         return {
@@ -494,6 +554,7 @@ class SolverService:
             "errors_total": self._errors_total,
             "errors_by_code": dict(self._errors_by_code),
             "scheduler": self.scheduler.stats(),
+            "slo": self.slo.snapshot(),
         }
 
     async def _metrics_payload(self) -> str:
@@ -533,6 +594,26 @@ class SolverService:
         registry.counter(
             "repro_traces_slow_total", "Traces over the slow-request threshold."
         ).inc(float(self.traces.slow_total))
+        registry.counter(
+            "repro_traces_exemplars_total",
+            "Traces retained as periodic exemplars regardless of latency.",
+        ).inc(float(self.traces.exemplar_total))
+        self.slo.export_into(registry)
+
+
+def _parse_traces_query(query_string: str) -> tuple[bool, int]:
+    """The ``(slow, limit)`` pair of a ``GET /traces`` query string."""
+    params = urllib.parse.parse_qs(query_string, keep_blank_values=True)
+    slow_text = params.get("slow", ["0"])[-1].strip().lower()
+    slow = slow_text in ("1", "true", "yes", "")
+    limit_text = params.get("limit", ["32"])[-1]
+    try:
+        limit = int(limit_text)
+    except ValueError:
+        raise BadRequestError(f"limit must be an integer, got {limit_text!r}") from None
+    if limit < 1:
+        raise BadRequestError(f"limit must be >= 1, got {limit}")
+    return slow, limit
 
 
 #: ``/stats`` scheduler counters exported as Prometheus counter families —
@@ -574,6 +655,16 @@ _CACHE_COUNTERS: dict[str, tuple[str, str]] = {
     "misses": ("repro_cache_lookup_misses_total", "Solution-cache lookup misses."),
     "solves": ("repro_cache_solves_total", "Fresh solves recorded by the cache."),
     "evictions": ("repro_cache_evictions_total", "Cache entries evicted by the LRU bound."),
+    "spills": ("repro_cache_spills_total", "Cache snapshots spilled to disk."),
+    "spilled_entries": (
+        "repro_cache_spilled_entries_total",
+        "Entries written across all cache spills.",
+    ),
+    "loads": ("repro_cache_loads_total", "Cache snapshots loaded from disk."),
+    "loaded_entries": (
+        "repro_cache_loaded_entries_total",
+        "Entries restored across all cache loads.",
+    ),
 }
 
 
@@ -592,6 +683,20 @@ def merge_shard_stats_metrics(
         value = stats.get(stats_key)
         if isinstance(value, (int, float)):
             registry.counter(name, help_text, labels=labels).inc(float(value))
+    shed = stats.get("shed_total")
+    if isinstance(shed, (int, float)):
+        registry.counter(
+            "repro_shed_total", "Requests shed by tiered admission control.", labels=labels
+        ).inc(float(shed))
+    shed_by_tier = stats.get("shed_by_tier")
+    if isinstance(shed_by_tier, Mapping):
+        for tier, count in sorted(shed_by_tier.items()):
+            if isinstance(count, (int, float)):
+                registry.counter(
+                    "repro_shed_by_tier_total",
+                    "Requests shed, by query tier.",
+                    labels={**labels, "tier": str(tier)},
+                ).inc(float(count))
     depth = stats.get("queue_depth")
     if isinstance(depth, (int, float)):
         registry.gauge(
@@ -653,7 +758,10 @@ def run_service(config: ServiceConfig | None = None) -> int:
             url=f"http://{service.host}:{service.port}",
             mode="sharded" if workers > 1 else "single-process",
             workers=workers,
-            endpoints="POST /solve, GET /healthz, GET /stats, GET /metrics",
+            endpoints=(
+                "POST /solve, GET /healthz, GET /stats, GET /metrics, "
+                "GET /traces, GET /traces/<id>"
+            ),
             stop="Ctrl-C or SIGTERM",
         )
         serve_task = loop.create_task(service.serve_forever())

@@ -27,13 +27,15 @@ The pieces, front side:
     (lint rule RPR009).
 
 Tiered load shedding
-    Admission happens on the front, before any pipe traffic: the global
-    pending count is compared against per-tier fractions of total capacity
-    (``workers × max_queue``), shedding the cheapest-to-recompute query kinds
-    first — steady-state solves are milliseconds to redo, transient grids are
-    not.  A shed request gets a structured 429 naming the target ``shard``
-    and the ``shed_tier``.  A full individual shard sheds likewise even when
-    the pool as a whole has room.
+    Admission happens on the front, before any pipe traffic: the *worse* of
+    queue occupancy (global pending over total capacity,
+    ``workers × max_queue``) and the SLO tracker's measured latency pressure
+    (:meth:`repro.obs.slo.SloTracker.pressure`) is compared against per-tier
+    thresholds, shedding the cheapest-to-recompute query kinds first —
+    steady-state solves are milliseconds to redo, transient grids are not.
+    A shed request gets a structured 429 naming the target ``shard`` and the
+    ``shed_tier``.  A full individual shard sheds likewise even when the
+    pool as a whole has room.
 
 Crash recovery
     A worker EOF (crash, kill, OOM) fails that shard's in-flight requests
@@ -62,17 +64,14 @@ from . import protocol
 from .errors import (
     BadRequestError,
     LoadShedError,
+    NotFoundError,
     ServiceClosedError,
     ServiceError,
     SolveFailedError,
     WorkerCrashedError,
 )
-from .server import (
-    DEFAULT_SHED_THRESHOLDS,
-    ServiceConfig,
-    SolverService,
-    merge_shard_stats_metrics,
-)
+from .scheduler import DEFAULT_SHED_THRESHOLDS, SHED_TIER_ORDER, shed_decision
+from .server import ServiceConfig, SolverService, merge_shard_stats_metrics
 from .worker import ShardWorkerConfig, worker_main
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,8 +79,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from .protocol import SolveRequest
 
-#: Query kinds cheapest-to-recompute first: the order tiers shed under load.
-SHED_TIER_ORDER = ("steady-state", "scenario", "transient")
+__all__ = [
+    "ConsistentHashRing",
+    "DEFAULT_SHED_THRESHOLDS",
+    "SHED_TIER_ORDER",
+    "ShardedService",
+    "shed_decision",
+    "stable_key_digest",
+]
 
 #: Seconds the front waits for the whole pool's ready handshake.
 _STARTUP_TIMEOUT = 120.0
@@ -140,34 +145,6 @@ class ConsistentHashRing:
         if index == len(self._positions):
             index = 0
         return self._owners[index]
-
-
-def shed_decision(
-    query: str,
-    pending_total: int,
-    capacity: int,
-    thresholds: tuple[float, ...] = DEFAULT_SHED_THRESHOLDS,
-) -> str | None:
-    """The pure tiered-admission rule: the tier to shed, or ``None`` to admit.
-
-    ``thresholds[i]`` is the fraction of total capacity at which tier ``i``
-    of :data:`SHED_TIER_ORDER` starts shedding; cheaper-to-recompute kinds
-    have lower thresholds, so under rising load steady-state queries are
-    turned away first while transient grids keep their queue slots until the
-    pool is genuinely full.  Unknown query kinds are treated as the most
-    expensive tier.  Kept free of any service state so the policy is unit
-    testable against exact load fractions.
-    """
-    if capacity < 1:
-        return query
-    try:
-        tier = SHED_TIER_ORDER.index(query)
-    except ValueError:
-        tier = len(SHED_TIER_ORDER) - 1
-    threshold = thresholds[min(tier, len(thresholds) - 1)]
-    if pending_total >= threshold * capacity:
-        return query
-    return None
 
 
 class _RemoteShardError(ServiceError):
@@ -319,6 +296,9 @@ class ShardedService(SolverService):
             cache_maxsize=self.config.cache_maxsize,
             cache_dir=self.config.cache_dir,
             spill_interval=self.config.spill_interval,
+            trace_ring=self.config.trace_ring,
+            slow_request_seconds=self.config.slow_request_seconds,
+            trace_exemplar_interval=self.config.trace_exemplar_interval,
         )
         process = context.Process(
             target=worker_main,
@@ -488,6 +468,7 @@ class ShardedService(SolverService):
             )
             handle.routed_total += 1
             result = await self._submit(handle, request, trace)
+            self.slo.observe_solve_latency(time.perf_counter() - started)
             if result["solver"] is None:
                 raise SolveFailedError(result["error"] or "no solver succeeded")
         except ServiceError as error:
@@ -518,7 +499,13 @@ class ShardedService(SolverService):
             )
         pending_total = sum(len(h.pending) for h in self._handles)
         capacity = self.config.workers * self.config.max_queue
-        tier = shed_decision(query, pending_total, capacity, self.config.shed_thresholds)
+        tier = shed_decision(
+            query,
+            pending_total,
+            capacity,
+            self.config.shed_thresholds,
+            latency_pressure=self.slo.pressure(),
+        )
         if tier is None and len(handle.pending) >= self.config.max_queue:
             # The pool has room overall but this shard's queue is full: a hot
             # key range must not be allowed to monopolise the global budget.
@@ -568,20 +555,27 @@ class ShardedService(SolverService):
             if isinstance(spans, list):
                 for span_payload in spans:
                     if isinstance(span_payload, dict):
-                        trace.add_span(Span.from_dict(span_payload), shift_ms=shift_ms)
+                        span = Span.from_dict(span_payload)
+                        trace.add_span(span, shift_ms=shift_ms)
+                        if span.name == "queue-wait":
+                            # The worker-measured wait is the SLO tracker's
+                            # queue-wait signal on the sharded tier (durations
+                            # are exact; only offsets are approximate).
+                            self.slo.observe_queue_wait(span.duration_ms / 1e3)
         return result
 
     async def _query_worker(
-        self, handle: _WorkerHandle, kind: str, timeout: float = 5.0
+        self, handle: _WorkerHandle, kind: str, *args: object, timeout: float = 5.0
     ) -> dict | None:
-        """Ask one worker for ``stats``/``spill``; ``None`` when unavailable."""
+        """Ask one worker a control-plane question (``stats``/``spill``/
+        ``trace``/``traces``); ``None`` when the worker is unavailable."""
         if handle.state != "ready" or handle.send_queue is None:
             return None
         request_id = next(self._request_ids)
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         handle.control_pending[request_id] = future
-        handle.send_queue.put((kind, request_id))
+        handle.send_queue.put((kind, request_id, *args))
         try:
             answer = await asyncio.wait_for(asyncio.shield(future), timeout)
         except (TimeoutError, ServiceError):
@@ -591,6 +585,93 @@ class ShardedService(SolverService):
         return dict(payload) if isinstance(payload, dict) else {"value": payload}
 
     # -- observability -----------------------------------------------------
+
+    async def _trace_payload(self, trace_id: str) -> dict:
+        """``GET /traces/<id>`` on the sharded tier: front ring + worker fan-out.
+
+        The front's retained copy is authoritative — it already carries the
+        worker's spans re-based onto the front clock.  The fan-out over the
+        control pipe merges any worker-retained spans the front copy lacks
+        (deduplicated by span id) and covers traces the front ring has
+        already evicted while a worker ring still holds them; a worker-only
+        trace keeps its worker-relative offsets (durations are exact).
+        """
+        found = self.traces.find(trace_id)
+        replies = await asyncio.gather(
+            *(self._query_worker(handle, "trace", trace_id) for handle in self._handles)
+        )
+        worker_payloads = [
+            reply["trace"]
+            for reply in replies
+            if reply is not None and isinstance(reply.get("trace"), dict)
+        ]
+        if found is not None:
+            payload = found.to_dict()
+            spans = [span.to_dict() for span in found.spans]
+            seen: set[object] = {span.span_id for span in found.spans}
+            for worker_payload in worker_payloads:
+                worker_spans = worker_payload.get("spans")
+                if not isinstance(worker_spans, list):
+                    continue
+                for span_payload in worker_spans:
+                    if isinstance(span_payload, dict):
+                        span_id = span_payload.get("span_id")
+                        if span_id not in seen:
+                            seen.add(span_id)
+                            spans.append(span_payload)
+            payload["spans"] = spans
+            return {"status": "ok", "trace": payload}
+        if worker_payloads:
+            return {"status": "ok", "trace": worker_payloads[0]}
+        raise NotFoundError(
+            f"no retained trace {trace_id!r} on the front or any shard worker; "
+            f"it may have fallen off the rings (capacity {self.traces.capacity})"
+        )
+
+    async def _traces_payload(self, *, slow: bool, limit: int) -> dict:
+        """``GET /traces`` on the sharded tier: front listing + worker fan-out.
+
+        Front-retained traces win the per-id deduplication (their spans are
+        merged and re-based); worker-only traces fill in behind them.  The
+        combined listing is sorted newest-first and bounded by ``limit``.
+        """
+        local = self.traces.query(slow=slow, limit=limit)
+        replies = await asyncio.gather(
+            *(
+                self._query_worker(handle, "traces", {"slow": slow, "limit": limit})
+                for handle in self._handles
+            )
+        )
+        combined: list[dict] = []
+        seen: set[object] = set()
+        for retained in local:
+            seen.add(retained.trace_id)
+            combined.append(retained.to_dict())
+        for reply in replies:
+            if reply is None:
+                continue
+            worker_traces = reply.get("traces")
+            if not isinstance(worker_traces, list):
+                continue
+            for trace_payload in worker_traces:
+                if isinstance(trace_payload, dict):
+                    trace_id = trace_payload.get("trace_id")
+                    if trace_id not in seen:
+                        seen.add(trace_id)
+                        combined.append(trace_payload)
+
+        def _started_at(trace_payload: dict) -> float:
+            value = trace_payload.get("started_at")
+            return float(value) if isinstance(value, (int, float)) else 0.0
+
+        combined.sort(key=_started_at, reverse=True)
+        combined = combined[:limit]
+        return {
+            "status": "ok",
+            "count": len(combined),
+            "slow": slow,
+            "traces": combined,
+        }
 
     async def _healthz_payload(self) -> dict:
         return {
@@ -616,6 +697,10 @@ class ShardedService(SolverService):
             "deadline_exceeded_total": 0,
             "solves": 0,
             "cache_size": 0,
+            "cache_spills": 0,
+            "cache_spilled_entries": 0,
+            "cache_loads": 0,
+            "cache_loaded_entries": 0,
         }
         shards: list[dict] = []
         for handle, stats in zip(self._handles, worker_stats):
@@ -645,6 +730,10 @@ class ShardedService(SolverService):
                 cache_stats = stats.get("cache", {})
                 totals["solves"] += int(cache_stats.get("solves", 0))
                 totals["cache_size"] += int(cache_stats.get("size", 0))
+                totals["cache_spills"] += int(cache_stats.get("spills", 0))
+                totals["cache_spilled_entries"] += int(cache_stats.get("spilled_entries", 0))
+                totals["cache_loads"] += int(cache_stats.get("loads", 0))
+                totals["cache_loaded_entries"] += int(cache_stats.get("loaded_entries", 0))
             shards.append(entry)
         return {
             "status": "ok",
@@ -663,6 +752,7 @@ class ShardedService(SolverService):
             },
             "shards": shards,
             "totals": totals,
+            "slo": self.slo.snapshot(),
         }
 
     async def _metrics_payload(self) -> str:

@@ -14,6 +14,8 @@ per worker.  Messages front → worker::
     ("solve", request_id, model, policy, deadline, trace_id)
     ("stats", request_id)       # scheduler + cache counters for this shard
     ("spill", request_id)       # snapshot the shard cache to disk now
+    ("trace", request_id, trace_id)   # look one trace up in the shard's ring
+    ("traces", request_id, params)    # list retained traces ({"slow","limit"})
     ("shutdown",)               # graceful: spill, drain, exit
 
 (the trailing ``trace_id`` is optional — a worker unpacks tolerantly, so an
@@ -24,6 +26,8 @@ older front sending 5-tuples keeps working) and worker → front::
     (request_id, "error", error_dict)     # structured ServiceError fields
     (request_id, "stats", stats_dict)     # includes a "metrics" registry dump
     (request_id, "spilled", entry_count)
+    (request_id, "trace", {"trace": ...}) # the retained trace dict, or None
+    (request_id, "traces", {"traces": [...]})
 
 Blocking pipe I/O never touches the event loop: a reader thread feeds
 incoming messages to the loop via ``call_soon_threadsafe`` and a writer
@@ -51,7 +55,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..exceptions import CachePersistenceError
-from ..obs import TraceBuilder
+from ..obs import TraceBuilder, TraceRecorder
 from ..solvers import SolutionCache
 from .errors import ServiceError
 from .scheduler import (
@@ -80,6 +84,9 @@ class ShardWorkerConfig:
     cache_maxsize: int = DEFAULT_CACHE_MAXSIZE
     cache_dir: str | None = None
     spill_interval: float = DEFAULT_SPILL_INTERVAL
+    trace_ring: int = 256
+    slow_request_seconds: float = 1.0
+    trace_exemplar_interval: int = 32
 
 
 def shard_cache_path(cache_dir: str | Path, shard: int) -> Path:
@@ -113,6 +120,15 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
         workers=1,
         cache=cache,
         shard=config.shard,
+    )
+    # The worker keeps its own trace rings so the front can fan ``/traces``
+    # lookups out over the control pipe.  No logger: the front records the
+    # full merged trace and owns slow-request log emission.
+    recorder = TraceRecorder(
+        config.trace_ring,
+        slow_threshold_seconds=config.slow_request_seconds,
+        exemplar_interval=config.trace_exemplar_interval,
+        logger=None,
     )
 
     inbox: asyncio.Queue[tuple] = asyncio.Queue()
@@ -184,6 +200,7 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
         except asyncio.CancelledError:
             raise
         except ServiceError as error:
+            recorder.record(trace.finish(error.code))
             outbox.put(
                 (
                     request_id,
@@ -198,6 +215,7 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
             )
             return
         except Exception as error:  # noqa: BLE001 - reported, never a hung waiter
+            recorder.record(trace.finish("internal-error"))
             outbox.put(
                 (
                     request_id,
@@ -212,6 +230,7 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
             )
             return
         outcome = result.outcome
+        recorder.record(trace.finish("ok"))
         outbox.put(
             (
                 request_id,
@@ -265,6 +284,28 @@ async def _worker_async(config: ShardWorkerConfig, conn: "Connection") -> None:
             elif kind == "spill":
                 count = await loop.run_in_executor(None, _spill_now)
                 outbox.put((message[1], "spilled", count))
+            elif kind == "trace" and len(message) > 2:
+                found = recorder.find(str(message[2]))
+                outbox.put(
+                    (
+                        message[1],
+                        "trace",
+                        {"trace": found.to_dict() if found is not None else None},
+                    )
+                )
+            elif kind == "traces":
+                params = message[2] if len(message) > 2 and isinstance(message[2], dict) else {}
+                listed = recorder.query(
+                    slow=bool(params.get("slow", False)),
+                    limit=int(params.get("limit", 32)),
+                )
+                outbox.put(
+                    (
+                        message[1],
+                        "traces",
+                        {"traces": [retained.to_dict() for retained in listed]},
+                    )
+                )
             # Unknown message kinds are ignored: a newer front speaking to an
             # older worker must degrade, not crash the shard.
     finally:

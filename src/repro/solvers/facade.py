@@ -26,6 +26,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
 from ..exceptions import ParameterError, SimulationError, SolverError
+from ..obs.metrics import MetricsRegistry, numerics_registry
 from ..obs.profiling import AttemptRecord, capture_attempts, record_attempt
 from .base import INFINITE_METRICS, SolveOutcome
 from .cache import CacheKey, SolutionCache, distribution_key, shared_cache
@@ -57,6 +58,7 @@ def _evaluate_capturing(
     registry = registry if registry is not None else default_registry()
     if not model.is_stable:
         return SolveOutcome(None, False, dict(INFINITE_METRICS), None), {}
+    numerics = numerics_registry()
     failures: list[str] = []
     for name in policy.order:
         warm = False
@@ -70,6 +72,7 @@ def _evaluate_capturing(
                 record_attempt(
                     name, time.perf_counter() - attempt_started, ok=False, error=reason
                 )
+                _count_attempt(numerics, name, "unsupported")
                 continue
             options = solver.options_from_policy(policy)
             warm = bool(getattr(solver, "supports_warm_start", False))
@@ -83,12 +86,33 @@ def _evaluate_capturing(
             record_attempt(
                 name, time.perf_counter() - attempt_started, ok=False, error=str(exc)
             )
+            _count_attempt(numerics, name, "failed")
             continue
         record_attempt(
             name, time.perf_counter() - attempt_started, ok=True, warm_start=seeded
         )
+        _count_attempt(numerics, name, "ok")
+        if seeded:
+            numerics.counter(
+                "repro_solver_warm_start_hits_total",
+                "Successful solves that were seeded from a neighbouring solution.",
+                labels={"solver": name},
+            ).inc()
         return SolveOutcome(name, True, metrics, None), ({name: solution} if warm else {})
+    numerics.counter(
+        "repro_solver_fallback_exhausted_total",
+        "Evaluations in which every solver in the policy order failed.",
+    ).inc()
     return SolveOutcome(None, True, {}, "; ".join(failures) or "no solver succeeded"), {}
+
+
+def _count_attempt(numerics: "MetricsRegistry", solver: str, outcome: str) -> None:
+    """One fallback-chain attempt in the numerical-health registry."""
+    numerics.counter(
+        "repro_solver_attempts_total",
+        "Fallback-chain attempts, by solver and outcome.",
+        labels={"solver": solver, "outcome": outcome},
+    ).inc()
 
 
 def evaluate(

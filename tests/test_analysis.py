@@ -906,6 +906,111 @@ class TestStructuredLoggingRule:
 
 
 # --------------------------------------------------------------------------- #
+# RPR011 — time.time() used for duration measurement in the service/obs layers
+# --------------------------------------------------------------------------- #
+
+
+class TestWallClockDurationRule:
+    def test_direct_subtraction_fires(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            def elapsed(started):
+                return time.time() - started
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR011"}
+        assert "monotonic" in findings[0].message
+
+    def test_stamped_name_subtracted_later_fires(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            def measure(work):
+                started = time.time()
+                work()
+                return time.time() - started
+            """,
+            module="repro.obs.fixture",
+        )
+        assert fired(findings) == {"RPR011"}
+
+    def test_aliased_import_does_not_evade(self) -> None:
+        findings = lint(
+            """
+            from time import time
+
+            def shrink(budget):
+                budget -= time()
+                return budget
+            """,
+            module="repro.service.fixture",
+        )
+        assert fired(findings) == {"RPR011"}
+
+    def test_monotonic_arithmetic_is_clean(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            def measure(work):
+                started = time.perf_counter()
+                work()
+                return time.perf_counter() - started
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_wall_clock_timestamp_is_clean(self) -> None:
+        # Near miss: a displayed stamp that is never subtracted is fine.
+        findings = lint(
+            """
+            import time
+
+            def stamp(trace):
+                trace.started_at = time.time()
+                return trace
+            """,
+            module="repro.obs.fixture",
+        )
+        assert findings == []
+
+    def test_deadline_addition_is_clean(self) -> None:
+        # Near miss: time.time() + ttl is an absolute deadline, not a duration.
+        findings = lint(
+            """
+            import time
+
+            def expires(ttl):
+                return time.time() + ttl
+            """,
+            module="repro.service.fixture",
+        )
+        assert findings == []
+
+    def test_outside_the_scoped_packages_is_clean(self) -> None:
+        findings = lint(
+            """
+            import time
+
+            def elapsed(started):
+                return time.time() - started
+            """,
+            module="repro.markov.fixture",
+        )
+        assert findings == []
+
+    def test_service_and_obs_layers_are_clean(self) -> None:
+        for package in ("service", "obs"):
+            report = analyze_paths([str(REPO_ROOT / "src" / "repro" / package)])
+            assert not any(finding.rule == "RPR011" for finding in report.findings)
+
+
+# --------------------------------------------------------------------------- #
 # Suppression comments
 # --------------------------------------------------------------------------- #
 

@@ -551,3 +551,64 @@ class TestCacheStatsCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "--url must be a plain http://host:port address" in captured.err
+
+    def test_in_process_cache_stats_lists_spill_counters(self, capsys):
+        exit_code = main(["cache-stats"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for counter in ("spills", "spilled_entries", "loads", "loaded_entries"):
+            assert counter in output
+
+    def test_service_cache_stats_list_spill_counters(self, capsys):
+        from repro.service import ServiceConfig, ThreadedService
+
+        with ThreadedService(ServiceConfig(port=0)) as service:
+            exit_code = main(["cache-stats", "--url", service.address])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for counter in ("spills", "spilled_entries", "loads", "loaded_entries"):
+            assert counter in output
+
+
+class TestTopCommand:
+    def test_top_once_json_summarises_a_live_service(self, capsys):
+        import json
+
+        from repro.service import ServiceClient, ServiceConfig, ThreadedService
+
+        with ThreadedService(ServiceConfig(port=0)) as service:
+            with ServiceClient(service.host, service.port, timeout=120.0) as client:
+                client.solve_ok({"model": {"servers": 3, "arrival_rate": 1.5}})
+            exit_code = main(["top", "--url", service.address, "--once", "--json"])
+            payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["responses_total"] >= 1
+        assert payload["rps"] is None  # a single snapshot has no rate
+        assert payload["slo"]["queue_wait_target_seconds"] == 2.0
+        assert payload["shards"]
+        assert payload["shards"][0]["requests_total"] >= 1
+
+    def test_top_once_renders_the_dashboard(self, capsys):
+        from repro.service import ServiceClient, ServiceConfig, ThreadedService
+
+        with ThreadedService(ServiceConfig(port=0)) as service:
+            with ServiceClient(service.host, service.port, timeout=120.0) as client:
+                client.solve_ok({"model": {"servers": 3, "arrival_rate": 1.5}})
+            exit_code = main(["top", "--url", service.address, "--once"])
+            output = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.startswith("repro top — ")
+        assert "pressure" in output
+        assert "shard" in output
+
+    def test_top_json_requires_once(self, capsys):
+        exit_code = main(["top", "--url", "http://127.0.0.1:9", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--json needs --once" in captured.err
+
+    def test_top_unreachable_service_reports_an_error(self, capsys):
+        exit_code = main(["top", "--url", "http://127.0.0.1:9", "--once"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "could not reach" in captured.err

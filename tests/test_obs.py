@@ -16,6 +16,8 @@ import json
 import pickle
 import random
 import re
+import threading
+import time
 
 import pytest
 
@@ -33,6 +35,16 @@ from repro.obs import (
     logging_config,
     record_attempt,
 )
+from repro.obs.dashboard import (
+    DashboardSnapshot,
+    histogram_quantile,
+    metric_value,
+    parse_prometheus_text,
+    render_dashboard,
+    summarize,
+)
+from repro.obs.slo import SloTargets, SloTracker
+from repro.obs.tracing import Trace, new_trace_id
 from repro.distributions import Exponential
 from repro.queueing import UnreliableQueueModel
 from repro.service import (
@@ -529,3 +541,366 @@ class TestServiceMetricsEndpoint:
         assert sum(counts.values()) == requests_total
         shards = _metric_values(text, "repro_workers_ready")
         assert shards[""] == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# Trace recorder rings: exemplar sampling, queries, thread-safety
+# --------------------------------------------------------------------------- #
+
+
+def _sealed_trace(duration_ms: float, started_at: float) -> Trace:
+    """A minimal completed trace with controlled duration and start stamp."""
+    return Trace(
+        trace_id=new_trace_id(),
+        started_at=started_at,
+        status="ok",
+        duration_ms=duration_ms,
+        spans=(),
+    )
+
+
+class TestTraceRecorderRings:
+    def test_exemplars_survive_recent_ring_churn(self):
+        recorder = TraceRecorder(4, slow_threshold_seconds=10.0, exemplar_interval=4)
+        traces = [_sealed_trace(duration_ms=1.0, started_at=float(i)) for i in range(12)]
+        for trace in traces:
+            recorder.record(trace)
+        assert recorder.exemplar_total == 3  # the 1st, 5th and 9th
+        # The first trace fell off the recent ring long ago but its exemplar
+        # copy keeps it findable; its non-exemplar neighbour is gone.
+        assert recorder.find(traces[0].trace_id) is traces[0]
+        assert recorder.find(traces[1].trace_id) is None
+        listed = {trace.trace_id for trace in recorder.query(limit=12)}
+        assert traces[4].trace_id in listed
+        assert traces[8].trace_id in listed
+
+    def test_zero_interval_disables_exemplar_sampling(self):
+        recorder = TraceRecorder(4, slow_threshold_seconds=10.0, exemplar_interval=0)
+        for index in range(10):
+            recorder.record(_sealed_trace(duration_ms=1.0, started_at=float(index)))
+        assert recorder.exemplar_total == 0
+        assert recorder.recorded_total == 10
+
+    def test_query_slow_filter_limit_and_ordering(self):
+        recorder = TraceRecorder(8, slow_threshold_seconds=0.5, exemplar_interval=0)
+        fast = [_sealed_trace(duration_ms=1.0, started_at=float(i)) for i in range(3)]
+        slow = [_sealed_trace(duration_ms=900.0, started_at=10.0 + i) for i in range(2)]
+        for trace in fast + slow:
+            recorder.record(trace)
+        assert recorder.slow_total == 2
+        listed = recorder.query(slow=True, limit=8)
+        assert [t.trace_id for t in listed] == [slow[1].trace_id, slow[0].trace_id]
+        newest = recorder.query(limit=2)
+        assert [t.trace_id for t in newest] == [slow[1].trace_id, slow[0].trace_id]
+
+    def test_concurrent_record_and_query_is_safe(self):
+        """The satellite pin: writers and readers share one lock — concurrent
+        appends must neither corrupt the rings nor lose a count."""
+        recorder = TraceRecorder(32, slow_threshold_seconds=0.0, exemplar_interval=3)
+        per_thread = 200
+        writers = 4
+        errors: list[Exception] = []
+
+        def write(worker: int) -> None:
+            try:
+                for index in range(per_thread):
+                    recorder.record(
+                        _sealed_trace(duration_ms=1.0, started_at=worker * 1e3 + index)
+                    )
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        def read() -> None:
+            try:
+                for _ in range(200):
+                    recorder.query(slow=True, limit=8)
+                    recorder.query(limit=8)
+                    recorder.find("no-such-trace")
+                    recorder.snapshot()
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(writers)]
+        threads += [threading.Thread(target=read) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert recorder.recorded_total == writers * per_thread
+        assert recorder.slow_total == writers * per_thread
+        assert recorder.exemplar_total == (writers * per_thread + 2) // 3
+        assert len(recorder.snapshot()) == 32
+
+    def test_invalid_shapes_are_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRecorder(0)
+        with pytest.raises(ValueError, match="exemplar_interval"):
+            TraceRecorder(4, exemplar_interval=-1)
+
+
+# --------------------------------------------------------------------------- #
+# SLO tracker: rolling percentiles, pressure, error budgets
+# --------------------------------------------------------------------------- #
+
+
+class TestSloTracker:
+    def test_disabled_targets_are_inert(self):
+        tracker = SloTracker(
+            SloTargets(queue_wait_p99_seconds=0.0, solve_latency_p99_seconds=0.0)
+        )
+        tracker.observe_queue_wait(100.0)
+        tracker.observe_solve_latency(100.0)
+        assert tracker.enabled is False
+        assert tracker.pressure() == 0.0
+        assert tracker.error_budget() == {"queue-wait": 0, "solve-latency": 0}
+
+    def test_pressure_is_the_max_ratio_over_objectives(self):
+        tracker = SloTracker(
+            SloTargets(queue_wait_p99_seconds=1.0, solve_latency_p99_seconds=100.0)
+        )
+        for _ in range(20):
+            tracker.observe_queue_wait(2.0)
+            tracker.observe_solve_latency(2.0)
+        # The queue-wait ratio (~2/1) dominates the solve ratio (~2/100).
+        assert tracker.pressure() == pytest.approx(tracker.queue_wait_p99() / 1.0)
+        assert tracker.pressure() >= 1.0
+
+    def test_error_budget_counts_exact_violations(self):
+        tracker = SloTracker(
+            SloTargets(queue_wait_p99_seconds=1.0, solve_latency_p99_seconds=1.0)
+        )
+        tracker.observe_queue_wait(0.5)
+        tracker.observe_queue_wait(1.5)
+        tracker.observe_solve_latency(2.0)
+        assert tracker.error_budget() == {"queue-wait": 1, "solve-latency": 1}
+
+    def test_snapshot_is_json_safe(self):
+        tracker = SloTracker()
+        tracker.observe_queue_wait(0.01)
+        snapshot = json.loads(json.dumps(tracker.snapshot()))
+        assert set(snapshot) == {
+            "queue_wait_p99_seconds",
+            "solve_latency_p99_seconds",
+            "queue_wait_target_seconds",
+            "solve_latency_target_seconds",
+            "pressure",
+            "error_budget",
+        }
+        assert snapshot["queue_wait_target_seconds"] == 2.0
+
+    def test_export_into_renders_the_slo_families(self):
+        tracker = SloTracker(
+            SloTargets(queue_wait_p99_seconds=0.001, solve_latency_p99_seconds=30.0)
+        )
+        for _ in range(5):
+            tracker.observe_queue_wait(0.5)
+        registry = MetricsRegistry()
+        tracker.export_into(registry)
+        text = registry.render()
+        budget = _metric_values(text, "repro_slo_error_budget_total")
+        assert budget['{slo="queue-wait"}'] == 5.0
+        assert budget['{slo="solve-latency"}'] == 0.0
+        assert _metric_values(text, "repro_slo_pressure")[""] >= 1.0
+        assert _metric_values(text, "repro_slo_queue_wait_target_seconds")[""] == 0.001
+        assert _metric_values(text, "repro_slo_queue_wait_p99_seconds")[""] > 0.0
+
+    def test_rolling_window_forgets_old_observations(self):
+        tracker = SloTracker(
+            SloTargets(queue_wait_p99_seconds=1.0, solve_latency_p99_seconds=1.0),
+            window_seconds=0.2,
+            tick_seconds=0.05,
+        )
+        tracker.observe_queue_wait(50.0)
+        assert tracker.pressure() >= 1.0
+        deadline = time.monotonic() + 10.0
+        while tracker.pressure() >= 1.0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        # The spike rolled out of the window; a cumulative histogram would
+        # have pinned the p99 at 50 s forever.
+        assert tracker.pressure() < 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Dashboard: exposition parsing, quantiles, summaries, rendering
+# --------------------------------------------------------------------------- #
+
+
+class TestDashboard:
+    def test_parse_prometheus_text_reads_labels_and_values(self):
+        text = (
+            "# HELP repro_requests_total Requests.\n"
+            "# TYPE repro_requests_total counter\n"
+            'repro_requests_total{shard="0"} 5\n'
+            'repro_requests_total{shard="1"} 7\n'
+            "repro_uptime_seconds 12.5\n"
+        )
+        parsed = parse_prometheus_text(text)
+        assert metric_value(parsed, "repro_requests_total") == 12.0
+        assert metric_value(parsed, "repro_requests_total", {"shard": "1"}) == 7.0
+        assert metric_value(parsed, "repro_uptime_seconds") == 12.5
+        assert metric_value(parsed, "missing_series", default=3.0) == 3.0
+
+    def test_histogram_quantile_matches_the_source_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_solve_latency_seconds", "Latency.")
+        rng = random.Random(11)
+        for _ in range(300):
+            histogram.observe(10.0 ** rng.uniform(-3.0, 1.0))
+        parsed = parse_prometheus_text(registry.render())
+        for quantile in (0.5, 0.9, 0.99):
+            assert histogram_quantile(
+                parsed, "repro_solve_latency_seconds", quantile
+            ) == pytest.approx(histogram.percentile(quantile), rel=1e-9)
+
+    @staticmethod
+    def _metrics_text(responses: float, requests: float) -> str:
+        return (
+            f"repro_http_responses_total {responses}\n"
+            f'repro_requests_total{{shard="0"}} {requests}\n'
+            "repro_uptime_seconds 42.0\n"
+            "repro_workers_ready 2\n"
+            'repro_queue_depth{shard="0"} 3\n'
+            "repro_slo_pressure 0.25\n"
+            'repro_slo_error_budget_total{slo="queue-wait"} 2\n'
+            'repro_cache_lookup_hits_total{shard="0"} 3\n'
+            'repro_cache_lookup_misses_total{shard="0"} 1\n'
+        )
+
+    def test_summarize_reports_rates_against_a_predecessor(self):
+        stats = {"shards": [{"shard": 0, "state": "ready"}]}
+        earlier = DashboardSnapshot.from_payloads(self._metrics_text(10, 4), stats, at=1.0)
+        later = DashboardSnapshot.from_payloads(self._metrics_text(30, 8), stats, at=3.0)
+        summary = summarize(later, earlier)
+        assert summary["rps"] == pytest.approx(10.0)
+        assert summary["responses_total"] == 30.0
+        assert summary["workers_ready"] == 2.0
+        assert summary["slo"]["pressure"] == 0.25
+        assert summary["slo"]["error_budget"] == {"queue-wait": 2.0}
+        (shard,) = summary["shards"]
+        assert shard["shard"] == 0
+        assert shard["state"] == "ready"
+        assert shard["rps"] == pytest.approx(2.0)
+        assert shard["queue_depth"] == 3.0
+        assert shard["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_summarize_without_a_predecessor_has_no_rates(self):
+        snapshot = DashboardSnapshot.from_payloads(self._metrics_text(10, 4), {}, at=1.0)
+        summary = summarize(snapshot)
+        assert summary["rps"] is None
+        assert summary["shards"][0]["rps"] is None
+
+    def test_render_dashboard_lines(self):
+        snapshot = DashboardSnapshot.from_payloads(self._metrics_text(10, 4), {}, at=1.0)
+        lines = render_dashboard(snapshot)
+        assert lines[0].startswith("repro top — ")
+        assert "pressure 0.25" in lines[1]
+        assert "queue-wait 2" in lines[1]
+        assert any(line.lstrip().startswith("0") for line in lines[5:])
+
+    def test_render_dashboard_without_shard_series_hints(self):
+        snapshot = DashboardSnapshot.from_payloads("repro_uptime_seconds 1\n", {}, at=0.0)
+        lines = render_dashboard(snapshot)
+        assert any("no per-shard series yet" in line for line in lines)
+
+
+# --------------------------------------------------------------------------- #
+# Live service: the trace query API
+# --------------------------------------------------------------------------- #
+
+
+class TestTraceQueryEndpoints:
+    def test_trace_lookup_returns_the_span_tree(self):
+        config = ServiceConfig(port=0, batch_window=0.0, slow_request_seconds=0.0)
+        with ThreadedService(config) as service:
+            with ServiceClient(service.host, service.port, timeout=120.0) as client:
+                payload = client.solve_ok({"model": {"servers": 4, "arrival_rate": 2.0}})
+                trace_id = payload["trace_id"]
+
+                found = client.trace(trace_id)
+                assert found.status == 200
+                trace = found.payload["trace"]
+                assert trace["trace_id"] == trace_id
+                assert trace["status"] == "ok"
+                names = [span["name"] for span in trace["spans"]]
+                for expected in ("admission", "cache-lookup", "queue-wait", "solve"):
+                    assert expected in names
+                offsets = [span["start_ms"] for span in trace["spans"]]
+                assert offsets == sorted(offsets)  # sealed traces sort spans
+
+                # slow_request_seconds=0 marks everything slow, so the slow
+                # listing must contain it; the plain listing must too.
+                slow_listing = client.traces(slow=True, limit=10)
+                assert slow_listing.status == 200
+                assert any(
+                    entry["trace_id"] == trace_id
+                    for entry in slow_listing.payload["traces"]
+                )
+                listing = client.traces(limit=5)
+                assert listing.payload["count"] >= 1
+
+                missing = client.trace("0" * 16)
+                assert missing.status == 404
+                assert missing.payload["error"]["code"] == "not-found"
+
+
+# --------------------------------------------------------------------------- #
+# Live service: latency-aware overload control
+# --------------------------------------------------------------------------- #
+
+
+class TestLatencyAwareOverloadControl:
+    def test_slow_backend_sheds_while_the_queue_is_shallow(self, monkeypatch):
+        """The tentpole pin: a slow backend must engage tiered shedding on
+        *measured latency* while queue depth sits far below the depth
+        thresholds, and burn the error budget visibly on /metrics."""
+        import repro.service.scheduler as scheduler_module
+
+        original = scheduler_module.solve_many_async
+
+        async def sluggish(models, policies, **kwargs):
+            await asyncio.sleep(0.3)
+            return await original(models, policies, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "solve_many_async", sluggish)
+        config = ServiceConfig(
+            port=0,
+            batch_window=0.0,
+            max_queue=64,
+            slo_queue_wait_seconds=0.0,  # isolate the solve-latency objective
+            slo_solve_latency_seconds=0.05,  # the sleeping backend blows this
+        )
+        with ThreadedService(config) as service:
+            with ServiceClient(service.host, service.port, timeout=120.0) as client:
+                first = client.solve({"model": {"servers": 3, "arrival_rate": 1.0}})
+                assert first.status == 200  # no latency signal yet: admitted
+
+                shed = None
+                for servers in range(4, 10):
+                    response = client.solve(
+                        {"model": {"servers": servers, "arrival_rate": 1.0}}
+                    )
+                    if response.status == 429:
+                        shed = response
+                        break
+                assert shed is not None, "latency pressure never shed a request"
+                error = shed.payload["error"]
+                assert error["code"] == "load-shed"
+                assert error["shed_tier"] == "steady-state"
+
+                stats = client.stats().payload
+                scheduler_stats = stats["scheduler"]
+                # The depth thresholds were nowhere near: the queue is all but
+                # empty while measured latency does the shedding.
+                assert scheduler_stats["queue_depth"] <= 1
+                assert scheduler_stats["queue_depth"] < 0.7 * config.max_queue
+                assert scheduler_stats["shed_total"] >= 1
+                assert scheduler_stats["shed_by_tier"].get("steady-state", 0) >= 1
+                assert stats["slo"]["pressure"] >= 1.0
+
+                status, text = client.metrics()
+        assert status == 200
+        budget = _metric_values(text, "repro_slo_error_budget_total")
+        assert budget['{slo="solve-latency"}'] >= 1.0
+        assert _metric_values(text, "repro_slo_pressure")[""] >= 1.0
+        assert _metric_values(text, "repro_slo_solve_latency_target_seconds")[""] == 0.05

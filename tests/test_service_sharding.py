@@ -111,6 +111,18 @@ class TestShedDecision:
         assert DEFAULT_SHED_THRESHOLDS == (0.7, 0.85, 1.0)
         assert list(DEFAULT_SHED_THRESHOLDS) == sorted(DEFAULT_SHED_THRESHOLDS)
 
+    def test_latency_pressure_sheds_with_an_empty_queue(self):
+        assert shed_decision("steady-state", 0, 100, latency_pressure=0.7) == "steady-state"
+        assert shed_decision("scenario", 0, 100, latency_pressure=0.7) is None
+        assert shed_decision("scenario", 0, 100, latency_pressure=0.85) == "scenario"
+        assert shed_decision("transient", 0, 100, latency_pressure=0.99) is None
+        assert shed_decision("transient", 0, 100, latency_pressure=1.0) == "transient"
+
+    def test_load_is_the_max_of_depth_and_latency_pressure(self):
+        assert shed_decision("steady-state", 69, 100, latency_pressure=0.69) is None
+        assert shed_decision("steady-state", 69, 100, latency_pressure=0.7) == "steady-state"
+        assert shed_decision("steady-state", 70, 100, latency_pressure=0.0) == "steady-state"
+
     def test_structured_shed_and_crash_payloads(self):
         shed = LoadShedError("overloaded", shard=2, tier="steady-state", retry_after=0.2)
         assert shed.http_status == 429
@@ -268,6 +280,42 @@ class TestShardedRouting:
         assert payload["workers_ready"] == 4
 
 
+class TestShardedTraceAPI:
+    def test_trace_lookup_merges_worker_spans_onto_the_front_clock(
+        self, sharded_service
+    ):
+        """The acceptance pin: GET /traces/<id> against a 4-shard service
+        returns the full admission → queue-wait → solve span tree, with the
+        worker-recorded spans re-based onto the front's clock."""
+        with ServiceClient(
+            sharded_service.host, sharded_service.port, timeout=120.0
+        ) as client:
+            payload = client.solve_ok({"model": {"servers": 11, "arrival_rate": 6.05}})
+            trace_id = payload["trace_id"]
+
+            found = client.trace(trace_id)
+            assert found.status == 200
+            trace = found.payload["trace"]
+            assert trace["trace_id"] == trace_id
+            spans = {span["name"]: span for span in trace["spans"]}
+            assert {"admission", "queue-wait", "solve"} <= set(spans)
+            # Re-based worker spans live on the front's clock: the worker's
+            # solve cannot start before the front-recorded admission span.
+            assert spans["solve"]["start_ms"] >= spans["admission"]["start_ms"]
+            assert spans["solve"]["annotations"]["solver"] == "spectral"
+            assert spans["queue-wait"]["duration_ms"] >= 0.0
+
+            listing = client.traces(limit=50)
+            assert listing.status == 200
+            assert any(
+                entry["trace_id"] == trace_id for entry in listing.payload["traces"]
+            )
+
+            missing = client.trace("f" * 16)
+            assert missing.status == 404
+            assert missing.payload["error"]["code"] == "not-found"
+
+
 class TestCrashRecovery:
     def test_killed_worker_surfaces_retryable_error_then_recovers(self):
         request = {"model": {"servers": 6, "arrival_rate": 3.3}}
@@ -300,6 +348,68 @@ class TestCrashRecovery:
                 assert recovered["shard"] == shard  # identity rehash
                 stats = client.stats().payload
                 assert stats["shards"][shard]["restarts"] >= 1
+
+    def test_concurrent_scrapes_across_a_respawn_never_double_count(self):
+        """/metrics under concurrent scrape while a worker dies and respawns:
+        every scrape must parse with each series rendered exactly once, and
+        the restart counts exactly one respawn."""
+        with ThreadedService(
+            ServiceConfig(port=0, workers=2, batch_window=0.002)
+        ) as running:
+            with ServiceClient(running.host, running.port, timeout=120.0) as client:
+                first = client.solve_ok({"model": {"servers": 4, "arrival_rate": 2.2}})
+                shard = first["shard"]
+
+                texts: list[str] = []
+                errors: list[Exception] = []
+                stop = threading.Event()
+
+                def scrape():
+                    try:
+                        with ServiceClient(
+                            running.host, running.port, timeout=120.0
+                        ) as scraper:
+                            while not stop.is_set():
+                                status, text = scraper.metrics()
+                                assert status == 200
+                                texts.append(text)
+                    except Exception as exc:  # pragma: no cover - failure signal
+                        errors.append(exc)
+
+                scrapers = [threading.Thread(target=scrape) for _ in range(3)]
+                for thread in scrapers:
+                    thread.start()
+                handle = running.service._handles[shard]
+                handle.process.kill()
+                handle.process.join()
+                recovered = False
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if client.healthz().payload.get("workers_ready") == 2:
+                        recovered = True
+                        break
+                    time.sleep(0.1)
+                stop.set()
+                for thread in scrapers:
+                    thread.join(timeout=60.0)
+                assert errors == []
+                assert recovered, "the pool never returned to full readiness"
+                assert texts, "the scrapers never completed a scrape"
+                status, text = client.metrics()
+        assert status == 200
+        for scraped in texts + [text]:
+            series = [
+                line.split(" ")[0]
+                for line in scraped.splitlines()
+                if line and not line.startswith("#")
+            ]
+            assert len(series) == len(set(series)), "a series rendered twice"
+        restarts = sum(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_worker_restarts_total")
+        )
+        assert restarts == 1.0
 
     def test_simultaneous_crash_reports_respawn_only_once(self):
         """The health sweep and the pipe-EOF callback can both report one
@@ -342,6 +452,25 @@ class TestControlPlaneAdmission:
             service._admit("steady-state", 0, handle)  # must not raise
             payload = await service._healthz_payload()
             assert payload["queue_depth"] == 0
+
+        asyncio.run(run())
+
+    def test_latency_pressure_sheds_an_idle_queue(self):
+        """The front's admission consults measured latency: SLO pressure
+        alone sheds the cheap tier while zero requests are pending."""
+
+        async def run():
+            service = ShardedService(ServiceConfig(port=0, workers=2, max_queue=8))
+            handle = service._handles[0]
+            handle.state = "ready"
+            service._admit("steady-state", 0, handle)  # healthy tracker: admitted
+            for _ in range(20):
+                service.slo.observe_queue_wait(50.0)  # way over the 2 s target
+            assert service.slo.pressure() >= 1.0
+            with pytest.raises(LoadShedError) as shed:
+                service._admit("steady-state", 0, handle)
+            assert shed.value.payload()["shed_tier"] == "steady-state"
+            assert sum(len(h.pending) for h in service._handles) == 0
 
         asyncio.run(run())
 
